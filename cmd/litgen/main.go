@@ -1,0 +1,49 @@
+// Command litgen is the litmus-test generator of the paper's Figure 5: it
+// expands litmus-test templates into all permutations of C11 memory-order
+// primitives and prints them.
+//
+// Usage:
+//
+//	litgen                  # list shapes and variant counts
+//	litgen -shape wrc       # print every wrc variant
+//	litgen -shape wrc -programs   # include the C11 program bodies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tricheck"
+)
+
+func main() {
+	shapeName := flag.String("shape", "", "shape to expand (empty: list shapes)")
+	programs := flag.Bool("programs", false, "print full program bodies")
+	flag.Parse()
+
+	if *shapeName == "" {
+		fmt.Println("shape        variants  in-paper-suite  description")
+		total := 0
+		for _, s := range tricheck.AllShapes() {
+			fmt.Printf("%-12s %8d  %-14v  %s\n", s.Name, s.Variants(), s.Paper, s.Description)
+			if s.Paper {
+				total += s.Variants()
+			}
+		}
+		fmt.Printf("\npaper suite total: %d tests\n", total)
+		return
+	}
+	s := tricheck.ShapeByName(*shapeName)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "litgen: unknown shape %q\n", *shapeName)
+		os.Exit(2)
+	}
+	for _, t := range s.Generate() {
+		fmt.Println(t.Name)
+		if *programs {
+			fmt.Print(t.Prog.String())
+			fmt.Printf("interesting outcome: %s (%s)\n\n", t.Specified, s.SpecifiedNote)
+		}
+	}
+}

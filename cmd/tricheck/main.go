@@ -1,0 +1,108 @@
+// Command tricheck runs the paper's RISC-V case study end to end and
+// regenerates the Figure 15 results: every litmus-test family evaluated on
+// every Table 7 µspec model, under riscv-curr and riscv-ours, for the Base
+// and Base+Atomics ISAs.
+//
+// Usage:
+//
+//	tricheck [-family wrc] [-isa base|base+a|both] [-variant curr|ours|both]
+//	         [-models] [-mappings] [-csv] [-diagnose] [-workers N]
+//
+// With no flags it runs the full 1,701-test suite over all 28 stacks and
+// prints the Figure 15 tables plus the headline per-model totals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tricheck"
+)
+
+func main() {
+	family := flag.String("family", "", "restrict to one litmus family (mp, sb, wrc, rwc, iriw, corr, co-rsdwi, ...)")
+	isaFlag := flag.String("isa", "both", "ISA flavour: base, base+a or both")
+	variant := flag.String("variant", "both", "MCM version: curr, ours or both")
+	models := flag.Bool("models", false, "print the Table 7 µspec model matrix and exit")
+	mappings := flag.Bool("mappings", false, "print the compiler mapping tables (Tables 1-3) and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	diagnose := flag.Bool("diagnose", false, "print a µhb cycle/witness diagnosis for the first bug of each stack")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	if *models {
+		tricheck.WriteTable7(os.Stdout, tricheck.Curr)
+		fmt.Println()
+		tricheck.WriteTable7(os.Stdout, tricheck.Ours)
+		return
+	}
+	if *mappings {
+		for _, m := range tricheck.Mappings() {
+			tricheck.WriteMappingTable(os.Stdout, m)
+			fmt.Println()
+		}
+		return
+	}
+
+	var tests []*tricheck.Test
+	if *family == "" {
+		tests = tricheck.PaperSuite()
+	} else {
+		shape := tricheck.ShapeByName(*family)
+		if shape == nil {
+			fmt.Fprintf(os.Stderr, "tricheck: unknown family %q\n", *family)
+			os.Exit(2)
+		}
+		tests = shape.Generate()
+	}
+
+	var stacks []tricheck.Stack
+	addISA := func(base bool) {
+		if *variant == "curr" || *variant == "both" {
+			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Curr)...)
+		}
+		if *variant == "ours" || *variant == "both" {
+			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Ours)...)
+		}
+	}
+	if *isaFlag == "base" || *isaFlag == "both" {
+		addISA(true)
+	}
+	if *isaFlag == "base+a" || *isaFlag == "both" {
+		addISA(false)
+	}
+	if len(stacks) == 0 {
+		fmt.Fprintln(os.Stderr, "tricheck: no stacks selected")
+		os.Exit(2)
+	}
+
+	eng := tricheck.NewEngine()
+	results, err := eng.Sweep(tests, stacks, *workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
+		os.Exit(1)
+	}
+	if *csv {
+		tricheck.WriteCSV(os.Stdout, results)
+	} else {
+		fmt.Printf("TriCheck: %d litmus tests × %d full-stack configurations\n\n", len(tests), len(stacks))
+		tricheck.WriteFigure15(os.Stdout, results)
+	}
+	if *diagnose {
+		fmt.Println("\n── diagnoses (first bug per stack) ──")
+		for _, res := range results {
+			for _, r := range res.Results {
+				if r.Verdict == tricheck.Bug {
+					d, err := eng.Diagnose(r)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "diagnose: %v\n", err)
+						break
+					}
+					fmt.Println(d)
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command uspeccheck compiles a litmus test with a chosen mapping and
+// evaluates it on a chosen µspec microarchitecture model (toolflow steps
+// 2–3 — the role of the Check tools in the paper), printing observable and
+// unobservable final states, and optionally the compiled assembly and a
+// µhb cycle/witness explanation.
+//
+// Usage:
+//
+//	uspeccheck -test 'wrc[rlx,rlx,rel,acq,rlx]' -mapping riscv-base-intuitive \
+//	           -model nMM -variant curr [-asm] [-explain] [-dot outcome]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tricheck"
+	"tricheck/internal/compile"
+	"tricheck/internal/isa"
+	"tricheck/internal/isa/power"
+	"tricheck/internal/isa/riscv"
+	"tricheck/internal/litmus"
+	"tricheck/internal/report"
+	"tricheck/internal/uspec"
+)
+
+func main() {
+	testName := flag.String("test", "wrc[rlx,rlx,rel,acq,rlx]", "variant, e.g. 'wrc[rlx,rlx,rel,acq,rlx]'")
+	mappingName := flag.String("mapping", "riscv-base-intuitive", "compiler mapping name")
+	modelName := flag.String("model", "nMM", "µspec model (WR, rWR, rWM, rMM, nWR, nMM, A9like, PowerA9, ...)")
+	variantName := flag.String("variant", "curr", "MCM variant: curr or ours")
+	asm := flag.Bool("asm", false, "print the compiled assembly")
+	explain := flag.Bool("explain", false, "explain the interesting outcome (µhb witness or cycle)")
+	witness := flag.Bool("witness", false, "print a µhb event timeline (or cycle) for the interesting outcome")
+	dotFor := flag.String("dot", "", "emit a Graphviz µhb graph for the given outcome")
+	flag.Parse()
+
+	t, err := litmus.ParseVariantName(*testName)
+	if err != nil {
+		fail(err)
+	}
+	mapping := tricheck.MappingByName(*mappingName)
+	if mapping == nil {
+		fail(fmt.Errorf("unknown mapping %q", *mappingName))
+	}
+	variant := uspec.Curr
+	if *variantName == "ours" {
+		variant = uspec.Ours
+	}
+	model := uspec.ModelByName(*modelName, variant)
+	if model == nil {
+		switch *modelName {
+		case "PowerA9":
+			model = uspec.PowerA9()
+		case "PowerA9-fixed":
+			model = uspec.PowerA9Fixed()
+		case "TSO":
+			model = uspec.TSO()
+		case "SC":
+			model = uspec.SCProof()
+		case "AlphaLike":
+			model = uspec.AlphaLike()
+		default:
+			fail(fmt.Errorf("unknown model %q", *modelName))
+		}
+	}
+
+	prog, err := compile.Compile(mapping, t.Prog)
+	if err != nil {
+		fail(err)
+	}
+	if *asm {
+		for th, instrs := range prog.Instrs {
+			fmt.Printf("T%d:\n", th)
+			for _, ins := range instrs {
+				if prog.Arch == isa.RISCV {
+					fmt.Printf("  %s\n", riscv.Asm(prog, ins))
+				} else {
+					fmt.Printf("  %s\n", power.Asm(prog, ins))
+				}
+			}
+		}
+	}
+	res, err := model.Evaluate(prog)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s compiled with %s, evaluated on %s:\n", t.Name, mapping.Name, model.FullName())
+	var outs []string
+	for o := range res.All {
+		outs = append(outs, string(o))
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		verdict := "unobservable"
+		if res.Observable[tricheck.Outcome(o)] {
+			verdict = "observable"
+		}
+		marker := "  "
+		if tricheck.Outcome(o) == t.Specified {
+			marker = "* "
+		}
+		fmt.Printf("%s%-13s %s\n", marker, verdict, o)
+	}
+	fmt.Printf("(%d candidate executions, %d µhb graphs built)\n", res.Candidates, res.Graphs)
+	if *explain {
+		_, why, err := model.Explain(prog, t.Specified)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(why)
+	}
+	if *witness {
+		w, err := report.Witness(model, prog, t.Specified)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(w)
+	}
+	if *dotFor != "" {
+		g, found, err := model.ObservableGraph(prog, tricheck.Outcome(*dotFor))
+		if err != nil {
+			fail(err)
+		}
+		if !found {
+			fail(fmt.Errorf("outcome %q is not a candidate", *dotFor))
+		}
+		fmt.Print(g.DOT(t.Name))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "uspeccheck: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,513 @@
+package c11
+
+import (
+	"tricheck/internal/mem"
+)
+
+// Result is the outcome of evaluating a program against the C11 model.
+type Result struct {
+	// Allowed is the set of final-state outcomes permitted by C11. If the
+	// program is racy (undefined behaviour) this equals All.
+	Allowed map[mem.Outcome]bool
+	// All is the set of outcomes over every candidate execution, i.e. the
+	// outcome universe the microarchitectural side is compared against.
+	All map[mem.Outcome]bool
+	// Racy reports whether some consistent execution has a data race on a
+	// non-atomic access, making the program undefined.
+	Racy bool
+	// Consistent and Candidates count executions for diagnostics.
+	Consistent int
+	Candidates int
+}
+
+// Forbidden reports whether outcome o is a candidate outcome that C11
+// forbids.
+func (r *Result) Forbidden(o mem.Outcome) bool {
+	return r.All[o] && !r.Allowed[o]
+}
+
+// Evaluate runs the C11 axiomatic model over every candidate execution of p
+// and returns the allowed outcome set.
+func Evaluate(p *Program) (*Result, error) {
+	res := &Result{
+		Allowed: map[mem.Outcome]bool{},
+		All:     map[mem.Outcome]bool{},
+	}
+	err := mem.Enumerate(p.memp, func(x *mem.Execution) bool {
+		res.Candidates++
+		o := x.OutcomeOf()
+		res.All[o] = true
+		ok, racy := Consistent(p, x)
+		if ok {
+			res.Consistent++
+			res.Allowed[o] = true
+			if racy {
+				res.Racy = true
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Racy {
+		// Undefined behaviour: any outcome is possible.
+		for o := range res.All {
+			res.Allowed[o] = true
+		}
+	}
+	return res, nil
+}
+
+// Consistent reports whether execution x satisfies the C11 consistency
+// axioms, and whether it contains a non-atomic data race.
+func Consistent(p *Program, x *mem.Execution) (ok, racy bool) {
+	c := newChecker(p, x)
+	if !c.coherent() {
+		return false, false
+	}
+	if !c.scConsistent() {
+		return false, false
+	}
+	if !c.naReadsVisible() {
+		return false, false
+	}
+	return true, c.hasRace()
+}
+
+// checker holds the relations of one candidate execution.
+type checker struct {
+	p  *Program
+	x  *mem.Execution
+	n  int
+	ev []*mem.Event
+	sb [][]bool
+	hb [][]bool // (sb ∪ sw)+
+}
+
+func newChecker(p *Program, x *mem.Execution) *checker {
+	n := len(p.memp.Events())
+	c := &checker{p: p, x: x, n: n, ev: p.memp.Events()}
+	c.sb = mat(n)
+	for _, th := range p.memp.Threads {
+		for i := 0; i < len(th); i++ {
+			for j := i + 1; j < len(th); j++ {
+				c.sb[th[i].GID][th[j].GID] = true
+			}
+		}
+	}
+	c.hb = mat(n)
+	for a := 0; a < n; a++ {
+		copy(c.hb[a], c.sb[a])
+	}
+	c.addSW()
+	closure(c.hb)
+	return c
+}
+
+func mat(n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	return m
+}
+
+// closure computes the transitive closure in place (Floyd–Warshall).
+func closure(m [][]bool) {
+	n := len(m)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !m[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if m[k][j] {
+					m[i][j] = true
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) atomic(gid int) bool { return c.p.ord[gid] != NA }
+
+func (c *checker) isWrite(gid int) bool { return c.ev[gid].IsWrite() }
+func (c *checker) isRead(gid int) bool  { return c.ev[gid].IsRead() }
+func (c *checker) isFence(gid int) bool { return c.ev[gid].Kind == mem.Fence }
+
+// releaseSequence returns the C++11 release sequence headed by write w:
+// w plus the maximal contiguous run of mo-successors that are either writes
+// by w's thread or atomic read-modify-writes.
+func (c *checker) releaseSequence(w int) []int {
+	loc := c.x.LocOf[w]
+	seq := []int{w}
+	mo := c.x.MO[loc]
+	for i := c.x.MOIndex[w]; i < len(mo); i++ { // MOIndex is 1-based: mo[idx] is the next write
+		nxt := mo[i]
+		if c.ev[nxt].Thread == c.ev[w].Thread || c.ev[nxt].Kind == mem.RMW {
+			seq = append(seq, nxt)
+			continue
+		}
+		break
+	}
+	return seq
+}
+
+// addSW inserts synchronizes-with edges into c.hb (before closure):
+// release-write → acquire-read pairs through release sequences, plus the
+// C++11 fence synchronization rules.
+func (c *checker) addSW() {
+	// For each atomic write w, precompute the set of reads that read from
+	// w's (hypothetical) release sequence.
+	for w := 0; w < c.n; w++ {
+		if !c.isWrite(w) || !c.atomic(w) {
+			continue
+		}
+		rs := c.releaseSequence(w)
+		inRS := map[int]bool{}
+		for _, m := range rs {
+			inRS[m] = true
+		}
+		for r := 0; r < c.n; r++ {
+			if !c.isRead(r) || !c.atomic(r) || c.ev[r].Thread == c.ev[w].Thread {
+				continue
+			}
+			src := c.x.RF[r]
+			if src == mem.InitWrite || !inRS[src] {
+				continue
+			}
+			wRel := c.p.ord[w].IsRelease()
+			rAcq := c.p.ord[r].IsAcquire()
+			// Plain release/acquire synchronization.
+			if wRel && rAcq {
+				c.hb[w][r] = true
+			}
+			// Fence rules (C++11 29.8p2-4):
+			// release fence F sequenced before w, acquire read r.
+			if rAcq {
+				for f := 0; f < c.n; f++ {
+					if c.isFence(f) && c.p.ord[f].IsRelease() && c.sb[f][w] {
+						c.hb[f][r] = true
+					}
+				}
+			}
+			// release write w, acquire fence G sequenced after r.
+			if wRel {
+				for g := 0; g < c.n; g++ {
+					if c.isFence(g) && c.p.ord[g].IsAcquire() && c.sb[r][g] {
+						c.hb[w][g] = true
+					}
+				}
+			}
+			// release fence F before w, acquire fence G after r.
+			for f := 0; f < c.n; f++ {
+				if !(c.isFence(f) && c.p.ord[f].IsRelease() && c.sb[f][w]) {
+					continue
+				}
+				for g := 0; g < c.n; g++ {
+					if c.isFence(g) && c.p.ord[g].IsAcquire() && c.sb[r][g] {
+						c.hb[f][g] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// coherent checks irreflexive(hb) and irreflexive(hb ; eco) with
+// eco = (rf ∪ mo ∪ fr)+.
+func (c *checker) coherent() bool {
+	for a := 0; a < c.n; a++ {
+		if c.hb[a][a] {
+			return false
+		}
+	}
+	eco := mat(c.n)
+	for r := 0; r < c.n; r++ {
+		if !c.isRead(r) {
+			continue
+		}
+		if src := c.x.RF[r]; src != mem.InitWrite {
+			eco[src][r] = true
+		}
+		for _, w := range c.x.FRSuccessors(r) {
+			eco[r][w] = true
+		}
+	}
+	for w1 := 0; w1 < c.n; w1++ {
+		if !c.isWrite(w1) {
+			continue
+		}
+		for w2 := 0; w2 < c.n; w2++ {
+			if w1 != w2 && c.isWrite(w2) && c.x.SameLoc(w1, w2) && c.x.MOBefore(w1, w2) {
+				eco[w1][w2] = true
+			}
+		}
+	}
+	closure(eco)
+	for a := 0; a < c.n; a++ {
+		for b := 0; b < c.n; b++ {
+			if c.hb[a][b] && eco[b][a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// moLT compares two write GIDs (or mem.InitWrite) in coherence order at a
+// shared location; init precedes every real write.
+func (c *checker) moLT(a, b int) bool {
+	if a == mem.InitWrite {
+		return b != mem.InitWrite
+	}
+	if b == mem.InitWrite {
+		return false
+	}
+	return c.x.MOBefore(a, b)
+}
+
+// scConsistent searches for a strict total order S over all SC events that
+// satisfies the original C11 SC axioms.
+func (c *checker) scConsistent() bool {
+	var sc []int
+	for g := 0; g < c.n; g++ {
+		if c.p.ord[g] == SC {
+			sc = append(sc, g)
+		}
+	}
+	if len(sc) <= 1 {
+		return true
+	}
+	k := len(sc)
+	idxOf := map[int]int{}
+	for i, g := range sc {
+		idxOf[g] = i
+	}
+	// Forced edges: S consistent with hb, with mo between same-location SC
+	// writes, and with rf between SC events.
+	must := make([][]bool, k)
+	for i := range must {
+		must[i] = make([]bool, k)
+	}
+	for i, a := range sc {
+		for j, b := range sc {
+			if i == j {
+				continue
+			}
+			if c.hb[a][b] {
+				must[i][j] = true
+			}
+			if c.isWrite(a) && c.isWrite(b) && c.x.SameLoc(a, b) && c.x.MOBefore(a, b) {
+				must[i][j] = true
+			}
+		}
+	}
+	for _, b := range sc {
+		if c.isRead(b) {
+			if src := c.x.RF[b]; src != mem.InitWrite {
+				if i, isSC := idxOf[src]; isSC {
+					must[i][idxOf[b]] = true
+				}
+			}
+		}
+	}
+	// Enumerate linear extensions of must; accept if any satisfies the SC
+	// read and fence restrictions.
+	order := make([]int, 0, k)
+	used := make([]bool, k)
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == k {
+			return c.scOrderOK(sc, order)
+		}
+		for i := 0; i < k; i++ {
+			if used[i] {
+				continue
+			}
+			ok := true
+			for j := 0; j < k; j++ {
+				if !used[j] && j != i && must[j][i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			order = append(order, i)
+			if rec() {
+				return true
+			}
+			order = order[:len(order)-1]
+			used[i] = false
+		}
+		return false
+	}
+	return rec()
+}
+
+// scOrderOK checks the value restrictions of a complete candidate S.
+// order[pos] = index into sc.
+func (c *checker) scOrderOK(sc []int, order []int) bool {
+	k := len(sc)
+	pos := make([]int, k)
+	for p, i := range order {
+		pos[i] = p
+	}
+	idxOf := map[int]int{}
+	for i, g := range sc {
+		idxOf[g] = i
+	}
+	scPos := func(g int) (int, bool) {
+		i, ok := idxOf[g]
+		if !ok {
+			return 0, false
+		}
+		return pos[i], true
+	}
+	// (d) SC read restriction: an SC read r of location l must not read a
+	// value older than the last SC write to l preceding r in S.
+	for _, r := range sc {
+		if !c.isRead(r) {
+			continue
+		}
+		rp, _ := scPos(r)
+		src := c.x.RF[r]
+		for _, w := range sc {
+			if w == r || !c.isWrite(w) || !c.x.SameLoc(w, r) {
+				continue
+			}
+			wp, _ := scPos(w)
+			if wp < rp && w != src && c.moLT(src, w) {
+				return false
+			}
+		}
+	}
+	// Fence rules, C++11 [atomics.order] p4–p6. B ranges over all atomic
+	// reads (not only SC ones).
+	for b := 0; b < c.n; b++ {
+		if !c.isRead(b) || !c.atomic(b) {
+			continue
+		}
+		src := c.x.RF[b]
+		// p4: X SC fence sequenced before B: B must not observe a value
+		// older than the last same-location SC write preceding X in S.
+		for _, xf := range sc {
+			if !c.isFence(xf) || !c.sb[xf][b] {
+				continue
+			}
+			xp, _ := scPos(xf)
+			for _, w := range sc {
+				if !c.isWrite(w) || !c.x.SameLoc(w, b) {
+					continue
+				}
+				wp, _ := scPos(w)
+				if wp < xp && w != src && c.moLT(src, w) {
+					return false
+				}
+			}
+		}
+		// p5: atomic write A sequenced before SC fence X, B an SC read with
+		// X before B in S: B observes A or something mo-later.
+		if bp, bSC := scPos(b); bSC {
+			for _, xf := range sc {
+				if !c.isFence(xf) {
+					continue
+				}
+				xp, _ := scPos(xf)
+				if xp >= bp {
+					continue
+				}
+				for a := 0; a < c.n; a++ {
+					if c.isWrite(a) && c.atomic(a) && c.x.SameLoc(a, b) && c.sb[a][xf] && a != src && c.moLT(src, a) {
+						return false
+					}
+				}
+			}
+		}
+		// p6: write A sb X (SC fence), Y (SC fence) sb B, X before Y in S:
+		// B observes A or something mo-later.
+		for _, yf := range sc {
+			if !c.isFence(yf) || !c.sb[yf][b] {
+				continue
+			}
+			yp, _ := scPos(yf)
+			for _, xf := range sc {
+				if !c.isFence(xf) || xf == yf {
+					continue
+				}
+				xp, _ := scPos(xf)
+				if xp >= yp {
+					continue
+				}
+				for a := 0; a < c.n; a++ {
+					if c.isWrite(a) && c.atomic(a) && c.x.SameLoc(a, b) && c.sb[a][xf] && a != src && c.moLT(src, a) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// naReadsVisible enforces that non-atomic reads observe a visible side
+// effect: a write w with w hb r and no same-location write hb-between.
+func (c *checker) naReadsVisible() bool {
+	for r := 0; r < c.n; r++ {
+		if !c.isRead(r) || c.atomic(r) {
+			continue
+		}
+		src := c.x.RF[r]
+		if src == mem.InitWrite {
+			// Init is visible unless some same-location write happens
+			// before r.
+			for w := 0; w < c.n; w++ {
+				if c.isWrite(w) && c.x.SameLoc(w, r) && c.hb[w][r] {
+					return false
+				}
+			}
+			continue
+		}
+		if !c.hb[src][r] {
+			return false
+		}
+		for w := 0; w < c.n; w++ {
+			if w != src && c.isWrite(w) && c.x.SameLoc(w, r) && c.hb[src][w] && c.hb[w][r] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// hasRace reports a data race: two concurrent same-location accesses, at
+// least one a write and at least one non-atomic, unordered by hb.
+func (c *checker) hasRace() bool {
+	for a := 0; a < c.n; a++ {
+		if c.isFence(a) {
+			continue
+		}
+		for b := a + 1; b < c.n; b++ {
+			if c.isFence(b) || c.ev[a].Thread == c.ev[b].Thread {
+				continue
+			}
+			if !c.x.SameLoc(a, b) {
+				continue
+			}
+			if !c.isWrite(a) && !c.isWrite(b) {
+				continue
+			}
+			if c.atomic(a) && c.atomic(b) {
+				continue
+			}
+			if !c.hb[a][b] && !c.hb[b][a] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+package c11
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tricheck/internal/mem"
+)
+
+// Tests for the original-C11 SC axioms: the total order S, the SC-read
+// restriction, and the [atomics.order] p4–p6 fence rules — each pinned by
+// a litmus test that distinguishes it.
+
+// TestSCReadRestriction: an SC read must not observe a value older than
+// the last same-location SC write preceding it in S.
+func TestSCReadRestriction(t *testing.T) {
+	// T0: st(x,1,sc). T1: st(x,2,sc); r0=ld(x,sc).
+	// T1's read follows its own SC write in S (sb ⊆ hb consistency), so it
+	// can never return the init value 0, and returning 1 requires
+	// mo(2) < mo(1)... which CoWW+S ordering also constrains.
+	p := New(1, "x")
+	x := mem.Const(0)
+	p.Store(0, SC, x, mem.Const(1))
+	p.Store(1, SC, x, mem.Const(2))
+	p.Load(1, SC, x, 0)
+	p.Observe(1, 0, "r0")
+	res, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed["r0=0"] {
+		t.Error("SC read observed init past its own thread's SC write")
+	}
+	if !res.Allowed["r0=2"] {
+		t.Error("reading the own write must be allowed")
+	}
+	if !res.Allowed["r0=1"] {
+		t.Error("reading T0's write (mo-after own) must be allowed")
+	}
+}
+
+// TestP5WriteBeforeFence: atomic write A sequenced before an SC fence X,
+// SC read B with X <S B must observe A or something newer.
+func TestP5WriteBeforeFence(t *testing.T) {
+	// T0: st(x,1,rlx); fence(sc); st(y,1,sc). T1: r0=ld(y,sc); r1=ld(x,sc).
+	// If T1 sees y==1: Wy <S r0 forces X <S r0 (hb: X sb Wy... X <S via
+	// hb-consistency through S on {X, Wy, r0, r1}), and p5 then forbids
+	// r1 reading init.
+	p := New(2, "x", "y")
+	x, y := mem.Const(0), mem.Const(1)
+	p.Store(0, Rlx, x, mem.Const(1))
+	p.FenceOp(0, SC)
+	p.Store(0, SC, y, mem.Const(1))
+	p.Load(1, SC, y, 0)
+	p.Load(1, SC, x, 1)
+	p.Observe(1, 0, "r0")
+	p.Observe(1, 1, "r1")
+	res, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed["r0=1; r1=0"] {
+		t.Error("p5: SC read after the fence in S must observe the pre-fence write")
+	}
+}
+
+// TestP4FenceBeforeRead: a read sequenced after an SC fence X must not
+// observe a value older than the last same-location SC write before X in S.
+func TestP4FenceBeforeRead(t *testing.T) {
+	// T0: st(x,1,sc). T1: fence(sc); r0=ld(x,rlx).
+	// In executions whose S places Wx before the fence, the relaxed read
+	// must see 1. Since S can also place the fence first, r0=0 stays
+	// allowed overall — p4 is existential over S. To pin p4 we must force
+	// the S order: have T1 first SC-read a flag written after Wx... Use:
+	// T0: st(x,1,sc); st(y,1,sc). T1: r0=ld(y,sc); fence(sc); r1=ld(x,rlx).
+	p := New(2, "x", "y")
+	x, y := mem.Const(0), mem.Const(1)
+	p.Store(0, SC, x, mem.Const(1))
+	p.Store(0, SC, y, mem.Const(1))
+	p.Load(1, SC, y, 0)
+	p.FenceOp(1, SC)
+	p.Load(1, Rlx, x, 1)
+	p.Observe(1, 0, "r0")
+	p.Observe(1, 1, "r1")
+	res, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r0=1 ⇒ Wy <S r0 <S fence (hb), and Wx <S Wy (hb) ⇒ Wx <S fence:
+	// p4 forbids the stale r1=0.
+	if res.Allowed["r0=1; r1=0"] {
+		t.Error("p4: relaxed read after SC fence must see SC writes ordered before the fence")
+	}
+	if !res.Allowed["r0=0; r1=0"] {
+		t.Error("without the flag the stale read stays allowed")
+	}
+}
+
+// TestP6FencePair is the SB-with-fences case: writes before SC fences,
+// reads after them, fence order forcing visibility.
+func TestP6FencePair(t *testing.T) {
+	p := New(2, "x", "y")
+	x, y := mem.Const(0), mem.Const(1)
+	p.Store(0, Rlx, x, mem.Const(1))
+	p.FenceOp(0, SC)
+	p.Load(0, Rlx, y, 0)
+	p.Store(1, Rlx, y, mem.Const(1))
+	p.FenceOp(1, SC)
+	p.Load(1, Rlx, x, 1)
+	p.Observe(0, 0, "r0")
+	p.Observe(1, 1, "r1")
+	res, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed["r0=0; r1=0"] {
+		t.Error("p6: SB through SC fences must be forbidden")
+	}
+	if !res.Allowed["r0=1; r1=1"] {
+		t.Error("benign SB outcome must stay allowed")
+	}
+}
+
+// TestSTotalOrderConsistentWithHB: hb between SC events (even through
+// non-SC intermediaries) constrains S — the property the RWC count
+// depends on.
+func TestSTotalOrderConsistentWithHB(t *testing.T) {
+	// T0: st(x,1,sc). T1: r0=ld(x,acq); r1=ld(y,sc). T2: st(y,1,sc);
+	// r2=ld(x,sc). RWC forbidden iff the acquire load creates
+	// hb(Wx, r1) forcing Wx <S r1.
+	p := New(2, "x", "y")
+	x, y := mem.Const(0), mem.Const(1)
+	p.Store(0, SC, x, mem.Const(1))
+	p.Load(1, Acq, x, 0)
+	p.Load(1, SC, y, 1)
+	p.Store(2, SC, y, mem.Const(1))
+	p.Load(2, SC, x, 2)
+	p.Observe(1, 0, "r0")
+	p.Observe(1, 1, "r1")
+	p.Observe(2, 2, "r2")
+	res, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed["r0=1; r1=0; r2=0"] {
+		t.Error("S must respect hb through the acquire load (RWC mechanism)")
+	}
+	// With a relaxed first load there is no hb into r1: allowed.
+	p2 := New(2, "x", "y")
+	p2.Store(0, SC, x, mem.Const(1))
+	p2.Load(1, Rlx, x, 0)
+	p2.Load(1, SC, y, 1)
+	p2.Store(2, SC, y, mem.Const(1))
+	p2.Load(2, SC, x, 2)
+	p2.Observe(1, 0, "r0")
+	p2.Observe(1, 1, "r1")
+	p2.Observe(2, 2, "r2")
+	res2, err := Evaluate(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Allowed["r0=1; r1=0; r2=0"] {
+		t.Error("without hb into the SC read, some S order must allow RWC")
+	}
+}
+
+// TestQuickStrengtheningShrinksAllowed: replacing one memory order by a
+// stronger one never enlarges the allowed outcome set (C11 monotonicity).
+func TestQuickStrengtheningShrinksAllowed(t *testing.T) {
+	build := func(orders [4]Order) *Program {
+		p := New(2, "x", "y")
+		x, y := mem.Const(0), mem.Const(1)
+		p.Store(0, orders[0], x, mem.Const(1))
+		p.Store(0, orders[1], y, mem.Const(1))
+		p.Load(1, orders[2], y, 0)
+		p.Load(1, orders[3], x, 1)
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	}
+	strengthen := map[Order]Order{Rlx: Rel, Rel: SC, Acq: SC, SC: SC}
+	strengthenLoad := map[Order]Order{Rlx: Acq, Acq: SC, SC: SC}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		stores := []Order{Rlx, Rel, SC}
+		loads := []Order{Rlx, Acq, SC}
+		orders := [4]Order{
+			stores[rng.Intn(3)], stores[rng.Intn(3)],
+			loads[rng.Intn(3)], loads[rng.Intn(3)],
+		}
+		slot := rng.Intn(4)
+		stronger := orders
+		if slot < 2 {
+			stronger[slot] = strengthen[orders[slot]]
+		} else {
+			stronger[slot] = strengthenLoad[orders[slot]]
+		}
+		weak, err := Evaluate(build(orders))
+		if err != nil {
+			return false
+		}
+		strong, err := Evaluate(build(stronger))
+		if err != nil {
+			return false
+		}
+		for o := range strong.Allowed {
+			if !weak.Allowed[o] {
+				t.Logf("orders %v slot %d: %q allowed only when stronger", orders, slot, o)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRMWAtC11Level: a successful RMW chains release sequences and
+// synchronizes as both acquire and release with AcqRel.
+func TestRMWAtC11Level(t *testing.T) {
+	// T0: st(d,1,na-free rlx); st(x,1,rel). T1: rmw(x,+1,acq_rel).
+	// T2: r=ld(x,acq)==2; r2=ld(d,rlx) must see 1 (sync through the RMW).
+	p := New(2, "d", "x")
+	d, x := mem.Const(0), mem.Const(1)
+	p.Store(0, Rlx, d, mem.Const(1))
+	p.Store(0, Rel, x, mem.Const(1))
+	p.RMW(1, AcqRel, x, mem.Const(1), 0, mem.RMWAdd)
+	p.Load(2, Acq, x, 1)
+	p.Load(2, Rlx, d, 2)
+	p.Observe(2, 1, "rx")
+	p.Observe(2, 2, "rd")
+	res, err := Evaluate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed["rx=2; rd=0"] {
+		t.Error("acquire of the RMW's value must synchronize transitively with T0's release")
+	}
+	if !res.Allowed["rx=2; rd=1"] {
+		t.Error("the synchronized outcome must be allowed")
+	}
+}

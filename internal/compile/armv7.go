@@ -1,0 +1,49 @@
+package compile
+
+import "tricheck/internal/isa"
+
+// ARMv7 mappings. ARMv7 has no lightweight fence: dmb is a full cumulative
+// heavyweight barrier (≈ Power sync), and the ctrl+isb idiom matches
+// ctrl+isync. These mappings make the paper's Figure 1/2 story executable
+// end to end: ARMv7Standard compiles relaxed atomics to bare accesses and
+// is exposed to the Cortex-A9 load→load hazard; ARMv7HazardFix adds ARM's
+// recommended dmb after every atomic load (the workaround whose cost
+// Figure 2 measures).
+var (
+	// ARMv7Standard is the conventional C11 → ARMv7 mapping
+	// (dmb-based; see Sewell et al.'s C/C++11 mappings table).
+	ARMv7Standard = &Mapping{
+		Name:        "armv7-standard",
+		Description: "C11 → ARMv7: dmb-based mapping (pre-hazard-fix)",
+		Arch:        isa.ARMv7,
+		LoadRlx:     Recipe{Access()},
+		LoadAcq:     Recipe{Access(), HWF()}, // ld; dmb
+		LoadSC:      Recipe{Access(), HWF()},
+		StoreRlx:    Recipe{Access()},
+		StoreRel:    Recipe{HWF(), Access()},        // dmb; st
+		StoreSC:     Recipe{HWF(), Access(), HWF()}, // dmb; st; dmb
+		FenceAcq:    Recipe{HWF()},
+		FenceRel:    Recipe{HWF()},
+		FenceAcqRel: Recipe{HWF()},
+		FenceSC:     Recipe{HWF()},
+	}
+
+	// ARMv7HazardFix additionally issues a dmb immediately after relaxed
+	// atomic loads, per ARM's Cortex-A9 read-after-read advice (Section
+	// 2.1): binary patching was infeasible, so the compiler pays instead.
+	ARMv7HazardFix = &Mapping{
+		Name:        "armv7-hazard-fix",
+		Description: "ARMv7 mapping with dmb after relaxed loads (ARM's ld→ld hazard fix)",
+		Arch:        isa.ARMv7,
+		LoadRlx:     Recipe{Access(), HWF()},
+		LoadAcq:     Recipe{Access(), HWF()},
+		LoadSC:      Recipe{Access(), HWF()},
+		StoreRlx:    Recipe{Access()},
+		StoreRel:    Recipe{HWF(), Access()},
+		StoreSC:     Recipe{HWF(), Access(), HWF()},
+		FenceAcq:    Recipe{HWF()},
+		FenceRel:    Recipe{HWF()},
+		FenceAcqRel: Recipe{HWF()},
+		FenceSC:     Recipe{HWF()},
+	}
+)

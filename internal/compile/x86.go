@@ -1,0 +1,29 @@
+package compile
+
+import "tricheck/internal/isa"
+
+// X86TSO is the standard C11 → x86 mapping (Sewell et al.'s mappings
+// table): TSO hardware already provides acquire/release ordering, so loads
+// and stores compile bare and only SC stores need an mfence (modelled as a
+// plain non-cumulative full fence — cumulativity is vacuous on an rMCA
+// machine). It pairs with the uspec.TSO model; the Figure 15 machinery then
+// shows the classic result that the only weak behaviour x86 exhibits is
+// store buffering.
+//
+// The ISA vocabulary reuses isa.RISCV opcodes (plain loads/stores/fences);
+// only the mnemonics differ, which no analysis here depends on.
+var X86TSO = &Mapping{
+	Name:        "x86-tso",
+	Description: "C11 → x86: bare accesses, mfence after SC stores",
+	Arch:        isa.RISCV,
+	LoadRlx:     Recipe{Access()},
+	LoadAcq:     Recipe{Access()},
+	LoadSC:      Recipe{Access()},
+	StoreRlx:    Recipe{Access()},
+	StoreRel:    Recipe{Access()},
+	StoreSC:     Recipe{Access(), F(isa.ClassRW, isa.ClassRW)}, // st; mfence
+	FenceAcq:    Recipe{F(isa.ClassR, isa.ClassRW)},
+	FenceRel:    Recipe{F(isa.ClassRW, isa.ClassW)},
+	FenceAcqRel: Recipe{F(isa.ClassRW, isa.ClassRW)},
+	FenceSC:     Recipe{F(isa.ClassRW, isa.ClassRW)},
+}

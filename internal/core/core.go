@@ -1,0 +1,323 @@
+// Package core implements the TriCheck engine: the four-step toolflow of
+// the paper's Figure 6.
+//
+//  1. HLL AXIOMATIC EVALUATION — run the C11 litmus test on the C11 model
+//     (internal/c11) to classify every candidate outcome as permitted or
+//     forbidden.
+//  2. HLL→ISA COMPILATION — lower the test through a compiler mapping
+//     (internal/compile).
+//  3. ISA µSPEC EVALUATION — run the compiled test on a microarchitecture
+//     model (internal/uspec) to classify every outcome as observable or
+//     unobservable.
+//  4. EQUIVALENCE CHECK — compare: an outcome forbidden by the HLL yet
+//     observable is a Bug; permitted yet unobservable is Overly Strict;
+//     otherwise the stack is Equivalent on this test.
+//
+// The Engine caches step 1 per test so that sweeping many (mapping, model)
+// stacks — as Figure 15 does — pays for the C11 evaluation once.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+	"tricheck/internal/uspec"
+)
+
+// Stack is one full-stack configuration: a compiler mapping plus a
+// microarchitecture model (the ISA MCM is embodied in both).
+type Stack struct {
+	Mapping *compile.Mapping
+	Model   *uspec.Model
+}
+
+// Name renders the stack for reports.
+func (s Stack) Name() string {
+	return fmt.Sprintf("%s+%s", s.Mapping.Name, s.Model.FullName())
+}
+
+// Verdict classifies a test against a stack (Figure 6's comparison matrix).
+type Verdict uint8
+
+// Verdicts, ordered by severity.
+const (
+	// Equivalent: observable outcomes exactly match C11-permitted ones.
+	Equivalent Verdict = iota
+	// OverlyStrict: no bug, but some C11-permitted outcome is
+	// unobservable (lost performance/flexibility, not a correctness bug).
+	OverlyStrict
+	// Bug: some C11-forbidden outcome is observable on the implementation.
+	Bug
+)
+
+// String names the verdict like the paper's charts.
+func (v Verdict) String() string {
+	switch v {
+	case Bug:
+		return "Bug"
+	case OverlyStrict:
+		return "OverlyStrict"
+	default:
+		return "Equivalent"
+	}
+}
+
+// TestResult is the full-stack verdict for one litmus test.
+type TestResult struct {
+	Test  *litmus.Test
+	Stack Stack
+	// Allowed is C11's permitted outcome set; Observable the µspec model's.
+	Allowed    map[mem.Outcome]bool
+	Observable map[mem.Outcome]bool
+	// BugOutcomes are forbidden-yet-observable; StrictOutcomes are
+	// permitted-yet-unobservable. Sorted for determinism.
+	BugOutcomes    []mem.Outcome
+	StrictOutcomes []mem.Outcome
+	Verdict        Verdict
+	// SpecifiedBug reports whether the test's designated interesting
+	// outcome is itself forbidden-yet-observable (the counting used for
+	// the paper's headline "144 outcomes ... out of 1,701 tests").
+	SpecifiedBug bool
+	// SpecifiedAllowed / SpecifiedObservable classify the designated
+	// outcome on each side.
+	SpecifiedAllowed    bool
+	SpecifiedObservable bool
+	// Racy reports HLL undefined behaviour (every outcome then allowed).
+	Racy bool
+}
+
+// Engine runs the toolflow, caching HLL evaluations across stacks.
+type Engine struct {
+	mu  sync.Mutex
+	hll map[string]*c11.Result
+}
+
+// NewEngine returns an Engine with an empty HLL cache.
+func NewEngine() *Engine {
+	return &Engine{hll: map[string]*c11.Result{}}
+}
+
+// HLL returns the (cached) step-1 C11 evaluation of a test.
+func (e *Engine) HLL(t *litmus.Test) (*c11.Result, error) {
+	e.mu.Lock()
+	r, ok := e.hll[t.Name]
+	e.mu.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := c11.Evaluate(t.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: HLL evaluation of %s: %w", t.Name, err)
+	}
+	e.mu.Lock()
+	e.hll[t.Name] = r
+	e.mu.Unlock()
+	return r, nil
+}
+
+// Run executes toolflow steps 1–4 for one test and stack.
+func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
+	hll, err := e.HLL(t) // step 1
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compile.Compile(s.Mapping, t.Prog) // step 2
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s with %s: %w", t.Name, s.Mapping.Name, err)
+	}
+	isaRes, err := s.Model.Evaluate(prog) // step 3
+	if err != nil {
+		return nil, fmt.Errorf("core: µspec evaluation of %s on %s: %w", t.Name, s.Model.FullName(), err)
+	}
+	return compare(t, s, hll, isaRes), nil // step 4
+}
+
+// compare implements step 4, the equivalence check.
+func compare(t *litmus.Test, s Stack, hll *c11.Result, isaRes *uspec.Result) *TestResult {
+	r := &TestResult{
+		Test:       t,
+		Stack:      s,
+		Allowed:    hll.Allowed,
+		Observable: isaRes.Observable,
+		Racy:       hll.Racy,
+	}
+	universe := map[mem.Outcome]bool{}
+	for o := range hll.All {
+		universe[o] = true
+	}
+	for o := range isaRes.All {
+		universe[o] = true
+	}
+	for o := range universe {
+		switch {
+		case isaRes.Observable[o] && !hll.Allowed[o]:
+			r.BugOutcomes = append(r.BugOutcomes, o)
+		case hll.Allowed[o] && !isaRes.Observable[o]:
+			r.StrictOutcomes = append(r.StrictOutcomes, o)
+		}
+	}
+	sortOutcomes(r.BugOutcomes)
+	sortOutcomes(r.StrictOutcomes)
+	switch {
+	case len(r.BugOutcomes) > 0:
+		r.Verdict = Bug
+	case len(r.StrictOutcomes) > 0:
+		r.Verdict = OverlyStrict
+	default:
+		r.Verdict = Equivalent
+	}
+	r.SpecifiedAllowed = hll.Allowed[t.Specified]
+	r.SpecifiedObservable = isaRes.Observable[t.Specified]
+	r.SpecifiedBug = r.SpecifiedObservable && !r.SpecifiedAllowed
+	return r
+}
+
+func sortOutcomes(os []mem.Outcome) {
+	sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+}
+
+// Tally counts verdicts.
+type Tally struct {
+	Total, Bugs, Strict, Equivalent int
+	// SpecifiedBugs counts tests whose designated outcome was
+	// forbidden-yet-observable (the paper's headline counting).
+	SpecifiedBugs int
+}
+
+// Add accumulates one result.
+func (t *Tally) Add(r *TestResult) {
+	t.Total++
+	switch r.Verdict {
+	case Bug:
+		t.Bugs++
+	case OverlyStrict:
+		t.Strict++
+	default:
+		t.Equivalent++
+	}
+	if r.SpecifiedBug {
+		t.SpecifiedBugs++
+	}
+}
+
+// SuiteResult aggregates a suite run on one stack.
+type SuiteResult struct {
+	Stack    Stack
+	Results  []*TestResult
+	Tally    Tally
+	ByFamily map[string]*Tally
+}
+
+// FamilyNames returns the family keys in sorted order.
+func (s *SuiteResult) FamilyNames() []string {
+	var names []string
+	for n := range s.ByFamily {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunSuite runs every test against the stack with the given parallelism
+// (0 = GOMAXPROCS). Results keep the input order.
+func (e *Engine) RunSuite(tests []*litmus.Test, s Stack, workers int) (*SuiteResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*TestResult, len(tests))
+	errs := make([]error, len(tests))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, t := range tests {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t *litmus.Test) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Run(t, s)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &SuiteResult{Stack: s, Results: results, ByFamily: map[string]*Tally{}}
+	for _, r := range results {
+		out.Tally.Add(r)
+		fam := out.ByFamily[r.Test.Shape.Name]
+		if fam == nil {
+			fam = &Tally{}
+			out.ByFamily[r.Test.Shape.Name] = fam
+		}
+		fam.Add(r)
+	}
+	return out, nil
+}
+
+// Sweep runs the suite over many stacks, reusing the HLL cache.
+func (e *Engine) Sweep(tests []*litmus.Test, stacks []Stack, workers int) ([]*SuiteResult, error) {
+	var out []*SuiteResult
+	for _, s := range stacks {
+		r, err := e.RunSuite(tests, s, workers)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RISCVStacks builds the paper's Figure 15 stack matrix for one ISA flavour
+// (base or Base+A) and MCM version (riscv-curr pairs the intuitive mapping
+// with Curr models; riscv-ours pairs the refined mapping with Ours models).
+func RISCVStacks(base bool, variant uspec.Variant) []Stack {
+	var m *compile.Mapping
+	switch {
+	case base && variant == uspec.Curr:
+		m = compile.RISCVBaseIntuitive
+	case base && variant == uspec.Ours:
+		m = compile.RISCVBaseRefined
+	case !base && variant == uspec.Curr:
+		m = compile.RISCVAtomicsIntuitive
+	default:
+		m = compile.RISCVAtomicsRefined
+	}
+	var out []Stack
+	for _, model := range uspec.Models(variant) {
+		out = append(out, Stack{Mapping: m, Model: model})
+	}
+	return out
+}
+
+// Diagnose explains a result's first bug (or strict) outcome by extracting
+// a µhb witness or cycle — the information a designer uses in the
+// REFINEMENT step of Figure 6.
+func (e *Engine) Diagnose(r *TestResult) (string, error) {
+	prog, err := compile.Compile(r.Stack.Mapping, r.Test.Prog)
+	if err != nil {
+		return "", err
+	}
+	var target mem.Outcome
+	var kind string
+	switch {
+	case len(r.BugOutcomes) > 0:
+		target, kind = r.BugOutcomes[0], "bug (forbidden by C11, observable on hardware)"
+	case len(r.StrictOutcomes) > 0:
+		target, kind = r.StrictOutcomes[0], "overly strict (allowed by C11, unobservable)"
+	default:
+		return fmt.Sprintf("%s on %s: equivalent", r.Test.Name, r.Stack.Name()), nil
+	}
+	_, why, err := r.Stack.Model.Explain(prog, target)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s on %s: %s outcome %q\n  %s", r.Test.Name, r.Stack.Name(), kind, target, why), nil
+}

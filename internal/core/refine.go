@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+	"tricheck/internal/uspec"
+)
+
+// This file automates the REFINEMENT step of the paper's Figure 6: when a
+// bug (or over-strictness) is found, the designer modifies the HLL model,
+// the compiler mapping, the ISA MCM or the implementation and reruns.
+// SuggestFixes tries the repository's refinement lattice — the paper's
+// proposed mapping and ISA/model changes, individually and combined — and
+// reports which ones repair the finding.
+
+// Fix describes one candidate refinement and its effect.
+type Fix struct {
+	// Description says what was changed, in the paper's terms.
+	Description string
+	// Stack is the refined configuration.
+	Stack Stack
+	// Verdict is the test's verdict after the refinement.
+	Verdict Verdict
+	// Repairs reports whether the refinement eliminated the original
+	// problem (the bug, or for strict findings the strictness) without
+	// introducing a bug.
+	Repairs bool
+}
+
+// refinedMapping returns the paper's refined counterpart of a mapping, or
+// nil if none is shipped.
+func refinedMapping(m *compile.Mapping) *compile.Mapping {
+	switch m {
+	case compile.RISCVBaseIntuitive:
+		return compile.RISCVBaseRefined
+	case compile.RISCVAtomicsIntuitive:
+		return compile.RISCVAtomicsRefined
+	case compile.PowerTrailingSync:
+		return compile.PowerLeadingSync
+	case compile.ARMv7Standard:
+		return compile.ARMv7HazardFix
+	}
+	return nil
+}
+
+// refinedModel returns the riscv-ours counterpart of a Table 7 model, or a
+// hardware-repaired counterpart for the Power/ARM models.
+func refinedModel(m *uspec.Model) *uspec.Model {
+	if m.Variant == uspec.Curr {
+		if r := uspec.ModelByName(m.Name, uspec.Ours); r != nil {
+			return r
+		}
+	}
+	if m.Name == "PowerA9" {
+		return uspec.PowerA9Fixed()
+	}
+	return nil
+}
+
+// SuggestFixes runs the refinement lattice for a finding. It returns the
+// candidate fixes in the order tried: mapping-only, model-only, combined.
+func (e *Engine) SuggestFixes(t *litmus.Test, s Stack) ([]Fix, error) {
+	baseline, err := e.Run(t, s)
+	if err != nil {
+		return nil, err
+	}
+	if baseline.Verdict == Equivalent {
+		return nil, nil
+	}
+	repairs := func(r *TestResult) bool {
+		if baseline.Verdict == Bug {
+			return r.Verdict != Bug
+		}
+		return r.Verdict == Equivalent
+	}
+	var fixes []Fix
+	try := func(desc string, stack Stack) error {
+		r, err := e.Run(t, stack)
+		if err != nil {
+			return err
+		}
+		fixes = append(fixes, Fix{
+			Description: desc,
+			Stack:       stack,
+			Verdict:     r.Verdict,
+			Repairs:     repairs(r),
+		})
+		return nil
+	}
+	rm := refinedMapping(s.Mapping)
+	rmod := refinedModel(s.Model)
+	if rm != nil {
+		if err := try(fmt.Sprintf("refine the compiler mapping (%s → %s)", s.Mapping.Name, rm.Name),
+			Stack{Mapping: rm, Model: s.Model}); err != nil {
+			return nil, err
+		}
+	}
+	if rmod != nil {
+		if err := try(fmt.Sprintf("refine the ISA MCM / hardware (%s → %s)", s.Model.FullName(), rmod.FullName()),
+			Stack{Mapping: s.Mapping, Model: rmod}); err != nil {
+			return nil, err
+		}
+	}
+	if rm != nil && rmod != nil {
+		if err := try("refine both the mapping and the ISA MCM / hardware",
+			Stack{Mapping: rm, Model: rmod}); err != nil {
+			return nil, err
+		}
+	}
+	return fixes, nil
+}
+
+// MappingAudit is the result of auditing one compiler mapping against one
+// microarchitecture over a test suite (the Section 7 workflow).
+type MappingAudit struct {
+	Stack Stack
+	// Counterexamples are the tests whose verdict is Bug.
+	Counterexamples []*TestResult
+	// ByFamily tallies counterexamples per litmus family.
+	ByFamily map[string]int
+	// Total is the number of tests audited.
+	Total int
+}
+
+// AuditMapping sweeps the suite and collects every Bug verdict — the
+// counterexample list a compiler-mapping proof would have to explain away.
+func (e *Engine) AuditMapping(tests []*litmus.Test, s Stack, workers int) (*MappingAudit, error) {
+	res, err := e.RunSuite(tests, s, workers)
+	if err != nil {
+		return nil, err
+	}
+	audit := &MappingAudit{Stack: s, ByFamily: map[string]int{}, Total: len(tests)}
+	for _, r := range res.Results {
+		if r.Verdict == Bug {
+			audit.Counterexamples = append(audit.Counterexamples, r)
+			audit.ByFamily[r.Test.Shape.Name]++
+		}
+	}
+	return audit, nil
+}
+
+// Clean reports whether the audit found no counterexamples.
+func (a *MappingAudit) Clean() bool { return len(a.Counterexamples) == 0 }
+
+// String summarises the audit.
+func (a *MappingAudit) String() string {
+	if a.Clean() {
+		return fmt.Sprintf("%s: clean on %d tests", a.Stack.Name(), a.Total)
+	}
+	var fams []string
+	for f, n := range a.ByFamily {
+		fams = append(fams, fmt.Sprintf("%s:%d", f, n))
+	}
+	sort.Strings(fams)
+	return fmt.Sprintf("%s: %d counterexamples on %d tests (%s)",
+		a.Stack.Name(), len(a.Counterexamples), a.Total, strings.Join(fams, ", "))
+}
+
+// FormatFixes renders a fix report.
+func FormatFixes(t *litmus.Test, baseline Verdict, fixes []Fix) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: baseline verdict %v\n", t.Name, baseline)
+	if len(fixes) == 0 {
+		b.WriteString("  no applicable refinements shipped\n")
+		return b.String()
+	}
+	for _, f := range fixes {
+		status := "does NOT repair"
+		if f.Repairs {
+			status = "repairs"
+		}
+		fmt.Fprintf(&b, "  %-11s → %-13v %s\n", status, f.Verdict, f.Description)
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+// Package power provides mnemonic constructors and assembly rendering for
+// the Power (and, by modelling equivalence, ARMv7) instruction subset used
+// in the paper's Section 7 compiler-mapping study.
+//
+// The fence correspondence (Section 2.3.3):
+//
+//	sync      = cumulative heavyweight fence   (ARMv7 dmb)
+//	lwsync    = cumulative lightweight fence   (no ARMv7 equivalent)
+//	ctrlisync = cmp;bc;isync — a non-cumulative load→R/W barrier, modelled
+//	            as FENCE R,RW (ARMv7 ctrlisb = teq;beq;isb)
+package power
+
+import (
+	"fmt"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+)
+
+// LD builds "ld dst, (addr)".
+func LD(dst int, addr mem.Operand) isa.Instr {
+	return isa.Instr{Op: isa.OpLoad, Addr: addr, Dst: dst}
+}
+
+// ST builds "st data, (addr)".
+func ST(data, addr mem.Operand) isa.Instr {
+	return isa.Instr{Op: isa.OpStore, Addr: addr, Data: data, Dst: mem.NoDst}
+}
+
+// Sync builds "hwsync" (cumulative heavyweight).
+func Sync() isa.Instr {
+	return isa.Instr{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassRW, Cum: isa.CumHW, Dst: mem.NoDst}
+}
+
+// Lwsync builds "lwsync" (cumulative lightweight).
+func Lwsync() isa.Instr {
+	return isa.Instr{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassRW, Cum: isa.CumLW, Dst: mem.NoDst}
+}
+
+// CtrlIsync builds the "cmp; bc; isync" sequence: a non-cumulative barrier
+// ordering prior loads before all later accesses.
+func CtrlIsync() isa.Instr {
+	return isa.Instr{Op: isa.OpFence, Pred: isa.ClassR, Succ: isa.ClassRW, Cum: isa.CumNone, Dst: mem.NoDst}
+}
+
+// Asm renders one instruction in Power assembly style.
+func Asm(p *isa.Program, ins *isa.Instr) string {
+	loc := func(o mem.Operand) string {
+		if o.Kind == mem.OpConst {
+			return "(" + p.Mem().LocName(mem.Loc(o.Const)) + ")"
+		}
+		return fmt.Sprintf("(r%d)", o.Reg)
+	}
+	val := func(o mem.Operand) string {
+		if o.Kind == mem.OpConst {
+			return fmt.Sprintf("%d", o.Const)
+		}
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	switch ins.Op {
+	case isa.OpLoad:
+		return fmt.Sprintf("ld r%d, %s", ins.Dst, loc(ins.Addr))
+	case isa.OpStore:
+		return fmt.Sprintf("st %s, %s", val(ins.Data), loc(ins.Addr))
+	case isa.OpFence:
+		switch {
+		case ins.Cum == isa.CumHW:
+			return "hwsync"
+		case ins.Cum == isa.CumLW:
+			return "lwsync"
+		default:
+			return "ctrlisync"
+		}
+	}
+	// Power has lwarx/stwcx loops rather than AMOs; render generically.
+	return p.Render(ins)
+}

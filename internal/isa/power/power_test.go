@@ -1,0 +1,54 @@
+package power
+
+import (
+	"testing"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+)
+
+func TestFenceCorrespondence(t *testing.T) {
+	// Section 2.3.3's correspondence: sync = cumulative heavyweight,
+	// lwsync = cumulative lightweight, ctrlisync = non-cumulative R→RW.
+	if s := Sync(); s.Cum != isa.CumHW || s.Pred != isa.ClassRW || s.Succ != isa.ClassRW {
+		t.Errorf("Sync = %+v", s)
+	}
+	if l := Lwsync(); l.Cum != isa.CumLW {
+		t.Errorf("Lwsync = %+v", l)
+	}
+	if c := CtrlIsync(); c.Cum != isa.CumNone || c.Pred != isa.ClassR || c.Succ != isa.ClassRW {
+		t.Errorf("CtrlIsync = %+v", c)
+	}
+}
+
+func TestAccessConstructors(t *testing.T) {
+	ld := LD(2, mem.Const(0))
+	if ld.Op != isa.OpLoad || ld.Dst != 2 {
+		t.Errorf("LD = %+v", ld)
+	}
+	st := ST(mem.Const(9), mem.Const(0))
+	if st.Op != isa.OpStore || st.Data.Const != 9 {
+		t.Errorf("ST = %+v", st)
+	}
+}
+
+func TestAsmRendering(t *testing.T) {
+	p := isa.NewProgram(isa.Power, 1, "x")
+	cases := []struct {
+		ins  isa.Instr
+		want string
+	}{
+		{LD(0, mem.Const(0)), "ld r0, (x)"},
+		{ST(mem.Const(1), mem.Const(0)), "st 1, (x)"},
+		{Sync(), "hwsync"},
+		{Lwsync(), "lwsync"},
+		{CtrlIsync(), "ctrlisync"},
+	}
+	for _, c := range cases {
+		ins := c.ins
+		p.Add(0, ins)
+		if got := Asm(p, &ins); got != c.want {
+			t.Errorf("Asm = %q, want %q", got, c.want)
+		}
+	}
+}

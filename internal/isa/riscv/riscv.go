@@ -1,0 +1,113 @@
+// Package riscv provides mnemonic constructors and assembly rendering for
+// the RISC-V Base and Base+Atomics instruction subset used by TriCheck
+// (paper Section 4), including the paper's proposed riscv-ours extensions:
+// cumulative lightweight/heavyweight fences and the AMO ".sc" bit that
+// decouples store atomicity from acquire/release semantics.
+package riscv
+
+import (
+	"fmt"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+)
+
+// LW builds "lw dst, (addr)".
+func LW(dst int, addr mem.Operand) isa.Instr {
+	return isa.Instr{Op: isa.OpLoad, Addr: addr, Dst: dst}
+}
+
+// SW builds "sw data, (addr)".
+func SW(data, addr mem.Operand) isa.Instr {
+	return isa.Instr{Op: isa.OpStore, Addr: addr, Data: data, Dst: mem.NoDst}
+}
+
+// Fence builds the Base "fence pred, succ" (non-cumulative).
+func Fence(pred, succ isa.Class) isa.Instr {
+	return isa.Instr{Op: isa.OpFence, Pred: pred, Succ: succ, Cum: isa.CumNone, Dst: mem.NoDst}
+}
+
+// FenceLW builds the paper's proposed cumulative lightweight fence (lwf).
+func FenceLW() isa.Instr {
+	return isa.Instr{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassRW, Cum: isa.CumLW, Dst: mem.NoDst}
+}
+
+// FenceHW builds the paper's proposed cumulative heavyweight fence (hwf).
+func FenceHW() isa.Instr {
+	return isa.Instr{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassRW, Cum: isa.CumHW, Dst: mem.NoDst}
+}
+
+// AMOLoad builds "amoadd.w dst, x0, (addr)" with the given annotation bits:
+// an atomic load implemented as a fetch-and-add of zero (Section 5.2).
+func AMOLoad(dst int, addr mem.Operand, aq, rl, sc bool) isa.Instr {
+	return isa.Instr{Op: isa.OpAMOLoad, Addr: addr, Dst: dst, Aq: aq, Rl: rl, SCBit: sc}
+}
+
+// AMOStore builds "amoswap.w x0, data, (addr)": an atomic store implemented
+// as a swap discarding the old value.
+func AMOStore(data, addr mem.Operand, aq, rl, sc bool) isa.Instr {
+	return isa.Instr{Op: isa.OpAMOStore, Addr: addr, Data: data, Dst: mem.NoDst, Aq: aq, Rl: rl, SCBit: sc}
+}
+
+// AMOSwap builds a general "amoswap.w dst, data, (addr)".
+func AMOSwap(dst int, data, addr mem.Operand, aq, rl, sc bool) isa.Instr {
+	return isa.Instr{Op: isa.OpAMOSwap, Addr: addr, Data: data, Dst: dst, Aq: aq, Rl: rl, SCBit: sc}
+}
+
+// AMOAdd builds a general "amoadd.w dst, data, (addr)".
+func AMOAdd(dst int, data, addr mem.Operand, aq, rl, sc bool) isa.Instr {
+	return isa.Instr{Op: isa.OpAMOAdd, Addr: addr, Data: data, Dst: dst, Aq: aq, Rl: rl, SCBit: sc}
+}
+
+// Asm renders one instruction in RISC-V assembly style. Locations render
+// symbolically: "(x)" stands for a register holding the address of x.
+func Asm(p *isa.Program, ins *isa.Instr) string {
+	loc := func(o mem.Operand) string {
+		if o.Kind == mem.OpConst {
+			return "(" + p.Mem().LocName(mem.Loc(o.Const)) + ")"
+		}
+		return fmt.Sprintf("(r%d)", o.Reg)
+	}
+	val := func(o mem.Operand) string {
+		if o.Kind == mem.OpConst {
+			return fmt.Sprintf("%d", o.Const)
+		}
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	bits := func() string {
+		s := ""
+		if ins.Aq {
+			s += ".aq"
+		}
+		if ins.Rl {
+			s += ".rl"
+		}
+		if ins.SCBit {
+			s += ".sc"
+		}
+		return s
+	}
+	switch ins.Op {
+	case isa.OpLoad:
+		return fmt.Sprintf("lw r%d, %s", ins.Dst, loc(ins.Addr))
+	case isa.OpStore:
+		return fmt.Sprintf("sw %s, %s", val(ins.Data), loc(ins.Addr))
+	case isa.OpAMOLoad:
+		return fmt.Sprintf("amoadd.w%s r%d, x0, %s", bits(), ins.Dst, loc(ins.Addr))
+	case isa.OpAMOStore:
+		return fmt.Sprintf("amoswap.w%s x0, %s, %s", bits(), val(ins.Data), loc(ins.Addr))
+	case isa.OpAMOSwap:
+		return fmt.Sprintf("amoswap.w%s r%d, %s, %s", bits(), ins.Dst, val(ins.Data), loc(ins.Addr))
+	case isa.OpAMOAdd:
+		return fmt.Sprintf("amoadd.w%s r%d, %s, %s", bits(), ins.Dst, val(ins.Data), loc(ins.Addr))
+	case isa.OpFence:
+		switch ins.Cum {
+		case isa.CumLW:
+			return "fence.lwf"
+		case isa.CumHW:
+			return "fence.hwf"
+		}
+		return fmt.Sprintf("fence %s, %s", ins.Pred, ins.Succ)
+	}
+	return "?"
+}

@@ -1,0 +1,69 @@
+package riscv
+
+import (
+	"testing"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+)
+
+func TestConstructors(t *testing.T) {
+	x := mem.Const(0)
+	lw := LW(3, x)
+	if lw.Op != isa.OpLoad || lw.Dst != 3 {
+		t.Errorf("LW = %+v", lw)
+	}
+	sw := SW(mem.Const(7), x)
+	if sw.Op != isa.OpStore || sw.Data.Const != 7 || sw.Dst != mem.NoDst {
+		t.Errorf("SW = %+v", sw)
+	}
+	f := Fence(isa.ClassR, isa.ClassRW)
+	if f.Op != isa.OpFence || f.Pred != isa.ClassR || f.Succ != isa.ClassRW || f.Cum != isa.CumNone {
+		t.Errorf("Fence = %+v", f)
+	}
+	if FenceLW().Cum != isa.CumLW || FenceHW().Cum != isa.CumHW {
+		t.Error("cumulative fence constructors broken")
+	}
+	amo := AMOLoad(1, x, true, false, true)
+	if amo.Op != isa.OpAMOLoad || !amo.Aq || amo.Rl || !amo.SCBit {
+		t.Errorf("AMOLoad = %+v", amo)
+	}
+	st := AMOStore(mem.Const(1), x, false, true, false)
+	if st.Op != isa.OpAMOStore || st.Aq || !st.Rl {
+		t.Errorf("AMOStore = %+v", st)
+	}
+	swp := AMOSwap(2, mem.Const(5), x, true, true, false)
+	if swp.Op != isa.OpAMOSwap || swp.Dst != 2 {
+		t.Errorf("AMOSwap = %+v", swp)
+	}
+	add := AMOAdd(2, mem.Const(5), x, false, false, false)
+	if add.Op != isa.OpAMOAdd {
+		t.Errorf("AMOAdd = %+v", add)
+	}
+}
+
+func TestAsmRendering(t *testing.T) {
+	p := isa.NewProgram(isa.RISCV, 2, "x", "y")
+	cases := []struct {
+		ins  isa.Instr
+		want string
+	}{
+		{LW(0, mem.Const(0)), "lw r0, (x)"},
+		{SW(mem.Const(1), mem.Const(1)), "sw 1, (y)"},
+		{Fence(isa.ClassRW, isa.ClassW), "fence rw, w"},
+		{FenceLW(), "fence.lwf"},
+		{FenceHW(), "fence.hwf"},
+		{AMOLoad(2, mem.Const(0), true, true, false), "amoadd.w.aq.rl r2, x0, (x)"},
+		{AMOStore(mem.Const(3), mem.Const(1), false, true, true), "amoswap.w.rl.sc x0, 3, (y)"},
+		{AMOSwap(1, mem.FromReg(0), mem.Const(0), false, false, false), "amoswap.w r1, r0, (x)"},
+		{LW(1, mem.FromReg(0)), "lw r1, (r0)"},
+	}
+	for _, c := range cases {
+		ins := c.ins
+		p.Add(0, ins)
+		got := Asm(p, &ins)
+		if got != c.want {
+			t.Errorf("Asm = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package litmus
+
+import (
+	"tricheck/internal/c11"
+)
+
+// Coherence-order shapes (extended suite): their interesting outcomes
+// constrain the final memory state — i.e. the position of writes in the
+// coherence order — rather than loaded values, exercising the
+// memory-observer machinery and the ws-edge axioms.
+
+// S is the classic "S" shape: T0 writes x=2 then publishes y; T1 sees the
+// flag and writes x=1. The interesting outcome has the flag observed yet
+// x=2 final — i.e. T1's write ordered before T0's earlier write, against
+// the synchronization.
+var S = &Shape{
+	Name:        "s",
+	Description: "write-after-observed-write coherence (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, LoadSlot, StoreSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, two)
+		p.Store(0, o[1], locY, one)
+		p.Load(1, o[2], locY, 0)
+		p.Store(1, o[3], locX, one)
+		p.Observe(1, 0, "r0")
+		p.ObserveMem(0, "x")
+		return p
+	},
+	Specified:     "r0=1; x=2",
+	SpecifiedNote: "flag observed, yet the observing thread's write lost the coherence race",
+}
+
+// R mixes a write race with an observation: T0 writes x then y; T1
+// overwrites y and reads x. Interesting: T1's y-write wins coherence yet
+// its x-read misses T0's write.
+var R = &Shape{
+	Name:        "r",
+	Description: "write race plus stale read (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, StoreSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Store(0, o[1], locY, one)
+		p.Store(1, o[2], locY, two)
+		p.Load(1, o[3], locX, 0)
+		p.Observe(1, 0, "r0")
+		p.ObserveMem(1, "y")
+		return p
+	},
+	Specified:     "r0=0; y=2",
+	SpecifiedNote: "T1 wins the y race but misses T0's earlier write to x",
+}
+
+// TwoPlusTwoW is 2+2W: both threads write both locations in opposite
+// orders; the interesting outcome has each thread's FIRST write win, i.e.
+// both coherence orders contradict some interleaving.
+var TwoPlusTwoW = &Shape{
+	Name:        "2+2w",
+	Description: "two threads, two writes each, crossed coherence orders (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, StoreSlot, StoreSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Store(0, o[1], locY, two)
+		p.Store(1, o[2], locY, one)
+		p.Store(1, o[3], locX, two)
+		p.ObserveMem(0, "x")
+		p.ObserveMem(1, "y")
+		return p
+	},
+	Specified:     "x=1; y=1",
+	SpecifiedNote: "each thread's first write ends up coherence-last",
+}
+
+// CoherenceShapes returns the final-memory-observing shapes.
+func CoherenceShapes() []*Shape {
+	return []*Shape{S, R, TwoPlusTwoW}
+}

@@ -1,0 +1,112 @@
+package litmus
+
+import (
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+// TestSShapeC11Verdicts: the S outcome is forbidden exactly when the flag
+// synchronizes (release store to y read by an acquire load): the observing
+// thread's write to x then happens-after T0's, forcing coherence order.
+func TestSShapeC11Verdicts(t *testing.T) {
+	forbidden := 0
+	for _, tst := range S.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.All[tst.Specified] {
+			t.Fatalf("%s: specified outcome not a candidate", tst.Name)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden++
+			if !(tst.Orders[1].IsRelease() && tst.Orders[2].IsAcquire()) {
+				t.Errorf("%s forbidden without a release/acquire pair", tst.Name)
+			}
+		}
+	}
+	// 2 release orders × 2 acquire orders × 3 × 3 free slots.
+	if forbidden != 36 {
+		t.Errorf("forbidden S variants = %d, want 36", forbidden)
+	}
+}
+
+// TestRShapeAllSCForbidden: the R outcome needs SC on the racing writes
+// and the read to be forbidden.
+func TestRShapeAllSCForbidden(t *testing.T) {
+	all := R.Instantiate([]c11.Order{c11.SC, c11.SC, c11.SC, c11.SC})
+	res, err := c11.Evaluate(all.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed[all.Specified] {
+		t.Error("all-SC R outcome must be forbidden (no consistent S order)")
+	}
+	rlx := R.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	res2, err := c11.Evaluate(rlx.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Allowed[rlx.Specified] {
+		t.Error("relaxed R outcome must be allowed")
+	}
+}
+
+// TestTwoPlusTwoWRelaxedAllowed: C11 allows the crossed coherence orders
+// for relaxed stores (coherence is per-location), and forbids them when
+// both threads use SC stores (the total order would need a cycle).
+func TestTwoPlusTwoWRelaxedAllowed(t *testing.T) {
+	rlx := TwoPlusTwoW.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	res, err := c11.Evaluate(rlx.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allowed[rlx.Specified] {
+		t.Error("relaxed 2+2W must be allowed by C11")
+	}
+	sc := TwoPlusTwoW.Instantiate([]c11.Order{c11.SC, c11.SC, c11.SC, c11.SC})
+	res2, err := c11.Evaluate(sc.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Allowed[sc.Specified] {
+		t.Error("all-SC 2+2W must be forbidden by C11")
+	}
+}
+
+// TestMemObserverOutcomes: the outcome key includes final memory values in
+// declaration order.
+func TestMemObserverOutcomes(t *testing.T) {
+	tst := TwoPlusTwoW.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	outs, err := mem.Outcomes(tst.Prog.Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each location ends as 1 or 2: four outcomes.
+	want := []mem.Outcome{"x=1; y=1", "x=1; y=2", "x=2; y=1", "x=2; y=2"}
+	if len(outs) != len(want) {
+		t.Fatalf("outcomes %v, want %d", outs, len(want))
+	}
+	for _, o := range want {
+		if !outs[o] {
+			t.Errorf("missing outcome %q", o)
+		}
+	}
+}
+
+// TestCoherenceShapesRegistered: registry and paper-suite invariants hold.
+func TestCoherenceShapesRegistered(t *testing.T) {
+	for _, s := range CoherenceShapes() {
+		if s.Paper {
+			t.Errorf("%s must not join the paper suite", s.Name)
+		}
+		if ShapeByName(s.Name) != s {
+			t.Errorf("%s not registered", s.Name)
+		}
+	}
+	if len(PaperSuite()) != 1701 {
+		t.Error("paper suite size changed")
+	}
+}

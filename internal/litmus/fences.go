@@ -1,0 +1,139 @@
+package litmus
+
+import (
+	"tricheck/internal/c11"
+)
+
+// Fence-mixing shapes. The paper explicitly did not evaluate litmus tests
+// that mix C11 atomic_thread_fence with atomic accesses ("Since we did not
+// evaluate the mixing of C11 fences and atomic instructions in this work,
+// we did not observe this bug", Section 7 — referring to the leading-sync
+// counterexample found by concurrent work). These shapes extend the suite
+// in exactly that direction: accesses stay relaxed and ordering comes from
+// fence placeholders.
+//
+// Fence slots range over release-side orders {rel, acq_rel, sc} or
+// acquire-side orders {acq, acq_rel, sc} — a relaxed fence would be a
+// no-op, so it is excluded to keep variants meaningful.
+
+// FenceRelSlot placeholders range over {rel, acq_rel, sc}.
+const FenceRelSlot SlotKind = 2
+
+// FenceAcqSlot placeholders range over {acq, acq_rel, sc}.
+const FenceAcqSlot SlotKind = 3
+
+func fenceChoices(k SlotKind) []c11.Order {
+	switch k {
+	case FenceRelSlot:
+		return []c11.Order{c11.Rel, c11.AcqRel, c11.SC}
+	case FenceAcqSlot:
+		return []c11.Order{c11.Acq, c11.AcqRel, c11.SC}
+	}
+	return nil
+}
+
+// MPFences is message passing ordered purely by fences: relaxed accesses
+// with a release-side fence between the stores and an acquire-side fence
+// between the loads. Every variant forbids the stale read (C++11 29.8p2).
+var MPFences = &Shape{
+	Name:        "mp+fences",
+	Description: "message passing through atomic_thread_fence (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{FenceRelSlot, FenceAcqSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, c11.Rlx, locX, one)
+		p.FenceOp(0, o[0])
+		p.Store(0, c11.Rlx, locY, one)
+		p.Load(1, c11.Rlx, locY, 0)
+		p.FenceOp(1, o[1])
+		p.Load(1, c11.Rlx, locX, 1)
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=1; r1=0",
+	SpecifiedNote: "flag observed but data stale despite the fences",
+}
+
+// SBFences is store buffering with a fence between each thread's store and
+// load. Only SC fences on both sides forbid the classic outcome
+// (C++11 [atomics.order] p6).
+var SBFences = &Shape{
+	Name:        "sb+fences",
+	Description: "store buffering through atomic_thread_fence (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{FenceRelSlot, FenceRelSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, c11.Rlx, locX, one)
+		p.FenceOp(0, o[0])
+		p.Load(0, c11.Rlx, locY, 0)
+		p.Store(1, c11.Rlx, locY, one)
+		p.FenceOp(1, o[1])
+		p.Load(1, c11.Rlx, locX, 1)
+		p.Observe(0, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=0; r1=0",
+	SpecifiedNote: "both loads miss both stores despite the fences",
+}
+
+// WRCFences is WRC with fence-based synchronization on the middle and
+// reading threads.
+var WRCFences = &Shape{
+	Name:        "wrc+fences",
+	Description: "write-to-read causality through fences (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{FenceRelSlot, FenceAcqSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, c11.Rlx, locX, one)
+		p.Load(1, c11.Rlx, locX, 0)
+		p.FenceOp(1, o[0])
+		p.Store(1, c11.Rlx, locY, one)
+		p.Load(2, c11.Rlx, locY, 1)
+		p.FenceOp(2, o[1])
+		p.Load(2, c11.Rlx, locX, 2)
+		p.Observe(1, 0, "r0")
+		p.Observe(2, 1, "r1")
+		p.Observe(2, 2, "r2")
+		return p
+	},
+	Specified:     "r0=1; r1=1; r2=0",
+	SpecifiedNote: "causality chain broken despite the fences",
+}
+
+// IRIWFences is IRIW with an SC-side fence between each reader's loads —
+// the shape whose leading-sync subtleties concurrent work (reference [27])
+// explored.
+var IRIWFences = &Shape{
+	Name:        "iriw+fences",
+	Description: "IRIW with fences between the reads (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{FenceAcqSlot, FenceAcqSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, c11.Rlx, locX, one)
+		p.Store(1, c11.Rlx, locY, one)
+		p.Load(2, c11.Rlx, locX, 0)
+		p.FenceOp(2, o[0])
+		p.Load(2, c11.Rlx, locY, 1)
+		p.Load(3, c11.Rlx, locY, 2)
+		p.FenceOp(3, o[1])
+		p.Load(3, c11.Rlx, locX, 3)
+		p.Observe(2, 0, "r0")
+		p.Observe(2, 1, "r1")
+		p.Observe(3, 2, "r2")
+		p.Observe(3, 3, "r3")
+		return p
+	},
+	Specified:     "r0=1; r1=0; r2=1; r3=0",
+	SpecifiedNote: "readers disagree on the write order despite the fences",
+}
+
+// FenceShapes returns the fence-mixing extended shapes.
+func FenceShapes() []*Shape {
+	return []*Shape{MPFences, SBFences, WRCFences, IRIWFences}
+}

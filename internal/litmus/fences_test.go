@@ -1,0 +1,104 @@
+package litmus
+
+import (
+	"testing"
+
+	"tricheck/internal/c11"
+)
+
+// TestMPFencesAllForbidden: release/acquire fence pairs synchronize MP for
+// every fence-order combination (C++11 29.8p2).
+func TestMPFencesAllForbidden(t *testing.T) {
+	for _, tst := range MPFences.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if res.Allowed[tst.Specified] {
+			t.Errorf("%s: stale read allowed despite fence pair", tst.Name)
+		}
+	}
+}
+
+// TestSBFencesOnlySCForbidden: of the 9 sb+fences variants, exactly the
+// sc/sc pair forbids the classic outcome ([atomics.order] p6).
+func TestSBFencesOnlySCForbidden(t *testing.T) {
+	var forbidden []string
+	for _, tst := range SBFences.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden = append(forbidden, tst.Name)
+		}
+	}
+	if len(forbidden) != 1 || forbidden[0] != "sb+fences[sc,sc]" {
+		t.Errorf("forbidden sb+fences variants = %v, want only [sc,sc]", forbidden)
+	}
+}
+
+// TestWRCFencesAllForbidden: fence cumulativity at the C11 level makes the
+// causality outcome forbidden for every rel/acq-side fence combination.
+func TestWRCFencesAllForbidden(t *testing.T) {
+	for _, tst := range WRCFences.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if res.Allowed[tst.Specified] {
+			t.Errorf("%s: causality violation allowed", tst.Name)
+		}
+	}
+}
+
+// TestIRIWFencesAllAllowed documents a famous weakness of the ORIGINAL
+// C11/C++11 SC-fence semantics that this model faithfully reproduces: IRIW
+// with relaxed accesses is allowed even with SC fences between both
+// readers' loads, because the fence rules ([atomics.order] p4–p6) all
+// require an SC event on the writer side and the writes are relaxed. This
+// is the deficiency Batty et al.'s "Overhauling SC atomics" (paper
+// reference [6]) repaired in C++20/RC11.
+func TestIRIWFencesAllAllowed(t *testing.T) {
+	for _, tst := range IRIWFences.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			t.Errorf("%s: original C11 allows IRIW through SC fences (the known C++11 weakness)", tst.Name)
+		}
+	}
+}
+
+// TestFenceSlotChoices: fence slots exclude meaningless relaxed fences.
+func TestFenceSlotChoices(t *testing.T) {
+	for _, o := range FenceRelSlot.Choices() {
+		if !o.IsRelease() {
+			t.Errorf("release fence slot offers non-release order %v", o)
+		}
+	}
+	for _, o := range FenceAcqSlot.Choices() {
+		if !o.IsAcquire() {
+			t.Errorf("acquire fence slot offers non-acquire order %v", o)
+		}
+	}
+	if MPFences.Variants() != 9 || IRIWFences.Variants() != 9 {
+		t.Errorf("fence shapes should have 9 variants")
+	}
+}
+
+// TestFenceShapesExcludedFromPaperSuite: the 1,701 count is preserved.
+func TestFenceShapesExcludedFromPaperSuite(t *testing.T) {
+	if len(PaperSuite()) != 1701 {
+		t.Fatalf("paper suite changed size: %d", len(PaperSuite()))
+	}
+	for _, s := range FenceShapes() {
+		if s.Paper {
+			t.Errorf("%s must not be in the paper suite", s.Name)
+		}
+		if ShapeByName(s.Name) != s {
+			t.Errorf("%s not registered in AllShapes", s.Name)
+		}
+	}
+}

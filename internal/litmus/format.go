@@ -1,0 +1,411 @@
+package litmus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+// This file implements a line-oriented textual litmus format so users can
+// author C11 tests outside Go (cmd/herdc11 -file reads it):
+//
+//	test my-wrc
+//	locations x y
+//	thread 0
+//	  st x 1 rlx
+//	thread 1
+//	  ld r0 x rlx
+//	  st y 1 rel
+//	thread 2
+//	  ld r1 y acq
+//	  ld r2 [r1] rlx      # address dependency on r1
+//	  st y r1 rlx after r1  # data dependency + control dependency on r1
+//	  fence sc
+//	observe 1 r0 a
+//	observe 2 r1 b
+//	interesting a=1; b=0
+//
+// Registers are symbolic per-thread names; `[reg]` addresses create
+// address dependencies, register value operands create data dependencies,
+// and `after reg...` suffixes add control dependencies. Lines starting
+// with '#' are comments.
+
+// ParseError reports a syntax problem with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("litmus: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	name      string
+	locs      []string
+	locOf     map[string]int
+	thread    int
+	started   bool
+	prog      *c11.Program
+	regOf     map[int]map[string]int // thread → name → reg index
+	loadIdx   map[int]map[string]int // thread → name → op index of defining load
+	observers []mem.Observer
+	obsLabels []string
+	interest  mem.Outcome
+}
+
+// Parse reads one test in the textual litmus format.
+func Parse(r io.Reader) (*Test, error) {
+	p := &parser{
+		locOf:   map[string]int{},
+		thread:  -1,
+		regOf:   map[int]map[string]int{},
+		loadIdx: map[int]map[string]int{},
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if err := p.line(line); err != nil {
+			return nil, &ParseError{Line: lineNo, Msg: err.Error()}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if p.prog == nil {
+		return nil, &ParseError{Line: lineNo, Msg: "no thread bodies"}
+	}
+	for i, o := range p.observers {
+		p.prog.Observe(o.Thread, o.Reg, p.obsLabels[i])
+	}
+	name := p.name
+	if name == "" {
+		name = "unnamed"
+	}
+	shape := &Shape{
+		Name:        name,
+		Description: "parsed from textual litmus format",
+		Specified:   p.interest,
+	}
+	return &Test{Name: name, Shape: shape, Prog: p.prog, Specified: p.interest}, nil
+}
+
+// ParseString parses a test from a string.
+func ParseString(s string) (*Test, error) { return Parse(strings.NewReader(s)) }
+
+func (p *parser) line(line string) error {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "test":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: test <name>")
+		}
+		p.name = f[1]
+	case "locations":
+		if p.started {
+			return fmt.Errorf("locations must precede thread bodies")
+		}
+		for _, l := range f[1:] {
+			if _, dup := p.locOf[l]; dup {
+				return fmt.Errorf("duplicate location %q", l)
+			}
+			p.locOf[l] = len(p.locs)
+			p.locs = append(p.locs, l)
+		}
+	case "thread":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: thread <index>")
+		}
+		n, err := strconv.Atoi(f[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad thread index %q", f[1])
+		}
+		p.ensureProg()
+		p.thread = n
+	case "ld", "st", "fence", "rmw":
+		if p.thread < 0 {
+			return fmt.Errorf("%s before any thread declaration", f[0])
+		}
+		p.ensureProg()
+		return p.op(f)
+	case "observe":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: observe <thread> <reg> <label>")
+		}
+		t, err := strconv.Atoi(f[1])
+		if err != nil {
+			return fmt.Errorf("bad thread %q", f[1])
+		}
+		reg, ok := p.regOf[t][f[2]]
+		if !ok {
+			return fmt.Errorf("register %q not defined on thread %d", f[2], t)
+		}
+		p.observers = append(p.observers, mem.Observer{Thread: t, Reg: reg})
+		p.obsLabels = append(p.obsLabels, f[3])
+	case "interesting":
+		p.interest = mem.Outcome(strings.TrimSpace(strings.TrimPrefix(line, "interesting")))
+	default:
+		return fmt.Errorf("unknown directive %q", f[0])
+	}
+	return nil
+}
+
+func (p *parser) ensureProg() {
+	if p.prog == nil {
+		p.prog = c11.New(len(p.locs), p.locs...)
+		p.started = true
+	}
+}
+
+func (p *parser) order(s string) (c11.Order, error) {
+	switch s {
+	case "na":
+		return c11.NA, nil
+	case "rlx":
+		return c11.Rlx, nil
+	case "acq":
+		return c11.Acq, nil
+	case "rel":
+		return c11.Rel, nil
+	case "acq_rel":
+		return c11.AcqRel, nil
+	case "sc":
+		return c11.SC, nil
+	}
+	return 0, fmt.Errorf("unknown memory order %q", s)
+}
+
+// addr parses a location name or "[reg]" address-dependency operand.
+func (p *parser) addr(s string) (mem.Operand, error) {
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		reg, ok := p.regOf[p.thread][s[1:len(s)-1]]
+		if !ok {
+			return mem.Operand{}, fmt.Errorf("register %q not defined", s[1:len(s)-1])
+		}
+		return mem.FromReg(reg), nil
+	}
+	loc, ok := p.locOf[s]
+	if !ok {
+		return mem.Operand{}, fmt.Errorf("unknown location %q", s)
+	}
+	return mem.Const(int64(loc)), nil
+}
+
+// value parses an integer constant, a location name (its id, for storing
+// pointers) or a register name (a data dependency).
+func (p *parser) value(s string) (mem.Operand, error) {
+	if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return mem.Const(v), nil
+	}
+	if loc, ok := p.locOf[s]; ok {
+		return mem.Const(int64(loc)), nil
+	}
+	if reg, ok := p.regOf[p.thread][s]; ok {
+		return mem.FromReg(reg), nil
+	}
+	return mem.Operand{}, fmt.Errorf("cannot parse value %q", s)
+}
+
+// ctrlDeps parses a trailing "after r1 r2 ..." clause.
+func (p *parser) ctrlDeps(f []string) ([]string, []int, error) {
+	for i, tok := range f {
+		if tok == "after" {
+			var deps []int
+			for _, r := range f[i+1:] {
+				idx, ok := p.loadIdx[p.thread][r]
+				if !ok {
+					return nil, nil, fmt.Errorf("control dependency on undefined register %q", r)
+				}
+				deps = append(deps, idx)
+			}
+			if len(deps) == 0 {
+				return nil, nil, fmt.Errorf("empty after clause")
+			}
+			return f[:i], deps, nil
+		}
+	}
+	return f, nil, nil
+}
+
+func (p *parser) defineReg(name string, opIdx int) int {
+	if p.regOf[p.thread] == nil {
+		p.regOf[p.thread] = map[string]int{}
+		p.loadIdx[p.thread] = map[string]int{}
+	}
+	reg, ok := p.regOf[p.thread][name]
+	if !ok {
+		reg = len(p.regOf[p.thread])
+		p.regOf[p.thread][name] = reg
+	}
+	p.loadIdx[p.thread][name] = opIdx
+	return reg
+}
+
+func (p *parser) op(f []string) error {
+	f, ctrl, err := p.ctrlDeps(f)
+	if err != nil {
+		return err
+	}
+	nOps := 0
+	if p.thread < len(p.prog.Ops) {
+		nOps = len(p.prog.Ops[p.thread])
+	}
+	switch f[0] {
+	case "ld":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: ld <reg> <loc|[reg]> <order>")
+		}
+		addr, err := p.addr(f[2])
+		if err != nil {
+			return err
+		}
+		ord, err := p.order(f[3])
+		if err != nil {
+			return err
+		}
+		reg := p.defineReg(f[1], nOps)
+		p.prog.LoadDep(p.thread, ord, addr, reg, ctrl)
+	case "st":
+		if len(f) != 4 {
+			return fmt.Errorf("usage: st <loc|[reg]> <value|reg> <order>")
+		}
+		addr, err := p.addr(f[1])
+		if err != nil {
+			return err
+		}
+		val, err := p.value(f[2])
+		if err != nil {
+			return err
+		}
+		ord, err := p.order(f[3])
+		if err != nil {
+			return err
+		}
+		p.prog.StoreDep(p.thread, ord, addr, val, ctrl)
+	case "rmw":
+		if len(f) != 6 {
+			return fmt.Errorf("usage: rmw <reg> <loc> <add|swap> <value> <order>")
+		}
+		addr, err := p.addr(f[2])
+		if err != nil {
+			return err
+		}
+		var fn mem.RMWKind
+		switch f[3] {
+		case "add":
+			fn = mem.RMWAdd
+		case "swap":
+			fn = mem.RMWSwap
+		default:
+			return fmt.Errorf("unknown rmw function %q", f[3])
+		}
+		val, err := p.value(f[4])
+		if err != nil {
+			return err
+		}
+		ord, err := p.order(f[5])
+		if err != nil {
+			return err
+		}
+		reg := p.defineReg(f[1], nOps)
+		p.prog.RMW(p.thread, ord, addr, val, reg, fn)
+	case "fence":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: fence <order>")
+		}
+		ord, err := p.order(f[1])
+		if err != nil {
+			return err
+		}
+		if ctrl != nil {
+			return fmt.Errorf("fences cannot carry control dependencies")
+		}
+		p.prog.FenceOp(p.thread, ord)
+	}
+	return nil
+}
+
+// Format renders a test in the textual litmus format (the inverse of
+// Parse, modulo register naming: registers render as r<index>).
+func Format(w io.Writer, t *Test) error {
+	mp := t.Prog.Mem()
+	if _, err := fmt.Fprintf(w, "test %s\n", sanitizeName(t.Name)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "locations %s\n", strings.Join(mp.LocNames, " "))
+	for th, ops := range t.Prog.Ops {
+		fmt.Fprintf(w, "thread %d\n", th)
+		for _, op := range ops {
+			fmt.Fprintf(w, "  %s\n", formatOp(mp, ops, op))
+		}
+	}
+	obs := append([]mem.Observer(nil), mp.Observers...)
+	sort.Slice(obs, func(i, j int) bool {
+		if obs[i].Thread != obs[j].Thread {
+			return obs[i].Thread < obs[j].Thread
+		}
+		return obs[i].Reg < obs[j].Reg
+	})
+	for _, o := range obs {
+		fmt.Fprintf(w, "observe %d r%d %s\n", o.Thread, o.Reg, o.Label)
+	}
+	if t.Specified != "" {
+		fmt.Fprintf(w, "interesting %s\n", t.Specified)
+	}
+	return nil
+}
+
+func sanitizeName(s string) string {
+	return strings.NewReplacer("[", "-", "]", "", ",", ".", " ", "").Replace(s)
+}
+
+func formatOp(mp *mem.Program, ops []c11.Op, op c11.Op) string {
+	addr := func(o mem.Operand) string {
+		if o.Kind == mem.OpReg {
+			return fmt.Sprintf("[r%d]", o.Reg)
+		}
+		return mp.LocName(mem.Loc(o.Const))
+	}
+	val := func(o mem.Operand) string {
+		if o.Kind == mem.OpReg {
+			return fmt.Sprintf("r%d", o.Reg)
+		}
+		return strconv.FormatInt(o.Const, 10)
+	}
+	suffix := ""
+	if len(op.CtrlDepOn) > 0 {
+		regs := make([]string, len(op.CtrlDepOn))
+		for i, d := range op.CtrlDepOn {
+			regs[i] = fmt.Sprintf("r%d", ops[d].Dst)
+		}
+		suffix = " after " + strings.Join(regs, " ")
+	}
+	switch op.Kind {
+	case c11.OpLoad:
+		return fmt.Sprintf("ld r%d %s %s%s", op.Dst, addr(op.Addr), op.Ord, suffix)
+	case c11.OpStore:
+		return fmt.Sprintf("st %s %s %s%s", addr(op.Addr), val(op.Data), op.Ord, suffix)
+	case c11.OpRMW:
+		fn := "add"
+		if op.RMWOp == mem.RMWSwap {
+			fn = "swap"
+		}
+		return fmt.Sprintf("rmw r%d %s %s %s %s%s", op.Dst, addr(op.Addr), fn, val(op.Data), op.Ord, suffix)
+	case c11.OpFence:
+		return fmt.Sprintf("fence %s", op.Ord)
+	}
+	return "?"
+}

@@ -1,0 +1,200 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+const wrcText = `
+test my-wrc
+locations x y
+thread 0
+  st x 1 rlx
+thread 1
+  ld r0 x rlx
+  st y 1 rel
+thread 2
+  ld r1 y acq
+  ld r2 x rlx
+observe 1 r0 a
+observe 2 r1 b
+observe 2 r2 c
+interesting a=1; b=1; c=0
+`
+
+func TestParseWRC(t *testing.T) {
+	tst, err := ParseString(wrcText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tst.Name != "my-wrc" {
+		t.Errorf("name = %q", tst.Name)
+	}
+	if tst.Specified != "a=1; b=1; c=0" {
+		t.Errorf("interesting = %q", tst.Specified)
+	}
+	// The parsed test must behave exactly like the built-in WRC shape.
+	res, err := c11.Evaluate(tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed[tst.Specified] {
+		t.Error("parsed WRC: causality outcome should be forbidden (rel/acq pair)")
+	}
+	if !res.Allowed["a=1; b=1; c=1"] {
+		t.Error("parsed WRC: benign outcome should be allowed")
+	}
+}
+
+func TestParseAddressAndControlDeps(t *testing.T) {
+	src := `
+test deps
+locations dummy x y
+thread 0
+  st x 1 rel
+  st y x rel
+thread 1
+  ld r0 y rlx
+  ld r1 [r0] acq
+  st x r1 rlx after r0
+observe 1 r0 p
+observe 1 r1 q
+`
+	tst, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := tst.Prog.Ops[1]
+	if ops[1].Addr.Kind != mem.OpReg {
+		t.Error("address dependency lost")
+	}
+	if ops[2].Data.Kind != mem.OpReg {
+		t.Error("data dependency lost")
+	}
+	if len(ops[2].CtrlDepOn) != 1 || ops[2].CtrlDepOn[0] != 0 {
+		t.Errorf("control dependency = %v, want [0]", ops[2].CtrlDepOn)
+	}
+	// "st y x rel" stores the location id of x (a pointer).
+	if ops0 := tst.Prog.Ops[0]; ops0[1].Data.Const != 1 {
+		t.Errorf("pointer store value = %d, want 1 (id of x)", ops0[1].Data.Const)
+	}
+}
+
+func TestParseRMWAndFence(t *testing.T) {
+	src := `
+test rmwf
+locations x
+thread 0
+  rmw r0 x add 5 acq_rel
+  fence sc
+  rmw r1 x swap 9 rlx
+observe 0 r0 a
+observe 0 r1 b
+`
+	tst, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := tst.Prog.Ops[0]
+	if ops[0].Kind != c11.OpRMW || ops[0].RMWOp != mem.RMWAdd || ops[0].Ord != c11.AcqRel {
+		t.Errorf("rmw add parsed as %+v", ops[0])
+	}
+	if ops[1].Kind != c11.OpFence || ops[1].Ord != c11.SC {
+		t.Errorf("fence parsed as %+v", ops[1])
+	}
+	if ops[2].RMWOp != mem.RMWSwap {
+		t.Errorf("rmw swap parsed as %+v", ops[2])
+	}
+	res, err := c11.Evaluate(tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single thread: r0 sees 0, r1 sees 5.
+	if !res.Allowed["a=0; b=5"] || len(res.Allowed) != 1 {
+		t.Errorf("allowed = %v, want exactly a=0; b=5", res.Allowed)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"bogus directive", "unknown directive"},
+		{"thread x", "bad thread index"},
+		{"ld r0 x rlx", "before any thread"},
+		{"test a\nlocations x\nthread 0\n  ld r0 y rlx", "unknown location"},
+		{"test a\nlocations x\nthread 0\n  ld r0 x weird", "unknown memory order"},
+		{"test a\nlocations x\nthread 0\n  st x 1 rlx\nobserve 0 r9 l", "not defined"},
+		{"test a\nlocations x\nthread 0\n  ld r0 [r9] rlx", "not defined"},
+		{"test a\nlocations x x", "duplicate location"},
+		{"test a\nlocations x\nthread 0\n  st x 1 rlx after r0", "undefined register"},
+		{"test a\nlocations x\nthread 0\n  fence sc after r0", "undefined register"},
+		{"test a", "no thread bodies"},
+		{"test a\nlocations x\nthread 0\n  rmw r0 x mul 2 rlx", "unknown rmw function"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src)
+		if err == nil {
+			t.Errorf("source %q: want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("source %q: error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip: formatting a generated test and re-parsing it
+// preserves the C11 verdict of the interesting outcome.
+func TestFormatParseRoundTrip(t *testing.T) {
+	shapes := []*Test{
+		WRC.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rel, c11.Acq, c11.Rlx}),
+		MP.Instantiate([]c11.Order{c11.SC, c11.Rlx, c11.SC, c11.SC}),
+		MPAddrDep.Instantiate([]c11.Order{c11.Rel, c11.Rel, c11.Rlx, c11.Acq}),
+		IRIW.Instantiate([]c11.Order{c11.SC, c11.SC, c11.SC, c11.SC, c11.SC, c11.SC}),
+	}
+	for _, orig := range shapes {
+		var b strings.Builder
+		if err := Format(&b, orig); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		back, err := ParseString(b.String())
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", orig.Name, err, b.String())
+		}
+		origRes, err := c11.Evaluate(orig.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backRes, err := c11.Evaluate(back.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(origRes.Allowed) != len(backRes.Allowed) {
+			t.Errorf("%s: allowed sets differ after round trip: %v vs %v",
+				orig.Name, origRes.Allowed, backRes.Allowed)
+		}
+		for o := range origRes.Allowed {
+			if !backRes.Allowed[remapOutcome(o, orig, back)] {
+				t.Errorf("%s: outcome %v lost in round trip", orig.Name, o)
+			}
+		}
+	}
+}
+
+// remapOutcome is the identity here: observer labels survive Format.
+func remapOutcome(o mem.Outcome, _, _ *Test) mem.Outcome { return o }
+
+func TestFormatIncludesDeps(t *testing.T) {
+	tst := MPAddrDep.Instantiate([]c11.Order{c11.Rel, c11.Rel, c11.Rlx, c11.Acq})
+	var b strings.Builder
+	if err := Format(&b, tst); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[r0]") {
+		t.Errorf("formatted output lost the address dependency:\n%s", b.String())
+	}
+}

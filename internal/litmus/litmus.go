@@ -1,0 +1,436 @@
+// Package litmus defines the litmus-test shapes used throughout the paper
+// and the template generator of Figure 5: each shape is a template with
+// placeholder memory orders, and Generate expands it into every permutation
+// of C11 memory-order primitives (loads range over {rlx, acq, sc}; stores
+// over {rlx, rel, sc}).
+//
+// The paper's evaluation suite (Section 6) consists of seven shapes whose
+// expansions total exactly 1,701 tests:
+//
+//	mp 81 + sb 81 + wrc 243 + rwc 243 + iriw 729 + corr 81 + co-rsdwi 243
+//
+// Additional shapes (lb, isa2, mp-addr-dep) are provided for wider coverage
+// and the Figure 13 discussion; they are excluded from PaperSuite.
+package litmus
+
+import (
+	"fmt"
+	"strings"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+// SlotKind says whether a template placeholder is a load or a store, which
+// determines its memory-order choices.
+type SlotKind uint8
+
+const (
+	// LoadSlot placeholders range over {rlx, acq, sc}.
+	LoadSlot SlotKind = iota
+	// StoreSlot placeholders range over {rlx, rel, sc}.
+	StoreSlot
+)
+
+// Choices returns the memory orders a slot of this kind ranges over.
+func (k SlotKind) Choices() []c11.Order {
+	switch k {
+	case StoreSlot:
+		return []c11.Order{c11.Rlx, c11.Rel, c11.SC}
+	case FenceRelSlot, FenceAcqSlot:
+		return fenceChoices(k)
+	default:
+		return []c11.Order{c11.Rlx, c11.Acq, c11.SC}
+	}
+}
+
+// Shape is a litmus-test template (paper Figure 5): a program skeleton with
+// memory-order placeholders.
+type Shape struct {
+	// Name is the shape's lower-case conventional name ("wrc", "iriw", ...).
+	Name string
+	// Description says what the shape exercises.
+	Description string
+	// Paper marks membership in the paper's 1,701-test evaluation suite.
+	Paper bool
+	// Slots lists the placeholders in the order Build consumes them.
+	Slots []SlotKind
+	// Build instantiates the shape with concrete memory orders.
+	Build func(orders []c11.Order) *c11.Program
+	// Specified is the shape's "interesting" final state — the outcome the
+	// paper's figures assert about (forbidden or allowed per variant).
+	Specified mem.Outcome
+	// SpecifiedNote explains the interesting outcome.
+	SpecifiedNote string
+}
+
+// Variants returns the number of memory-order permutations of the shape.
+func (s *Shape) Variants() int {
+	n := 1
+	for range s.Slots {
+		n *= 3
+	}
+	return n
+}
+
+// Test is one concrete expansion of a shape.
+type Test struct {
+	// Name is "<shape>[o1,o2,...]" with the slot orders.
+	Name string
+	// Shape points back at the template.
+	Shape *Shape
+	// Orders holds the slot assignment.
+	Orders []c11.Order
+	// Prog is the instantiated C11 program.
+	Prog *c11.Program
+	// Specified is the shape's interesting outcome.
+	Specified mem.Outcome
+}
+
+// Generate expands the template into all memory-order permutations.
+func (s *Shape) Generate() []*Test {
+	var out []*Test
+	orders := make([]c11.Order, len(s.Slots))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(s.Slots) {
+			o := append([]c11.Order(nil), orders...)
+			out = append(out, s.Instantiate(o))
+			return
+		}
+		for _, ord := range s.Slots[i].Choices() {
+			orders[i] = ord
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Instantiate builds the single test with the given slot orders.
+func (s *Shape) Instantiate(orders []c11.Order) *Test {
+	if len(orders) != len(s.Slots) {
+		panic(fmt.Sprintf("litmus: %s needs %d orders, got %d", s.Name, len(s.Slots), len(orders)))
+	}
+	names := make([]string, len(orders))
+	for i, o := range orders {
+		names[i] = o.String()
+	}
+	return &Test{
+		Name:      fmt.Sprintf("%s[%s]", s.Name, strings.Join(names, ",")),
+		Shape:     s,
+		Orders:    orders,
+		Prog:      s.Build(orders),
+		Specified: s.Specified,
+	}
+}
+
+var (
+	locX = mem.Const(0)
+	locY = mem.Const(1)
+	one  = mem.Const(1)
+	two  = mem.Const(2)
+)
+
+// MP is message passing: T0 publishes data x then flag y; T1 polls the flag
+// then reads the data. Interesting outcome: flag seen, data stale.
+var MP = &Shape{
+	Name:        "mp",
+	Description: "message passing: flag published after data",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Store(0, o[1], locY, one)
+		p.Load(1, o[2], locY, 0)
+		p.Load(1, o[3], locX, 1)
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=1; r1=0",
+	SpecifiedNote: "flag observed but data stale",
+}
+
+// SB is store buffering (Dekker): both threads store then read the other's
+// location. Interesting outcome: both loads miss both stores.
+var SB = &Shape{
+	Name:        "sb",
+	Description: "store buffering / Dekker",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, LoadSlot, StoreSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Load(0, o[1], locY, 0)
+		p.Store(1, o[2], locY, one)
+		p.Load(1, o[3], locX, 1)
+		p.Observe(0, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=0; r1=0",
+	SpecifiedNote: "both stores buffered past both loads",
+}
+
+// WRC is write-to-read causality (paper Figure 3): T1 observes T0's write
+// and publishes a flag; T2 acquires the flag but misses the write.
+var WRC = &Shape{
+	Name:        "wrc",
+	Description: "write-to-read causality (Figure 3)",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, LoadSlot, StoreSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Load(1, o[1], locX, 0)
+		p.Store(1, o[2], locY, one)
+		p.Load(2, o[3], locY, 1)
+		p.Load(2, o[4], locX, 2)
+		p.Observe(1, 0, "r0")
+		p.Observe(2, 1, "r1")
+		p.Observe(2, 2, "r2")
+		return p
+	},
+	Specified:     "r0=1; r1=1; r2=0",
+	SpecifiedNote: "causality chain broken: T2 sees flag but not the write it depends on",
+}
+
+// RWC is read-to-write causality: T1 sees T0's write to x but not T2's
+// write to y, while T2 (after writing y) misses x.
+var RWC = &Shape{
+	Name:        "rwc",
+	Description: "read-to-write causality",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, LoadSlot, LoadSlot, StoreSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Load(1, o[1], locX, 0)
+		p.Load(1, o[2], locY, 1)
+		p.Store(2, o[3], locY, one)
+		p.Load(2, o[4], locX, 2)
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		p.Observe(2, 2, "r2")
+		return p
+	},
+	Specified:     "r0=1; r1=0; r2=0",
+	SpecifiedNote: "T1 sees x but not y; T2 wrote y yet misses x",
+}
+
+// IRIW is independent reads of independent writes (paper Figure 4): two
+// readers disagree on the order of two independent writes.
+var IRIW = &Shape{
+	Name:        "iriw",
+	Description: "independent reads of independent writes (Figure 4)",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, LoadSlot, LoadSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Store(1, o[1], locY, one)
+		p.Load(2, o[2], locX, 0)
+		p.Load(2, o[3], locY, 1)
+		p.Load(3, o[4], locY, 2)
+		p.Load(3, o[5], locX, 3)
+		p.Observe(2, 0, "r0")
+		p.Observe(2, 1, "r1")
+		p.Observe(3, 2, "r2")
+		p.Observe(3, 3, "r3")
+		return p
+	},
+	Specified:     "r0=1; r1=0; r2=1; r3=0",
+	SpecifiedNote: "the two readers observe the writes in opposite orders",
+}
+
+// CoRR is coherence of same-address reads: one thread reads a location
+// twice and must not observe a newer write before an older one. The paper
+// does not print the shape; this reconstruction (two writes, two reads)
+// matches its variant count (81) and buggy count (18) — see DESIGN.md §4.
+var CoRR = &Shape{
+	Name:        "corr",
+	Description: "same-address read-read coherence (Section 5.1.3)",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(1, "x")
+		p.Store(0, o[0], locX, one)
+		p.Store(0, o[1], locX, two)
+		p.Load(1, o[2], locX, 0)
+		p.Load(1, o[3], locX, 1)
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=2; r1=1",
+	SpecifiedNote: "second read observes an older write than the first",
+}
+
+// CORSDWI extends CoRR with a delayed write to a second location between
+// the two same-address writes (reconstructed; see DESIGN.md §4).
+var CORSDWI = &Shape{
+	Name:        "co-rsdwi",
+	Description: "same-address coherence with a delayed interleaved write",
+	Paper:       true,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, StoreSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Store(0, o[0], locX, one)
+		p.Store(0, o[1], locY, one)
+		p.Store(0, o[2], locX, two)
+		p.Load(1, o[3], locX, 0)
+		p.Load(1, o[4], locX, 1)
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=2; r1=1",
+	SpecifiedNote: "second read observes an older write than the first",
+}
+
+// LB is load buffering: each thread loads one location then stores the
+// other; both loads observing 1 requires reads to bypass program-order
+// later stores. Extended suite only.
+var LB = &Shape{
+	Name:        "lb",
+	Description: "load buffering (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{LoadSlot, StoreSlot, LoadSlot, StoreSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(2, "x", "y")
+		p.Load(0, o[0], locX, 0)
+		p.Store(0, o[1], locY, one)
+		p.Load(1, o[2], locY, 1)
+		p.Store(1, o[3], locX, one)
+		p.Observe(0, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=1; r1=1",
+	SpecifiedNote: "both loads read the other thread's later store",
+}
+
+// ISA2 chains a release/acquire handoff across three threads.
+var ISA2 = &Shape{
+	Name:        "isa2",
+	Description: "three-thread transitive handoff (extended suite)",
+	Paper:       false,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, LoadSlot, StoreSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(3, "x", "y", "z")
+		locZ := mem.Const(2)
+		p.Store(0, o[0], locX, one)
+		p.Store(0, o[1], locY, one)
+		p.Load(1, o[2], locY, 0)
+		p.Store(1, o[3], locZ, one)
+		p.Load(2, o[4], locZ, 1)
+		p.Load(2, o[5], locX, 2)
+		p.Observe(1, 0, "r0")
+		p.Observe(2, 1, "r1")
+		p.Observe(2, 2, "r2")
+		return p
+	},
+	Specified:     "r0=1; r1=1; r2=0",
+	SpecifiedNote: "transitive chain broken at the last hop",
+}
+
+// MPAddrDep is the paper's Figure 13: the second location carries the
+// address of the first, and T1's second load is address-dependent on its
+// first. Location 0 is a dummy so that "address of x" (1) differs from the
+// initial value 0.
+var MPAddrDep = &Shape{
+	Name:        "mp-addr-dep",
+	Description: "message passing with an address dependency (Figure 13)",
+	Paper:       false,
+	Slots:       []SlotKind{StoreSlot, StoreSlot, LoadSlot, LoadSlot},
+	Build: func(o []c11.Order) *c11.Program {
+		p := c11.New(3, "dummy", "x", "y")
+		x, y := mem.Const(1), mem.Const(2)
+		p.Store(0, o[0], x, one)
+		p.Store(0, o[1], y, one) // stores &x == location id 1
+		p.Load(1, o[2], y, 0)
+		p.Load(1, o[3], mem.FromReg(0), 1) // address dependency
+		p.Observe(1, 0, "r0")
+		p.Observe(1, 1, "r1")
+		return p
+	},
+	Specified:     "r0=1; r1=0",
+	SpecifiedNote: "pointer observed but pointee stale, despite the address dependency",
+}
+
+// PaperShapes returns the seven shapes of the paper's 1,701-test suite in
+// presentation order.
+func PaperShapes() []*Shape {
+	return []*Shape{MP, SB, WRC, RWC, IRIW, CoRR, CORSDWI}
+}
+
+// ExtendedShapes returns the additional shapes outside the paper suite:
+// lb/isa2/mp-addr-dep, the fence-mixing shapes of fences.go, and the
+// coherence-order shapes of coherence.go.
+func ExtendedShapes() []*Shape {
+	out := append([]*Shape{LB, ISA2, MPAddrDep}, FenceShapes()...)
+	return append(out, CoherenceShapes()...)
+}
+
+// AllShapes returns every shape, paper suite first.
+func AllShapes() []*Shape {
+	return append(PaperShapes(), ExtendedShapes()...)
+}
+
+// ShapeByName finds a shape by name, or nil.
+func ShapeByName(name string) *Shape {
+	for _, s := range AllShapes() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// PaperSuite generates the paper's full 1,701-test evaluation suite.
+func PaperSuite() []*Test {
+	var out []*Test
+	for _, s := range PaperShapes() {
+		out = append(out, s.Generate()...)
+	}
+	return out
+}
+
+// ParseVariantName parses a test name of the form "shape[o1,o2,...]"
+// (litgen/herdc11/uspeccheck syntax) and instantiates it.
+func ParseVariantName(name string) (*Test, error) {
+	open := strings.IndexByte(name, '[')
+	if open < 0 || !strings.HasSuffix(name, "]") {
+		return nil, fmt.Errorf("litmus: malformed test name %q (want shape[o1,o2,...])", name)
+	}
+	s := ShapeByName(name[:open])
+	if s == nil {
+		return nil, fmt.Errorf("litmus: unknown shape %q", name[:open])
+	}
+	parts := strings.Split(name[open+1:len(name)-1], ",")
+	orders := make([]c11.Order, len(parts))
+	for i, p := range parts {
+		switch strings.TrimSpace(p) {
+		case "na":
+			orders[i] = c11.NA
+		case "rlx":
+			orders[i] = c11.Rlx
+		case "acq":
+			orders[i] = c11.Acq
+		case "rel":
+			orders[i] = c11.Rel
+		case "acq_rel":
+			orders[i] = c11.AcqRel
+		case "sc":
+			orders[i] = c11.SC
+		default:
+			return nil, fmt.Errorf("litmus: unknown memory order %q", p)
+		}
+	}
+	if len(orders) != len(s.Slots) {
+		return nil, fmt.Errorf("litmus: %s needs %d orders, got %d", s.Name, len(s.Slots), len(orders))
+	}
+	return s.Instantiate(orders), nil
+}

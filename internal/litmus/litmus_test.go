@@ -1,0 +1,274 @@
+package litmus
+
+import (
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+// TestPaperSuiteIs1701 pins the headline suite size from the paper's
+// abstract: "out of 1,701 litmus tests examined".
+func TestPaperSuiteIs1701(t *testing.T) {
+	suite := PaperSuite()
+	if len(suite) != 1701 {
+		t.Fatalf("paper suite has %d tests, want 1701", len(suite))
+	}
+}
+
+// TestVariantCountsPerShape pins the per-shape counts implied by the paper:
+// mp/sb/corr 81, wrc/rwc/co-rsdwi 243, iriw 729.
+func TestVariantCountsPerShape(t *testing.T) {
+	want := map[string]int{
+		"mp": 81, "sb": 81, "corr": 81,
+		"wrc": 243, "rwc": 243, "co-rsdwi": 243,
+		"iriw": 729,
+	}
+	for _, s := range PaperShapes() {
+		if got := len(s.Generate()); got != want[s.Name] {
+			t.Errorf("%s: %d variants, want %d", s.Name, got, want[s.Name])
+		}
+		if got := s.Variants(); got != want[s.Name] {
+			t.Errorf("%s: Variants() = %d, want %d", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+// TestTemplateExpansion checks the Figure 5 generator semantics: every
+// permutation occurs exactly once, loads range over {rlx,acq,sc}, stores
+// over {rlx,rel,sc}.
+func TestTemplateExpansion(t *testing.T) {
+	tests := WRC.Generate()
+	seen := map[string]bool{}
+	for _, tst := range tests {
+		if seen[tst.Name] {
+			t.Fatalf("duplicate variant %s", tst.Name)
+		}
+		seen[tst.Name] = true
+		if len(tst.Orders) != len(WRC.Slots) {
+			t.Fatalf("%s: %d orders, want %d", tst.Name, len(tst.Orders), len(WRC.Slots))
+		}
+		for i, o := range tst.Orders {
+			switch WRC.Slots[i] {
+			case StoreSlot:
+				if o == c11.Acq {
+					t.Errorf("%s: store slot %d has acquire order", tst.Name, i)
+				}
+			case LoadSlot:
+				if o == c11.Rel {
+					t.Errorf("%s: load slot %d has release order", tst.Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecifiedOutcomeIsCandidate: every shape's interesting outcome must
+// actually be producible by some execution candidate.
+func TestSpecifiedOutcomeIsCandidate(t *testing.T) {
+	for _, s := range AllShapes() {
+		tst := s.Instantiate(relaxedOrders(s))
+		outs, err := mem.Outcomes(tst.Prog.Mem())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !outs[tst.Specified] {
+			t.Errorf("%s: specified outcome %q not among candidates %v", s.Name, tst.Specified, outs)
+		}
+	}
+}
+
+func relaxedOrders(s *Shape) []c11.Order {
+	o := make([]c11.Order, len(s.Slots))
+	for i := range o {
+		o[i] = c11.Rlx
+	}
+	return o
+}
+
+// TestCoRRSpecifiedAlwaysForbidden: coherence violations are forbidden for
+// every memory-order combination of the corr and co-rsdwi shapes.
+func TestCoRRSpecifiedAlwaysForbidden(t *testing.T) {
+	for _, s := range []*Shape{CoRR, CORSDWI} {
+		for _, tst := range s.Generate() {
+			res, err := c11.Evaluate(tst.Prog)
+			if err != nil {
+				t.Fatalf("%s: %v", tst.Name, err)
+			}
+			if res.Allowed[tst.Specified] {
+				t.Errorf("%s: coherence-violating outcome %q allowed", tst.Name, tst.Specified)
+			}
+		}
+	}
+}
+
+// TestMPForbiddenCount: of the 81 MP variants, exactly those with a
+// release-or-stronger store to the flag and an acquire-or-stronger load of
+// it (2×2×3×3 = 36) forbid the stale-read outcome.
+func TestMPForbiddenCount(t *testing.T) {
+	forbidden := 0
+	for _, tst := range MP.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden++
+			if !(tst.Orders[1].IsRelease() && tst.Orders[2].IsAcquire()) {
+				t.Errorf("%s forbidden without a release/acquire pair", tst.Name)
+			}
+		}
+	}
+	if forbidden != 36 {
+		t.Errorf("forbidden MP variants = %d, want 36", forbidden)
+	}
+}
+
+// TestSBForbiddenCount: only the all-SC SB variant is forbidden.
+func TestSBForbiddenCount(t *testing.T) {
+	var forbidden []string
+	for _, tst := range SB.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden = append(forbidden, tst.Name)
+		}
+	}
+	if len(forbidden) != 1 || forbidden[0] != "sb[sc,sc,sc,sc]" {
+		t.Errorf("forbidden SB variants = %v, want exactly the all-sc one", forbidden)
+	}
+}
+
+// TestRWCForbiddenCount pins Section 6.1's "2 illegal outcomes out of the
+// 243 variants of RWC": C11 forbids the RWC outcome in exactly 2 variants.
+func TestRWCForbiddenCount(t *testing.T) {
+	var forbidden []string
+	for _, tst := range RWC.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden = append(forbidden, tst.Name)
+		}
+	}
+	if len(forbidden) != 2 {
+		t.Errorf("forbidden RWC variants = %v (%d), want 2 (paper §6.1)", forbidden, len(forbidden))
+	}
+	// Both have everything SC except the first load, which is acq or sc.
+	for _, name := range forbidden {
+		if name != "rwc[sc,acq,sc,sc,sc]" && name != "rwc[sc,sc,sc,sc,sc]" {
+			t.Errorf("unexpected forbidden RWC variant %s", name)
+		}
+	}
+}
+
+// TestWRCForbiddenCount108 pins Section 6.1's 108 forbidden WRC variants.
+func TestWRCForbiddenCount108(t *testing.T) {
+	if testing.Short() {
+		t.Skip("243 C11 evaluations")
+	}
+	forbidden := 0
+	for _, tst := range WRC.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden++
+		}
+	}
+	if forbidden != 108 {
+		t.Errorf("forbidden WRC variants = %d, want 108 (paper §6.1)", forbidden)
+	}
+}
+
+// TestIRIWForbiddenCount4 pins Section 6.1's 4 forbidden IRIW variants.
+func TestIRIWForbiddenCount4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("729 C11 evaluations")
+	}
+	forbidden := 0
+	for _, tst := range IRIW.Generate() {
+		res, err := c11.Evaluate(tst.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Allowed[tst.Specified] {
+			forbidden++
+		}
+	}
+	if forbidden != 4 {
+		t.Errorf("forbidden IRIW variants = %d, want 4 (paper §6.1)", forbidden)
+	}
+}
+
+func TestShapeByName(t *testing.T) {
+	if ShapeByName("wrc") != WRC {
+		t.Error("ShapeByName(wrc) != WRC")
+	}
+	if ShapeByName("nope") != nil {
+		t.Error("ShapeByName(nope) should be nil")
+	}
+	for _, s := range AllShapes() {
+		if ShapeByName(s.Name) != s {
+			t.Errorf("ShapeByName(%s) broken", s.Name)
+		}
+	}
+}
+
+func TestInstantiatePanicsOnWrongArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong order count")
+		}
+	}()
+	MP.Instantiate([]c11.Order{c11.Rlx})
+}
+
+// TestMPAddrDepFigure13 checks the Figure 13 shape end to end at the C11
+// level: with release stores, a relaxed pointer load and an acquire
+// dependent load, the stale outcome is allowed (lazy cumulativity is legal).
+func TestMPAddrDepFigure13(t *testing.T) {
+	tst := MPAddrDep.Instantiate([]c11.Order{c11.Rel, c11.Rel, c11.Rlx, c11.Acq})
+	res, err := c11.Evaluate(tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allowed[tst.Specified] {
+		t.Errorf("Figure 13 outcome %q must be allowed by C11", tst.Specified)
+	}
+	// But with an acquire pointer load it synchronizes: forbidden.
+	tst2 := MPAddrDep.Instantiate([]c11.Order{c11.Rel, c11.Rel, c11.Acq, c11.Acq})
+	res2, err := c11.Evaluate(tst2.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Allowed[tst2.Specified] {
+		t.Errorf("Figure 13 with acquire pointer load must be forbidden")
+	}
+}
+
+// TestLBAllowedRelaxed: C11 famously allows load buffering for relaxed
+// atomics (no out-of-thin-air check needed here: values are constants).
+func TestLBAllowedRelaxed(t *testing.T) {
+	tst := LB.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	res, err := c11.Evaluate(tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Allowed[tst.Specified] {
+		t.Error("LB with relaxed atomics must be allowed by C11")
+	}
+	// Acquire/release forbids it.
+	tst2 := LB.Instantiate([]c11.Order{c11.Acq, c11.Rel, c11.Acq, c11.Rel})
+	res2, err := c11.Evaluate(tst2.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Allowed[tst2.Specified] {
+		t.Error("LB with acq/rel must be forbidden by C11")
+	}
+}

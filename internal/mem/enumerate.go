@@ -1,0 +1,439 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is returned by Enumerate when the visitor requested an early
+// stop; callers that stop deliberately usually ignore it.
+var ErrStopped = errors.New("mem: enumeration stopped by visitor")
+
+// ErrUnresolvable is returned when a register-carried address can never be
+// resolved (a cross-thread value dependency cycle); litmus tests in this
+// repository never trigger it.
+var ErrUnresolvable = errors.New("mem: unresolvable register-carried address")
+
+// Enumerate visits every candidate execution of p (see the package comment
+// for exactly which consistency facts are baked in). The visitor may return
+// false to stop enumeration early, in which case Enumerate returns
+// ErrStopped. The Execution passed to visit is reused; visitors must copy
+// anything they retain.
+func Enumerate(p *Program, visit func(*Execution) bool) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	p.frozen = true
+	en := &enumerator{p: p, visit: visit}
+	en.init()
+	en.assignReads()
+	if en.stopped {
+		return ErrStopped
+	}
+	if en.err == nil && !en.yielded && en.deadEnd {
+		return fmt.Errorf("%w (thread values feed addresses cyclically)", ErrUnresolvable)
+	}
+	return en.err
+}
+
+// Executions collects all candidate executions of p. Each returned
+// Execution is an independent copy.
+func Executions(p *Program) ([]*Execution, error) {
+	var out []*Execution
+	err := Enumerate(p, func(x *Execution) bool {
+		out = append(out, x.Clone())
+		return true
+	})
+	return out, err
+}
+
+// Outcomes returns the set of observer outcomes over all candidate
+// executions (before any memory-model filtering).
+func Outcomes(p *Program) (map[Outcome]bool, error) {
+	out := map[Outcome]bool{}
+	err := Enumerate(p, func(x *Execution) bool {
+		out[x.OutcomeOf()] = true
+		return true
+	})
+	return out, err
+}
+
+// Clone returns a deep copy of the execution.
+func (x *Execution) Clone() *Execution {
+	c := &Execution{
+		P:       x.P,
+		RF:      append([]int(nil), x.RF...),
+		MOIndex: append([]int(nil), x.MOIndex...),
+		LocOf:   append([]Loc(nil), x.LocOf...),
+		RVal:    append([]int64(nil), x.RVal...),
+		WVal:    append([]int64(nil), x.WVal...),
+	}
+	c.MO = make([][]int, len(x.MO))
+	for i := range x.MO {
+		c.MO[i] = append([]int(nil), x.MO[i]...)
+	}
+	return c
+}
+
+const rfUnassigned = -2
+
+type enumerator struct {
+	p       *Program
+	visit   func(*Execution) bool
+	stopped bool
+	err     error
+	yielded bool // at least one execution reached the visitor
+	deadEnd bool // some branch was pruned as value-unresolvable
+
+	reads  []*Event // reading events, (thread, index) order
+	writes []*Event // writing events, gid order
+	rf     []int    // by gid; rfUnassigned until chosen
+	done   []bool   // by position in reads
+
+	x Execution // scratch execution handed to the visitor
+}
+
+func (en *enumerator) init() {
+	p := en.p
+	en.reads = p.sortedByPO(func(e *Event) bool { return e.IsRead() })
+	for _, e := range p.events {
+		if e.IsWrite() {
+			en.writes = append(en.writes, e)
+		}
+	}
+	en.rf = make([]int, len(p.events))
+	for i := range en.rf {
+		en.rf[i] = rfUnassigned
+	}
+	en.done = make([]bool, len(en.reads))
+	en.x = Execution{
+		P:       p,
+		MOIndex: make([]int, len(p.events)),
+		LocOf:   make([]Loc, len(p.events)),
+		RVal:    make([]int64, len(p.events)),
+		WVal:    make([]int64, len(p.events)),
+	}
+}
+
+// operandValue resolves an operand evaluated by thread t at program-order
+// position idx under the current partial rf assignment. The second result
+// is false while the value still depends on an unassigned read.
+func (en *enumerator) operandValue(t, idx int, op Operand, visiting map[int]bool) (int64, bool) {
+	if op.Kind == OpConst {
+		return op.Const, true
+	}
+	// Find the latest earlier load of this thread writing the register.
+	th := en.p.Threads[t]
+	for i := idx - 1; i >= 0; i-- {
+		e := th[i]
+		if e.IsRead() && e.Dst == op.Reg {
+			return en.readValue(e.GID, visiting)
+		}
+	}
+	return 0, false // unreachable after Validate
+}
+
+// readValue resolves the value read by event gid, if determined.
+func (en *enumerator) readValue(gid int, visiting map[int]bool) (int64, bool) {
+	if visiting[gid] {
+		return 0, false // value-dependency cycle (out of thin air)
+	}
+	src := en.rf[gid]
+	switch src {
+	case rfUnassigned:
+		return 0, false
+	case InitWrite:
+		return 0, true
+	}
+	visiting[gid] = true
+	v, ok := en.writeValue(src, visiting)
+	delete(visiting, gid)
+	return v, ok
+}
+
+// writeValue resolves the value written by event gid, if determined.
+func (en *enumerator) writeValue(gid int, visiting map[int]bool) (int64, bool) {
+	e := en.p.events[gid]
+	data, ok := en.operandValue(e.Thread, e.Index, e.Data, visiting)
+	if !ok {
+		return 0, false
+	}
+	if e.Kind == Write {
+		return data, true
+	}
+	// RMW
+	old, ok := en.readValue(gid, visiting)
+	if !ok {
+		return 0, false
+	}
+	switch e.RMWOp {
+	case RMWAdd:
+		return old + data, true
+	case RMWSwap:
+		return data, true
+	}
+	return 0, false
+}
+
+// eventLoc resolves the location accessed by event gid, if determined.
+func (en *enumerator) eventLoc(gid int) (Loc, bool) {
+	e := en.p.events[gid]
+	if e.Kind == Fence {
+		return LocNone, true
+	}
+	v, ok := en.operandValue(e.Thread, e.Index, e.Addr, map[int]bool{})
+	if !ok {
+		return LocNone, false
+	}
+	return Loc(v), true
+}
+
+// assignReads recursively chooses an rf source for every reading event.
+// At each step it picks the first (thread, index)-ordered unassigned read
+// whose address is already resolvable, so that address dependencies chain
+// naturally; writes whose own location is not yet resolvable are offered as
+// candidates optimistically and checked once everything is assigned.
+func (en *enumerator) assignReads() {
+	if en.stopped || en.err != nil {
+		return
+	}
+	pick := -1
+	var pickLoc Loc
+	sawUnassigned := false
+	for i, r := range en.reads {
+		if en.done[i] {
+			continue
+		}
+		sawUnassigned = true
+		if loc, ok := en.eventLoc(r.GID); ok {
+			if loc < 0 || int(loc) >= en.p.NumLocs {
+				return // resolved to a non-location value: invalid branch
+			}
+			pick, pickLoc = i, loc
+			break
+		}
+	}
+	if !sawUnassigned {
+		en.finishReads()
+		return
+	}
+	if pick == -1 {
+		// Reads remain but none is resolvable on this branch: a value
+		// dependency cycle (out of thin air) induced by the optimistic rf
+		// choices so far. Prune the branch; if the whole enumeration ends
+		// this way, Enumerate reports ErrUnresolvable.
+		en.deadEnd = true
+		return
+	}
+	r := en.reads[pick]
+	en.done[pick] = true
+	// Candidate sources: the initial value plus every write whose location
+	// is (or may turn out to be) pickLoc.
+	en.rf[r.GID] = InitWrite
+	en.assignReads()
+	for _, w := range en.writes {
+		if en.stopped || en.err != nil {
+			break
+		}
+		if w.GID == r.GID {
+			continue
+		}
+		wloc, ok := en.eventLoc(w.GID)
+		if ok && wloc != pickLoc {
+			continue
+		}
+		en.rf[r.GID] = w.GID
+		en.assignReads()
+	}
+	en.rf[r.GID] = rfUnassigned
+	en.done[pick] = false
+}
+
+// finishReads validates the completed rf assignment (deferred location
+// checks) and proceeds to coherence-order enumeration.
+func (en *enumerator) finishReads() {
+	p := en.p
+	for _, e := range p.events {
+		loc, ok := en.eventLoc(e.GID)
+		if !ok || (e.Kind != Fence && (loc < 0 || int(loc) >= p.NumLocs)) {
+			return // still unresolved or invalid: reject branch
+		}
+		en.x.LocOf[e.GID] = loc
+	}
+	for _, r := range en.reads {
+		if src := en.rf[r.GID]; src != InitWrite {
+			if en.x.LocOf[src] != en.x.LocOf[r.GID] {
+				return // optimistic candidate turned out to mismatch
+			}
+		}
+	}
+	// Group writes by resolved location.
+	byLoc := make([][]int, p.NumLocs)
+	for _, w := range en.writes {
+		l := en.x.LocOf[w.GID]
+		byLoc[l] = append(byLoc[l], w.GID)
+	}
+	// Reject if two RMWs read from the same source: atomicity would force
+	// both to immediately follow it in mo.
+	seenSrc := map[int]bool{}
+	for _, w := range en.writes {
+		if w.Kind != RMW {
+			continue
+		}
+		src := en.rf[w.GID]
+		if seenSrc[src] && src != InitWrite {
+			return
+		}
+		if src == InitWrite {
+			// Two init-reading RMWs on the same location also conflict.
+			key := -1000 - int(en.x.LocOf[w.GID])
+			if seenSrc[key] {
+				return
+			}
+			seenSrc[key] = true
+			continue
+		}
+		seenSrc[src] = true
+	}
+	en.x.MO = make([][]int, p.NumLocs)
+	en.enumerateMO(byLoc, 0)
+}
+
+// enumerateMO enumerates per-location coherence orders consistent with
+// program order (CoWW) and RMW atomicity, location by location.
+func (en *enumerator) enumerateMO(byLoc [][]int, l int) {
+	if en.stopped || en.err != nil {
+		return
+	}
+	if l == len(byLoc) {
+		en.finishExecution()
+		return
+	}
+	ws := byLoc[l]
+	if len(ws) == 0 {
+		en.x.MO[l] = nil
+		en.enumerateMO(byLoc, l+1)
+		return
+	}
+	perm := make([]int, 0, len(ws))
+	used := make([]bool, len(ws))
+	var rec func()
+	rec = func() {
+		if en.stopped || en.err != nil {
+			return
+		}
+		if len(perm) == len(ws) {
+			en.x.MO[l] = perm
+			for i, w := range perm {
+				en.x.MOIndex[w] = i + 1
+			}
+			en.enumerateMO(byLoc, l+1)
+			return
+		}
+		// If an unplaced RMW reads from the most recently placed write (or
+		// from init at position 0), it must come next.
+		forced := -1
+		var prev int // source a next-placed RMW must have
+		if len(perm) == 0 {
+			prev = InitWrite
+		} else {
+			prev = perm[len(perm)-1]
+		}
+		for i, w := range ws {
+			if used[i] {
+				continue
+			}
+			e := en.p.events[w]
+			if e.Kind == RMW && en.rf[w] == prev {
+				// Only force if prev is actually this RMW's source; for
+				// init sources this only applies at position 0.
+				if prev != InitWrite || len(perm) == 0 {
+					forced = i
+					break
+				}
+			}
+		}
+		for i, w := range ws {
+			if used[i] {
+				continue
+			}
+			if forced >= 0 && i != forced {
+				continue
+			}
+			e := en.p.events[w]
+			// CoWW: same-thread writes to this location in program order.
+			ok := true
+			for j, w2 := range ws {
+				if !used[j] && j != i && en.p.events[w2].Thread == e.Thread && en.p.events[w2].Index < e.Index {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// RMW atomicity: an RMW may only be placed right after its
+			// source (or first, if it reads init).
+			if e.Kind == RMW && en.rf[w] != prev {
+				continue
+			}
+			// Conversely, if the previous write is some RMW's source, only
+			// that RMW may follow (forced above); additionally no placed
+			// RMW may be followed by a write that breaks adjacency — the
+			// "forced" rule already guarantees this.
+			used[i] = true
+			perm = append(perm, w)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+	}
+	rec()
+}
+
+// finishExecution applies the CoWR/CoRW filters, resolves all values and
+// hands the candidate to the visitor.
+func (en *enumerator) finishExecution() {
+	p := en.p
+	x := &en.x
+	// CoWR / CoRW with respect to same-thread writes.
+	for _, r := range en.reads {
+		loc := x.LocOf[r.GID]
+		srcIdx := 0
+		if s := en.rf[r.GID]; s != InitWrite {
+			srcIdx = x.MOIndex[s]
+		}
+		for _, e := range p.Threads[r.Thread] {
+			if !e.IsWrite() || e.GID == r.GID || x.LocOf[e.GID] != loc {
+				continue
+			}
+			if e.Index < r.Index && x.MOIndex[e.GID] > srcIdx {
+				return // CoWR: read an older value than our own prior write
+			}
+			if e.Index > r.Index && x.MOIndex[e.GID] <= srcIdx {
+				return // CoRW: read our own (or a newer-than-own) later write
+			}
+		}
+	}
+	// Resolve all values; reject executions with undetermined values
+	// (out-of-thin-air cycles).
+	for _, r := range en.reads {
+		v, ok := en.readValue(r.GID, map[int]bool{})
+		if !ok {
+			return
+		}
+		x.RVal[r.GID] = v
+	}
+	for _, w := range en.writes {
+		v, ok := en.writeValue(w.GID, map[int]bool{})
+		if !ok {
+			return
+		}
+		x.WVal[w.GID] = v
+	}
+	x.RF = en.rf
+	en.yielded = true
+	if !en.visit(x) {
+		en.stopped = true
+	}
+}

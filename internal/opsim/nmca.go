@@ -1,0 +1,358 @@
+package opsim
+
+import (
+	"fmt"
+	"strings"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+)
+
+// NMCASimulator is an operational model of the nWR microarchitecture:
+// per-core store visibility (non-multiple-copy-atomic stores) on top of an
+// in-order core with a forwarding FIFO store buffer. It cross-validates
+// the axiomatic nWR µhb model — the substrate on which the paper's
+// cumulativity bugs (WRC, RWC, IRIW) live.
+//
+// Memory is modelled the CCICheck way: draining a store appends it to a
+// global per-location coherence order; each core then *applies* drained
+// writes at its own pace, subject to
+//
+//   - coherence: a core applies same-location writes in the global order;
+//   - source FIFO: a core applies writes from one source thread in that
+//     thread's drain order (the FIFO buffer of nWR maintains W→W, and the
+//     non-cumulative fences' W→W ordering is per-core pointwise);
+//   - store atomicity annotations: an AMO carrying the current-spec
+//     aq.rl combination applies to every core at one instant.
+//
+// A W→R fence (or an rl-annotated AMO) additionally waits until the
+// thread's own drained writes have been applied by every core — the
+// operational reading of the axiomatic "flush" edges.
+type NMCASimulator struct {
+	p       *isa.Program
+	maxRegs []int
+	seen    map[string]bool
+	out     map[mem.Outcome]bool
+	// States counts distinct explored configurations.
+	States int
+}
+
+// NewNMCA returns an operational nWR simulator.
+func NewNMCA(p *isa.Program) *NMCASimulator {
+	base := New(p)
+	return &NMCASimulator{p: p, maxRegs: base.maxRegs, seen: map[string]bool{}, out: map[mem.Outcome]bool{}}
+}
+
+// drained is one coherence-ordered write.
+type drained struct {
+	loc    mem.Loc
+	val    int64
+	src    int // source thread
+	srcSeq int // position in the source's drain order
+	atomic bool
+}
+
+// nstate is a full nMCA machine configuration.
+type nstate struct {
+	pc       []int
+	regs     [][]int64
+	sb       [][]sbEntry
+	order    [][]int // per location: indices into writes, coherence order
+	writes   []drained
+	applied  [][]int // applied[c][loc]: prefix of order[loc] applied at c
+	drainSeq []int   // per thread: number of writes drained so far
+}
+
+func (s *nstate) clone() *nstate {
+	c := &nstate{
+		pc:       append([]int(nil), s.pc...),
+		writes:   append([]drained(nil), s.writes...),
+		drainSeq: append([]int(nil), s.drainSeq...),
+	}
+	c.regs = make([][]int64, len(s.regs))
+	for i := range s.regs {
+		c.regs[i] = append([]int64(nil), s.regs[i]...)
+	}
+	c.sb = make([][]sbEntry, len(s.sb))
+	for i := range s.sb {
+		c.sb[i] = append([]sbEntry(nil), s.sb[i]...)
+	}
+	c.order = make([][]int, len(s.order))
+	for i := range s.order {
+		c.order[i] = append([]int(nil), s.order[i]...)
+	}
+	c.applied = make([][]int, len(s.applied))
+	for i := range s.applied {
+		c.applied[i] = append([]int(nil), s.applied[i]...)
+	}
+	return c
+}
+
+func (s *nstate) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%v|%v|%v|%v|%v|", s.pc, s.regs, s.order, s.applied, s.drainSeq, s.writes)
+	for _, q := range s.sb {
+		fmt.Fprintf(&b, "%v;", q)
+	}
+	return b.String()
+}
+
+// view returns the value of loc as core c currently sees it (latest
+// applied write, or the initial 0).
+func (s *nstate) view(c int, loc mem.Loc) int64 {
+	n := s.applied[c][loc]
+	if n == 0 {
+		return 0
+	}
+	return s.writes[s.order[loc][n-1]].val
+}
+
+// caughtUp reports whether core c has applied every drained write to loc.
+func (s *nstate) caughtUp(c int, loc mem.Loc) bool {
+	return s.applied[c][loc] == len(s.order[loc])
+}
+
+// canApply reports whether core c may apply the next write to loc:
+// coherence gives the candidate; source FIFO requires all earlier-drained
+// writes from the same source applied at c first.
+func (s *nstate) canApply(c int, loc mem.Loc) bool {
+	n := s.applied[c][loc]
+	if n >= len(s.order[loc]) {
+		return false
+	}
+	w := s.writes[s.order[loc][n]]
+	for l := range s.order {
+		for i := s.applied[c][l]; i < len(s.order[l]); i++ {
+			prev := s.writes[s.order[l][i]]
+			if prev.src == w.src && prev.srcSeq < w.srcSeq {
+				return false // an earlier same-source write is still unapplied here
+			}
+		}
+	}
+	return true
+}
+
+// ownWritesGloballyApplied reports whether every write thread t has
+// drained so far is applied at every core (the W→R flush condition).
+func (s *nstate) ownWritesGloballyApplied(t int) bool {
+	for c := range s.applied {
+		for l := range s.order {
+			for i := s.applied[c][l]; i < len(s.order[l]); i++ {
+				if s.writes[s.order[l][i]].src == t {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Outcomes exhaustively explores the machine and returns the reachable
+// final states (cores quiesce: buffers empty, every write applied
+// everywhere — eventual visibility).
+func (s *NMCASimulator) Outcomes() map[mem.Outcome]bool {
+	nlocs := s.p.Mem().NumLocs
+	n := s.p.NumThreads()
+	init := &nstate{
+		pc:       make([]int, n),
+		regs:     make([][]int64, n),
+		sb:       make([][]sbEntry, n),
+		order:    make([][]int, nlocs),
+		applied:  make([][]int, n),
+		drainSeq: make([]int, n),
+	}
+	for t := 0; t < n; t++ {
+		init.regs[t] = make([]int64, s.maxRegs[t])
+		init.applied[t] = make([]int, nlocs)
+	}
+	s.explore(init)
+	return s.out
+}
+
+func (s *NMCASimulator) explore(st *nstate) {
+	k := st.key()
+	if s.seen[k] {
+		return
+	}
+	s.seen[k] = true
+	s.States++
+	progress := false
+	n := s.p.NumThreads()
+	// Apply actions: any core advances any location's visibility.
+	for c := 0; c < n; c++ {
+		for l := range st.order {
+			if st.canApply(c, mem.Loc(l)) {
+				progress = true
+				next := st.clone()
+				next.applied[c][l]++
+				s.explore(next)
+			}
+		}
+	}
+	for t := 0; t < n; t++ {
+		// Drain: move the SB head into the coherence order. The draining
+		// core must be caught up on the location (it acquires the line)
+		// and applies its own write immediately.
+		if len(st.sb[t]) > 0 && st.caughtUp(t, st.sb[t][0].loc) {
+			progress = true
+			next := st.clone()
+			e := next.sb[t][0]
+			next.sb[t] = next.sb[t][1:]
+			s.appendWrite(next, t, e.loc, e.val, false)
+			s.explore(next)
+		}
+		// Execute the next instruction.
+		if st.pc[t] < len(s.p.Instrs[t]) {
+			ins := s.p.Instrs[t][st.pc[t]]
+			if s.blocked(st, t, ins) {
+				continue
+			}
+			progress = true
+			next := st.clone()
+			s.execute(next, t, ins)
+			next.pc[t]++
+			s.explore(next)
+		}
+	}
+	if !progress {
+		s.out[s.finalOutcome(st)] = true
+	}
+}
+
+// appendWrite adds a drained/executed write to the coherence order and
+// applies it at the writing core (and, for atomic writes, everywhere).
+func (s *NMCASimulator) appendWrite(st *nstate, t int, loc mem.Loc, val int64, atomic bool) {
+	id := len(st.writes)
+	st.writes = append(st.writes, drained{loc: loc, val: val, src: t, srcSeq: st.drainSeq[t], atomic: atomic})
+	st.drainSeq[t]++
+	st.order[loc] = append(st.order[loc], id)
+	st.applied[t][loc] = len(st.order[loc])
+	if atomic {
+		for c := range st.applied {
+			st.applied[c][loc] = len(st.order[loc])
+		}
+	}
+}
+
+func (s *NMCASimulator) operand(st *nstate, t int, op mem.Operand) int64 {
+	if op.Kind == mem.OpConst {
+		return op.Const
+	}
+	return st.regs[t][op.Reg]
+}
+
+func (s *NMCASimulator) loc(st *nstate, t int, ins *isa.Instr) mem.Loc {
+	return mem.Loc(s.operand(st, t, ins.Addr))
+}
+
+// scAtomic reports whether the AMO is store atomic under the current spec
+// (aq.rl; this simulator models riscv-curr nWR).
+func scAtomic(ins *isa.Instr) bool { return ins.Aq && ins.Rl }
+
+func (s *NMCASimulator) blocked(st *nstate, t int, ins *isa.Instr) bool {
+	switch {
+	case ins.Op == isa.OpLoad:
+		return false // forwarding store buffer, W→R relaxed
+	case ins.Op == isa.OpAMOLoad:
+		// Reads at the memory system: no same-location entry may be
+		// buffered; rl additionally waits for the whole buffer and for
+		// global visibility of own writes.
+		l := s.loc(st, t, ins)
+		for _, e := range st.sb[t] {
+			if e.loc == l {
+				return true
+			}
+		}
+		if ins.Rl && (len(st.sb[t]) > 0 || !st.ownWritesGloballyApplied(t)) {
+			return true
+		}
+		return false
+	case ins.Op.IsAMO():
+		// Writing AMOs flush the buffer (W→W + not-buffered), acquire the
+		// line (caught up on the location), and under rl wait for their
+		// earlier writes to be globally... only pointwise per-core — the
+		// source-FIFO application rule handles that; a *store-atomic* AMO
+		// instead needs every core caught up so its instant is well
+		// defined.
+		if len(st.sb[t]) > 0 || !st.caughtUp(t, s.loc(st, t, ins)) {
+			return true
+		}
+		if scAtomic(ins) {
+			l := s.loc(st, t, ins)
+			for c := range st.applied {
+				if !st.caughtUp(c, l) {
+					return true
+				}
+			}
+		}
+		return false
+	case ins.Op == isa.OpFence:
+		// W→R fences flush: own buffer empty and own writes applied
+		// everywhere. Other classes are covered by in-order execution and
+		// the source-FIFO application rule.
+		if ins.Pred.HasW() && ins.Succ.HasR() && ins.Cum != isa.CumLW {
+			return len(st.sb[t]) > 0 || !st.ownWritesGloballyApplied(t)
+		}
+	}
+	return false
+}
+
+func (s *NMCASimulator) execute(st *nstate, t int, ins *isa.Instr) {
+	switch ins.Op {
+	case isa.OpLoad:
+		l := s.loc(st, t, ins)
+		val := st.view(t, l)
+		for i := len(st.sb[t]) - 1; i >= 0; i-- {
+			if st.sb[t][i].loc == l {
+				val = st.sb[t][i].val
+				break
+			}
+		}
+		st.regs[t][ins.Dst] = val
+	case isa.OpStore:
+		st.sb[t] = append(st.sb[t], sbEntry{loc: s.loc(st, t, ins), val: s.operand(st, t, ins.Data)})
+	case isa.OpAMOLoad:
+		st.regs[t][ins.Dst] = st.view(t, s.loc(st, t, ins))
+	case isa.OpAMOStore:
+		s.appendWrite(st, t, s.loc(st, t, ins), s.operand(st, t, ins.Data), scAtomic(ins))
+	case isa.OpAMOSwap:
+		l := s.loc(st, t, ins)
+		if ins.Dst != mem.NoDst {
+			st.regs[t][ins.Dst] = st.view(t, l)
+		}
+		s.appendWrite(st, t, l, s.operand(st, t, ins.Data), scAtomic(ins))
+	case isa.OpAMOAdd:
+		l := s.loc(st, t, ins)
+		old := st.view(t, l)
+		if ins.Dst != mem.NoDst {
+			st.regs[t][ins.Dst] = old
+		}
+		s.appendWrite(st, t, l, old+s.operand(st, t, ins.Data), scAtomic(ins))
+	case isa.OpFence:
+		// Ordering handled in blocked().
+	}
+}
+
+func (s *NMCASimulator) finalOutcome(st *nstate) mem.Outcome {
+	mp := s.p.Mem()
+	o := mem.OutcomeFromValues(mp.Observers, func(ob mem.Observer) int64 {
+		return st.regs[ob.Thread][ob.Reg]
+	})
+	if len(mp.MemObservers) == 0 {
+		return o
+	}
+	parts := make([]string, 0, len(mp.MemObservers))
+	for _, m := range mp.MemObservers {
+		n := len(st.order[m.Loc])
+		var v int64
+		if n > 0 {
+			v = st.writes[st.order[m.Loc][n-1]].val
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", m.Label, v))
+	}
+	memPart := mem.Outcome(strings.Join(parts, "; "))
+	if o == "" {
+		return memPart
+	}
+	return o + "; " + memPart
+}

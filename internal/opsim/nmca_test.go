@@ -1,0 +1,172 @@
+package opsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/compile"
+	"tricheck/internal/isa"
+	"tricheck/internal/isa/riscv"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+	"tricheck/internal/uspec"
+)
+
+// crossCheckNMCA asserts operational/axiomatic agreement on the nWR model.
+func crossCheckNMCA(t *testing.T, name string, p *isa.Program) bool {
+	t.Helper()
+	op := NewNMCA(p).Outcomes()
+	ax, err := uspec.NWR(uspec.Curr).Evaluate(p)
+	if err != nil {
+		t.Fatalf("%s: axiomatic: %v", name, err)
+	}
+	ok := true
+	for o := range op {
+		if !ax.Observable[o] {
+			t.Errorf("%s: outcome %q reachable operationally but forbidden axiomatically on nWR", name, o)
+			ok = false
+		}
+	}
+	for o := range ax.Observable {
+		if !op[o] {
+			t.Errorf("%s: outcome %q observable axiomatically on nWR but unreachable operationally", name, o)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// TestNMCAOperationalMatchesAxiomatic cross-checks the nWR model on the
+// paper's bug-bearing shapes under both mappings.
+func TestNMCAOperationalMatchesAxiomatic(t *testing.T) {
+	cases := []struct {
+		shape  *litmus.Shape
+		orders []c11.Order
+	}{
+		{litmus.WRC, []c11.Order{c11.Rlx, c11.Rlx, c11.Rel, c11.Acq, c11.Rlx}},
+		{litmus.WRC, []c11.Order{c11.SC, c11.Rlx, c11.Rel, c11.Acq, c11.Rlx}},
+		{litmus.MP, []c11.Order{c11.Rlx, c11.Rel, c11.Acq, c11.Rlx}},
+		{litmus.MP, []c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx}},
+		{litmus.SB, []c11.Order{c11.SC, c11.SC, c11.SC, c11.SC}},
+		{litmus.SB, []c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx}},
+		{litmus.CoRR, []c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx}},
+		{litmus.RWC, []c11.Order{c11.SC, c11.Acq, c11.SC, c11.SC, c11.SC}},
+	}
+	for _, mapping := range []*compile.Mapping{compile.RISCVBaseIntuitive, compile.RISCVAtomicsIntuitive} {
+		for _, cse := range cases {
+			tst := cse.shape.Instantiate(cse.orders)
+			prog, err := compile.Compile(mapping, tst.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crossCheckNMCA(t, tst.Name+"/"+mapping.Name, prog)
+		}
+	}
+}
+
+// TestNMCAOperationalIRIW: the nMCA machine reaches the IRIW outcome with
+// relaxed loads — per-core application orders genuinely diverge — and the
+// intuitive SC mapping (non-cumulative fences) fails to forbid it, the
+// paper's Section 5.1.2 bug reproduced operationally.
+func TestNMCAOperationalIRIW(t *testing.T) {
+	rlx := litmus.IRIW.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, rlx.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NewNMCA(prog).Outcomes()[rlx.Specified] {
+		t.Error("IRIW unreachable on the operational nMCA machine")
+	}
+	sc := litmus.IRIW.Instantiate([]c11.Order{c11.SC, c11.SC, c11.SC, c11.SC, c11.SC, c11.SC})
+	prog2, err := compile.Compile(compile.RISCVBaseIntuitive, sc.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewNMCA(prog2)
+	if !sim.Outcomes()[sc.Specified] {
+		t.Error("non-cumulative fences forbade IRIW operationally — §5.1.2 bug not reproduced")
+	}
+	if sim.States == 0 {
+		t.Error("no states explored")
+	}
+}
+
+// TestNMCAOperationalWRCBug: the WRC causality violation is reachable
+// operationally on nWR under the intuitive Base mapping (the §5.1.1 bug),
+// and unreachable on the MCA WR machine.
+func TestNMCAOperationalWRCBug(t *testing.T) {
+	tst := litmus.WRC.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rel, c11.Acq, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !NewNMCA(prog).Outcomes()[tst.Specified] {
+		t.Error("WRC bug unreachable on the operational nMCA machine")
+	}
+	if New(prog).Outcomes()[tst.Specified] {
+		t.Error("WRC bug reachable on the MCA machine — store atomicity broken")
+	}
+}
+
+// TestFuzzDifferentialNMCA: random programs agree between the operational
+// nWR machine and the axiomatic nWR model.
+func TestFuzzDifferentialNMCA(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		op := NewNMCA(p).Outcomes()
+		ax, err := uspec.NWR(uspec.Curr).Evaluate(p)
+		if err != nil {
+			t.Logf("axiomatic error: %v\n%s", err, p)
+			return false
+		}
+		for o := range op {
+			if !ax.Observable[o] {
+				t.Logf("outcome %q reachable operationally, forbidden axiomatically on nWR\n%s", o, p)
+				return false
+			}
+		}
+		for o := range ax.Observable {
+			if !op[o] {
+				t.Logf("outcome %q observable axiomatically on nWR, unreachable operationally\n%s", o, p)
+				return false
+			}
+		}
+		return true
+	}
+	n := 80
+	if testing.Short() {
+		n = 15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNMCAAtomicAMOInstantVisibility: a store-atomic AMO (aq.rl) becomes
+// visible to all cores at one instant — no reader order disagreement.
+func TestNMCAAtomicAMOInstantVisibility(t *testing.T) {
+	// IRIW with both writers as aq.rl AMO stores and relaxed readers: the
+	// readers may still disagree? No: atomic writes apply everywhere at
+	// once, but the two readers' loads interleave freely — the classic
+	// result is that IRIW needs nMCA *stores*; with MCA stores it is
+	// unobservable even with plain loads on in-order cores.
+	p := isa.NewProgram(isa.RISCV, 2, "x", "y")
+	p.Add(0, riscv.AMOStore(mem.Const(1), mem.Const(0), true, true, false))
+	p.Add(1, riscv.AMOStore(mem.Const(1), mem.Const(1), true, true, false))
+	p.Add(2, riscv.LW(0, mem.Const(0)))
+	p.Add(2, riscv.LW(1, mem.Const(1)))
+	p.Add(3, riscv.LW(2, mem.Const(1)))
+	p.Add(3, riscv.LW(3, mem.Const(0)))
+	p.Observe(2, 0, "r0")
+	p.Observe(2, 1, "r1")
+	p.Observe(3, 2, "r2")
+	p.Observe(3, 3, "r3")
+	out := NewNMCA(p).Outcomes()
+	if out["r0=1; r1=0; r2=1; r3=0"] {
+		t.Error("IRIW reachable with store-atomic writers on in-order readers")
+	}
+	crossCheckNMCA(t, "iriw-atomic-writers", p)
+}

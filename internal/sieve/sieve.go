@@ -1,0 +1,157 @@
+// Package sieve implements the parallel Sieve of Eratosthenes benchmark of
+// the paper's Figure 2 (after Boehm, "Threads cannot be implemented as a
+// library"): the algorithm is correct with any amount of synchronization,
+// so its flag reads and writes can use relaxed atomics, relaxed atomics
+// plus ARM's dmb-after-load hazard fix, or sequentially consistent
+// atomics. The three variants run on the simulated multicore of
+// internal/timing, and their simulated runtimes reproduce the shape of
+// Figure 2.
+package sieve
+
+import (
+	"fmt"
+	"math"
+
+	"tricheck/internal/timing"
+)
+
+// Variant selects the atomics flavour of Figure 2.
+type Variant uint8
+
+// Figure 2's three variants.
+const (
+	// Relaxed uses relaxed atomic loads and stores (plain ldr/str on ARM).
+	Relaxed Variant = iota
+	// RelaxedFixed is Relaxed plus a dmb after every atomic load — ARM's
+	// recommended workaround for the Cortex-A9 load→load hazard.
+	RelaxedFixed
+	// SCAtomics uses sequentially consistent atomics: dmb fences
+	// surrounding stores plus dmb after loads (the standard ARM recipe).
+	SCAtomics
+)
+
+// String names the variant like the Figure 2 legend.
+func (v Variant) String() string {
+	switch v {
+	case Relaxed:
+		return "RLX atomics"
+	case RelaxedFixed:
+		return "RLX atomics (with ld-ld hazard fix)"
+	case SCAtomics:
+		return "SC atomics (DMB mapping)"
+	}
+	return fmt.Sprintf("Variant(%d)", uint8(v))
+}
+
+// Result is one simulated run.
+type Result struct {
+	Variant Variant
+	Threads int
+	N       int
+	// Primes is the number of primes found (a correctness check).
+	Primes int
+	// Cycles is the simulated runtime.
+	Cycles float64
+}
+
+// Run sieves the primes below n with the given thread count and atomics
+// variant on a simulated machine, returning the prime count and simulated
+// cycles. The marking work for each prime is strided across threads; a
+// barrier separates primes, as in the usual parallel formulation.
+func Run(variant Variant, threads, n int, cfg timing.Config) Result {
+	if threads < 1 || n < 2 {
+		return Result{Variant: variant, Threads: threads, N: n}
+	}
+	m := timing.NewMachine(threads, cfg)
+	composite := make([]bool, n)
+	limit := int(math.Sqrt(float64(n)))
+
+	load := func(c, idx int) bool {
+		m.Load(c)
+		if variant == RelaxedFixed || variant == SCAtomics {
+			m.FenceAfterLoad(c)
+		}
+		return composite[idx]
+	}
+	store := func(c, idx int) {
+		if variant == SCAtomics {
+			m.FenceNearStore(c)
+		}
+		m.Store(c)
+		if variant == SCAtomics {
+			m.FenceNearStore(c)
+		}
+		composite[idx] = true
+	}
+
+	for p := 2; p <= limit; p++ {
+		// Every thread reads the flag to decide whether p is prime.
+		prime := false
+		for c := 0; c < threads; c++ {
+			prime = !load(c, p)
+		}
+		if !prime {
+			continue
+		}
+		// Mark multiples of p. Each thread owns a contiguous block of the
+		// remaining range (the textbook partitioning — round-robin
+		// assignment would correlate with the parity of the multiples and
+		// skew store work across threads). Each thread checks the flag
+		// before dirtying the line, as the benchmark's inner loop does
+		// ("reading and marking of entries").
+		span := (n - p*p + threads - 1) / threads
+		if span < 1 {
+			span = 1
+		}
+		for c := 0; c < threads; c++ {
+			lo := p*p + c*span
+			hi := lo + span
+			if hi > n {
+				hi = n
+			}
+			first := ((lo + p - 1) / p) * p
+			for mult := first; mult < hi; mult += p {
+				if !load(c, mult) {
+					store(c, mult)
+				}
+				m.Local(c, 1)
+			}
+		}
+		m.Barrier()
+	}
+	// Count primes (serial epilogue, not timed as shared traffic).
+	count := 0
+	for i := 2; i < n; i++ {
+		if !composite[i] {
+			count++
+		}
+	}
+	return Result{Variant: variant, Threads: threads, N: n, Primes: count, Cycles: m.Elapsed()}
+}
+
+// Figure2Point holds the three variant runtimes at one thread count.
+type Figure2Point struct {
+	Threads                  int
+	Relaxed, Fixed, SC       float64
+	FixOverhead, SCOverFixed float64 // ratios − 1
+}
+
+// Figure2 sweeps thread counts 1..maxThreads for problem size n and
+// returns the three runtime series — the data behind the paper's Figure 2.
+func Figure2(n, maxThreads int, cfg timing.Config) []Figure2Point {
+	var out []Figure2Point
+	for t := 1; t <= maxThreads; t++ {
+		rlx := Run(Relaxed, t, n, cfg)
+		fix := Run(RelaxedFixed, t, n, cfg)
+		sc := Run(SCAtomics, t, n, cfg)
+		out = append(out, Figure2Point{
+			Threads:     t,
+			Relaxed:     rlx.Cycles,
+			Fixed:       fix.Cycles,
+			SC:          sc.Cycles,
+			FixOverhead: fix.Cycles/rlx.Cycles - 1,
+			SCOverFixed: sc.Cycles/fix.Cycles - 1,
+		})
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package sieve
+
+import (
+	"testing"
+
+	"tricheck/internal/timing"
+)
+
+// knownPrimeCounts: π(n) reference values.
+var knownPrimeCounts = map[int]int{
+	100:     25,
+	1000:    168,
+	10000:   1229,
+	100000:  9592,
+	1000000: 78498,
+}
+
+// TestSieveCorrectness: the simulated sieve computes π(n) exactly for
+// every variant and thread count — the benchmark's defining property is
+// that synchronization strength cannot change its result.
+func TestSieveCorrectness(t *testing.T) {
+	cfg := timing.DefaultConfig()
+	for _, n := range []int{100, 1000, 10000} {
+		for _, v := range []Variant{Relaxed, RelaxedFixed, SCAtomics} {
+			for _, threads := range []int{1, 2, 3, 8} {
+				r := Run(v, threads, n, cfg)
+				if r.Primes != knownPrimeCounts[n] {
+					t.Errorf("%v t=%d n=%d: %d primes, want %d", v, threads, n, r.Primes, knownPrimeCounts[n])
+				}
+			}
+		}
+	}
+}
+
+// TestFigure2Shape pins the qualitative content of the paper's Figure 2:
+//  1. every variant speeds up with threads,
+//  2. the hazard fix is always slower than uncorrected relaxed atomics,
+//  3. the fix costs roughly 15% at 8 threads (paper: 15.3%),
+//  4. the fixed variant degrades to the level of SC atomics at 8 threads,
+//     while SC is much slower than the fix at 1 thread.
+func TestFigure2Shape(t *testing.T) {
+	pts := Figure2(200000, 8, timing.DefaultConfig())
+	if len(pts) != 8 {
+		t.Fatalf("%d points, want 8", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Relaxed >= pts[i-1].Relaxed {
+			t.Errorf("relaxed not scaling at %d threads", pts[i].Threads)
+		}
+		if pts[i].SC >= pts[i-1].SC {
+			t.Errorf("SC not scaling at %d threads", pts[i].Threads)
+		}
+	}
+	for _, p := range pts {
+		if p.Fixed <= p.Relaxed {
+			t.Errorf("fix not slower than relaxed at %d threads", p.Threads)
+		}
+		if p.SC < p.Fixed {
+			t.Errorf("SC faster than fix at %d threads", p.Threads)
+		}
+	}
+	at8 := pts[7]
+	if at8.FixOverhead < 0.10 || at8.FixOverhead > 0.20 {
+		t.Errorf("fix overhead at 8 threads = %.1f%%, want ~15%%", 100*at8.FixOverhead)
+	}
+	if at8.SCOverFixed > 0.06 {
+		t.Errorf("SC-vs-fix gap at 8 threads = %.1f%%, want <6%% (convergence)", 100*at8.SCOverFixed)
+	}
+	at1 := pts[0]
+	if at1.SCOverFixed < 0.15 {
+		t.Errorf("SC-vs-fix gap at 1 thread = %.1f%%, want >15%%", 100*at1.SCOverFixed)
+	}
+	// The gap must narrow monotonically-ish: compare endpoints.
+	if at8.SCOverFixed >= at1.SCOverFixed {
+		t.Error("SC/fix gap does not narrow with threads")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for _, v := range []Variant{Relaxed, RelaxedFixed, SCAtomics} {
+		if v.String() == "" {
+			t.Error("empty variant name")
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	r := Run(Relaxed, 0, 100, timing.DefaultConfig())
+	if r.Primes != 0 || r.Cycles != 0 {
+		t.Errorf("zero threads should be a no-op, got %+v", r)
+	}
+	r2 := Run(Relaxed, 2, 1, timing.DefaultConfig())
+	if r2.Primes != 0 {
+		t.Errorf("n=1 has no primes, got %d", r2.Primes)
+	}
+}

@@ -1,0 +1,125 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestContentionScaling(t *testing.T) {
+	cfg := DefaultConfig()
+	m1 := NewMachine(1, cfg)
+	m8 := NewMachine(8, cfg)
+	if m1.Contention() != 1 {
+		t.Errorf("single-core contention = %v, want 1", m1.Contention())
+	}
+	if m8.Contention() <= m1.Contention() {
+		t.Error("contention must grow with cores")
+	}
+	m1.Load(0)
+	m8.Load(0)
+	if m8.Elapsed() <= m1.Elapsed() {
+		t.Error("contended load must cost more")
+	}
+}
+
+func TestStoreBufferDrainExposure(t *testing.T) {
+	cfg := DefaultConfig()
+	// On one core the full drain latency is exposed at a fence.
+	m := NewMachine(1, cfg)
+	m.Store(0)
+	base := m.Elapsed()
+	m.FenceNearStore(0)
+	exposed := m.Elapsed() - base
+	want := cfg.StoreFenceSerial + cfg.DrainUnit // contention factor is 1
+	if !approx(exposed, want) {
+		t.Errorf("exposed fence cost = %v, want %v", exposed, want)
+	}
+	// On many cores the drain hides under contention stalls.
+	m8 := NewMachine(8, cfg)
+	m8.Store(0)
+	base8 := m8.Elapsed()
+	m8.FenceNearStore(0)
+	exposed8 := m8.Elapsed() - base8
+	if exposed8 >= exposed {
+		t.Errorf("fence exposure at 8 cores (%v) should be below 1 core (%v)", exposed8, exposed)
+	}
+}
+
+func TestFenceClearsStoreBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(1, cfg)
+	for i := 0; i < 4; i++ {
+		m.Store(0)
+	}
+	m.FenceAfterLoad(0)
+	before := m.Elapsed()
+	m.FenceAfterLoad(0) // buffer now empty: only serialization cost
+	if got := m.Elapsed() - before; !approx(got, cfg.LoadFenceSerial) {
+		t.Errorf("second fence cost %v, want serialization only (%v)", got, cfg.LoadFenceSerial)
+	}
+}
+
+func TestStoreBufferCapStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SBSize = 2
+	m := NewMachine(1, cfg)
+	m.Store(0)
+	m.Store(0)
+	two := m.Elapsed()
+	m.Store(0) // full: must stall one drain
+	if got := m.Elapsed() - two; !approx(got, cfg.StoreCost+cfg.DrainUnit) {
+		t.Errorf("overflowing store cost %v, want %v", got, cfg.StoreCost+cfg.DrainUnit)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(2, cfg)
+	m.Load(0)
+	m.Load(0)
+	m.Load(1)
+	m.Barrier()
+	if m.CoreClock(0) != m.CoreClock(1) {
+		t.Error("barrier did not equalize clocks")
+	}
+	if m.CoreClock(0) <= 2*cfg.LoadCost {
+		t.Error("barrier cost missing")
+	}
+}
+
+// TestQuickClocksMonotone: no operation sequence ever decreases a clock.
+func TestQuickClocksMonotone(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(ops []uint8) bool {
+		m := NewMachine(4, cfg)
+		prev := make([]float64, 4)
+		for i, op := range ops {
+			c := i % 4
+			switch op % 5 {
+			case 0:
+				m.Load(c)
+			case 1:
+				m.Store(c)
+			case 2:
+				m.FenceAfterLoad(c)
+			case 3:
+				m.FenceNearStore(c)
+			case 4:
+				m.Barrier()
+			}
+			for cc := 0; cc < 4; cc++ {
+				if m.CoreClock(cc) < prev[cc] {
+					return false
+				}
+				prev[cc] = m.CoreClock(cc)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

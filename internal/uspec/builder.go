@@ -1,0 +1,660 @@
+package uspec
+
+import (
+	"fmt"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+	"tricheck/internal/uhb"
+)
+
+// Node slots per instruction. Every instruction reserves the full layout;
+// unused slots remain isolated nodes and cannot affect acyclicity.
+const (
+	slotFetch = iota
+	slotExec
+	slotPerform // loads and AMO read parts perform here
+	slotSBEnter // stores and AMO write parts enter the store buffer
+	slotGetM    // A9like: write-permission request (cache protocol)
+	slotVis0    // first visibility slot; nMCA uses one per core
+)
+
+// builder constructs the µhb graph of one execution candidate.
+type builder struct {
+	m *Model
+	p *isa.Program
+	x *mem.Execution
+	g *uhb.Graph
+
+	ev []*mem.Event
+	C  int // cores (threads)
+	K  int // node slots per instruction
+}
+
+// BuildGraph constructs the µhb graph of execution x of program p under the
+// model's axioms. The graph is acyclic iff the execution is observable.
+func (m *Model) BuildGraph(p *isa.Program, x *mem.Execution) *uhb.Graph {
+	C := p.NumThreads()
+	if C < 1 {
+		C = 1
+	}
+	maxV := 1
+	if m.NMCA {
+		maxV = C
+	}
+	K := slotVis0 + maxV + 1 // + Complete
+	b := &builder{m: m, p: p, x: x, ev: p.Mem().Events(), C: C, K: K}
+	b.g = uhb.NewGraph(len(b.ev) * K)
+	b.label()
+	b.pipeline()
+	b.ppo()
+	b.deps()
+	b.coherence()
+	b.values()
+	b.fences()
+	b.amoBits()
+	return b.g
+}
+
+// Node accessors.
+func (b *builder) node(gid, slot int) int { return gid*b.K + slot }
+func (b *builder) fetch(gid int) int      { return b.node(gid, slotFetch) }
+func (b *builder) exec(gid int) int       { return b.node(gid, slotExec) }
+func (b *builder) perform(gid int) int    { return b.node(gid, slotPerform) }
+func (b *builder) sbEnter(gid int) int    { return b.node(gid, slotSBEnter) }
+func (b *builder) getM(gid int) int       { return b.node(gid, slotGetM) }
+func (b *builder) complete(gid int) int   { return b.node(gid, b.K-1) }
+
+// atomicWrite reports whether write w's visibility is a single multi-copy-
+// atomic event: always for MCA/rMCA substrates, and for AMOs carrying the
+// store-atomicity annotation (aq+rl under Curr, the .sc bit under Ours).
+func (b *builder) atomicWrite(w int) bool {
+	if !b.m.NMCA {
+		return true
+	}
+	ins := b.p.InstrOf(w)
+	if !ins.Op.IsAMO() {
+		return false
+	}
+	if b.m.Variant == Curr {
+		return ins.Aq && ins.Rl
+	}
+	return ins.SCBit
+}
+
+// visTo returns the node at which write w becomes visible to core c.
+func (b *builder) visTo(w, c int) int {
+	if b.atomicWrite(w) {
+		return b.node(w, slotVis0)
+	}
+	return b.node(w, slotVis0+c)
+}
+
+// visAll returns the distinct visibility nodes of write w.
+func (b *builder) visAll(w int) []int {
+	if b.atomicWrite(w) {
+		return []int{b.node(w, slotVis0)}
+	}
+	out := make([]int, b.C)
+	for c := 0; c < b.C; c++ {
+		out[c] = b.node(w, slotVis0+c)
+	}
+	return out
+}
+
+// scAMO reports whether the instruction is a "sequentially consistent" AMO:
+// one that participates in the ISA's global SC total order (aq+rl under
+// Curr; the .sc bit under Ours).
+func (b *builder) scAMO(ins *isa.Instr) bool {
+	if !ins.Op.IsAMO() {
+		return false
+	}
+	if b.m.Variant == Curr {
+		return ins.Aq && ins.Rl
+	}
+	return ins.SCBit
+}
+
+func (b *builder) label() {
+	for _, e := range b.ev {
+		base := fmt.Sprintf("T%d.i%d", e.Thread, e.Index)
+		b.g.SetLabel(b.fetch(e.GID), base+".Fetch")
+		b.g.SetLabel(b.exec(e.GID), base+".Execute")
+		b.g.SetLabel(b.perform(e.GID), base+".Perform")
+		b.g.SetLabel(b.sbEnter(e.GID), base+".SBEnter")
+		b.g.SetLabel(b.getM(e.GID), base+".GetM")
+		b.g.SetLabel(b.complete(e.GID), base+".Complete")
+		if e.IsWrite() {
+			for i, v := range b.visAll(e.GID) {
+				if b.atomicWrite(e.GID) {
+					b.g.SetLabel(v, base+".VisibleAll")
+				} else if b.m.NMCA {
+					b.g.SetLabel(v, fmt.Sprintf("%s.Visible@C%d", base, i))
+				} else {
+					b.g.SetLabel(v, base+".Visible")
+				}
+			}
+		}
+	}
+}
+
+// pipeline adds the in-order front-end chains and per-instruction paths.
+func (b *builder) pipeline() {
+	for _, th := range b.p.Mem().Threads {
+		for i, e := range th {
+			if i+1 < len(th) {
+				nxt := th[i+1]
+				b.g.AddEdge(b.fetch(e.GID), b.fetch(nxt.GID), "po-fetch")
+				b.g.AddEdge(b.exec(e.GID), b.exec(nxt.GID), "in-order-execute")
+				b.g.AddEdge(b.complete(e.GID), b.complete(nxt.GID), "in-order-commit")
+			}
+			g := e.GID
+			b.g.AddEdge(b.fetch(g), b.exec(g), "path")
+			if e.IsRead() {
+				b.g.AddEdge(b.exec(g), b.perform(g), "path")
+				b.g.AddEdge(b.perform(g), b.complete(g), "path")
+			}
+			if e.IsWrite() {
+				if e.IsRead() { // AMO: read before write
+					b.g.AddEdge(b.perform(g), b.sbEnter(g), "amo-read-before-write")
+				} else {
+					b.g.AddEdge(b.exec(g), b.sbEnter(g), "path")
+				}
+				b.g.AddEdge(b.sbEnter(g), b.complete(g), "path")
+				if b.m.CacheProtocol {
+					// A9like: the store requests write permission (GetM)
+					// and then invalidations/forwards reach each core
+					// independently (non-stalling directory).
+					b.g.AddEdge(b.sbEnter(g), b.getM(g), "cache-getM")
+					for _, v := range b.visAll(g) {
+						b.g.AddEdge(b.getM(g), v, "cache-inv-or-forward")
+					}
+				} else {
+					for _, v := range b.visAll(g) {
+						b.g.AddEdge(b.sbEnter(g), v, "sb-drain")
+					}
+				}
+			}
+			if e.Kind == mem.Fence {
+				b.g.AddEdge(b.exec(g), b.complete(g), "path")
+			}
+		}
+	}
+}
+
+// sameAddr reports whether two events resolved to the same location.
+func (b *builder) sameAddr(a, bb int) bool { return b.x.SameLoc(a, bb) }
+
+// ppo adds preserved-program-order edges according to the relaxation
+// profile.
+func (b *builder) ppo() {
+	for _, th := range b.p.Mem().Threads {
+		for i := 0; i < len(th); i++ {
+			for j := i + 1; j < len(th); j++ {
+				a, c := th[i], th[j]
+				ag, cg := a.GID, c.GID
+				// R → R
+				if a.IsRead() && c.IsRead() {
+					if !b.m.RelaxRR {
+						b.g.AddEdge(b.perform(ag), b.perform(cg), "ppo-RR")
+					} else if b.m.OrderSameAddrRR && b.sameAddr(ag, cg) {
+						b.g.AddEdge(b.perform(ag), b.perform(cg), "ppo-RR-same-addr")
+					}
+				}
+				// R → W: maintained unless RelaxRR, always for same address.
+				if a.IsRead() && c.IsWrite() {
+					if !b.m.RelaxRR || b.sameAddr(ag, cg) {
+						for _, v := range b.visAll(cg) {
+							b.g.AddEdge(b.perform(ag), v, "ppo-RW")
+						}
+					}
+				}
+				// W → R: relaxed on every Table 7 model (store buffer);
+				// enforced only on the SC ablation. Same-address W→R with
+				// no forwarding: the load stalls until the store drains.
+				if a.IsWrite() && c.IsRead() {
+					switch {
+					case !b.m.RelaxWR:
+						for _, v := range b.visAll(ag) {
+							b.g.AddEdge(v, b.perform(cg), "ppo-WR")
+						}
+					case b.p.InstrOf(ag).Op.IsAMO() && !b.m.NMCA:
+						// AMO writes execute at the memory system (they
+						// need the old value), so they are never buffered:
+						// on MCA/rMCA substrates — where at-memory means
+						// visible — later loads perform after the AMO's
+						// write. On nMCA substrates per-core visibility
+						// may still lag (non-stalling directory), so no
+						// such edge exists there.
+						for _, v := range b.visAll(ag) {
+							b.g.AddEdge(v, b.perform(cg), "amo-not-buffered")
+						}
+					case b.sameAddr(ag, cg) && b.x.RF[cg] != ag:
+						// The load reads something other than the newest
+						// same-address SB entry, so that entry must have
+						// drained first.
+						for _, v := range b.visAll(ag) {
+							b.g.AddEdge(v, b.perform(cg), "sb-same-addr-drain")
+						}
+					case b.sameAddr(ag, cg) && !b.m.Forwarding:
+						// Reading the own store without forwarding means
+						// waiting for it to reach memory (rf adds the
+						// visibility edge; nothing extra needed here).
+					}
+				}
+				// W → W: FIFO drain unless RelaxWW; same address always.
+				if a.IsWrite() && c.IsWrite() {
+					if !b.m.RelaxWW || b.sameAddr(ag, cg) {
+						b.pointwiseVis(ag, cg, "ppo-WW")
+						if b.sameAddr(ag, cg) {
+							b.g.AddEdge(b.sbEnter(ag), b.sbEnter(cg), "sb-fifo-same-addr")
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// pointwiseVis orders write a's visibility before write c's, per core.
+func (b *builder) pointwiseVis(ag, cg int, reason string) {
+	for c := 0; c < b.C; c++ {
+		b.g.AddEdge(b.visTo(ag, c), b.visTo(cg, c), reason)
+	}
+}
+
+// deps adds syntactic address/data/control dependency edges: the dependee
+// cannot begin executing until the source load has performed.
+func (b *builder) deps() {
+	if !b.m.RespectDeps {
+		return
+	}
+	for _, th := range b.p.Mem().Threads {
+		for _, e := range th {
+			add := func(srcIdx int, reason string) {
+				src := th[srcIdx]
+				b.g.AddEdge(b.perform(src.GID), b.exec(e.GID), reason)
+			}
+			if e.Kind != mem.Fence {
+				if e.Addr.Kind == mem.OpReg {
+					if s := b.sourceLoad(th, e.Index, e.Addr.Reg); s >= 0 {
+						add(s, "dep-addr")
+					}
+				}
+				if e.IsWrite() && e.Data.Kind == mem.OpReg {
+					if s := b.sourceLoad(th, e.Index, e.Data.Reg); s >= 0 {
+						add(s, "dep-data")
+					}
+				}
+			}
+			for _, d := range e.CtrlDepOn {
+				add(d, "dep-ctrl")
+			}
+		}
+	}
+}
+
+// sourceLoad finds the latest load before idx writing register reg.
+func (b *builder) sourceLoad(th []*mem.Event, idx, reg int) int {
+	for i := idx - 1; i >= 0; i-- {
+		if th[i].IsRead() && th[i].Dst == reg {
+			return i
+		}
+	}
+	return -1
+}
+
+// coherence adds per-core pointwise visibility edges along mo (the ws
+// relation): all cores agree on the order of same-location stores.
+func (b *builder) coherence() {
+	for _, ws := range b.x.MO {
+		for i := 0; i < len(ws); i++ {
+			for j := i + 1; j < len(ws); j++ {
+				b.pointwiseVis(ws[i], ws[j], "ws")
+			}
+		}
+	}
+}
+
+// values adds reads-from and from-reads edges.
+func (b *builder) values() {
+	for _, e := range b.ev {
+		if !e.IsRead() {
+			continue
+		}
+		r := e.GID
+		src := b.x.RF[r]
+		if src != mem.InitWrite {
+			w := b.ev[src]
+			plainLoad := !b.p.InstrOf(r).Op.IsAMO()
+			forwardable := b.p.InstrOf(src).Op == isa.OpStore // AMOs execute at memory
+			if w.Thread == e.Thread && b.m.Forwarding && forwardable && plainLoad {
+				// Plain load forwarding from the local store buffer.
+				b.g.AddEdge(b.sbEnter(src), b.perform(r), "rf-forward")
+			} else {
+				// Reads observe the write once visible to their core
+				// (AMO reads always go to the memory system).
+				b.g.AddEdge(b.visTo(src, e.Thread), b.perform(r), "rf")
+			}
+		}
+		for _, w2 := range b.x.FRSuccessors(r) {
+			b.g.AddEdge(b.perform(r), b.visTo(w2, e.Thread), "fr")
+		}
+	}
+}
+
+// accessParts reports whether the event participates in a fence class as a
+// read and/or as a write.
+func accessParts(e *mem.Event) (rd, wr bool) {
+	return e.IsRead(), e.IsWrite()
+}
+
+// fences adds fence-ordering edges for every fence instruction, including
+// cumulativity for the lwf/hwf proposals (and Power lwsync/sync).
+func (b *builder) fences() {
+	for _, th := range b.p.Mem().Threads {
+		for _, f := range th {
+			if f.Kind != mem.Fence {
+				continue
+			}
+			ins := b.p.InstrOf(f.GID)
+			if ins.Op != isa.OpFence {
+				continue
+			}
+			b.fenceEdges(th, f, ins)
+		}
+	}
+}
+
+func (b *builder) fenceEdges(th []*mem.Event, f *mem.Event, ins *isa.Instr) {
+	var predR, predW, succR, succW []int // event GIDs by part
+	for _, e := range th {
+		if e.Kind == mem.Fence || e.GID == f.GID {
+			continue
+		}
+		rd, wr := accessParts(e)
+		if e.Index < f.Index {
+			if rd && ins.Pred.HasR() {
+				predR = append(predR, e.GID)
+			}
+			if wr && ins.Pred.HasW() {
+				predW = append(predW, e.GID)
+			}
+		} else {
+			if rd && ins.Succ.HasR() {
+				succR = append(succR, e.GID)
+			}
+			if wr && ins.Succ.HasW() {
+				succW = append(succW, e.GID)
+			}
+		}
+	}
+	// Cumulativity: writes observed by the fencing thread before the fence
+	// join the predecessor set (recursively through reads-from).
+	if ins.Cum != isa.CumNone {
+		for w := range b.acumWrites(th, f.Index) {
+			predW = append(predW, w)
+		}
+	}
+	reason := fmt.Sprintf("fence[%s,%s;%s]", ins.Pred, ins.Succ, ins.Cum)
+	// (R, R) and (R, W)
+	for _, a := range predR {
+		for _, c := range succR {
+			b.g.AddEdge(b.perform(a), b.perform(c), reason+"-RR")
+		}
+		for _, c := range succW {
+			for _, v := range b.visAll(c) {
+				b.g.AddEdge(b.perform(a), v, reason+"-RW")
+			}
+		}
+	}
+	for _, a := range predW {
+		// (W, W): per-core pointwise visibility order.
+		for _, c := range succW {
+			if a == c {
+				continue
+			}
+			b.pointwiseVis(a, c, reason+"-WW")
+		}
+		// (W, R): full flush — the write must be visible to every core
+		// before the successor load performs. Plain and heavyweight fences
+		// order W→R; lightweight fences never do (Section 2.3.3).
+		if ins.Cum != isa.CumLW {
+			for _, c := range succR {
+				if a == c {
+					continue
+				}
+				for _, v := range b.visAll(a) {
+					b.g.AddEdge(v, b.perform(c), reason+"-WR")
+				}
+			}
+		}
+	}
+}
+
+// acumWrites computes the A-cumulative predecessor writes of a fence (or of
+// a release, under Ours semantics) at position idx of thread th: writes
+// read by the thread's earlier loads, closed recursively over writes that
+// performed before those writes on their own threads.
+func (b *builder) acumWrites(th []*mem.Event, idx int) map[int]bool {
+	out := map[int]bool{}
+	ownThread := -1
+	if len(th) > 0 {
+		ownThread = th[0].Thread
+	}
+	// Seed: sources of own pre-fence reads.
+	var frontier []int
+	for _, e := range th {
+		if e.Index >= idx || !e.IsRead() {
+			continue
+		}
+		if src := b.x.RF[e.GID]; src != mem.InitWrite && b.ev[src].Thread != ownThread {
+			if !out[src] {
+				out[src] = true
+				frontier = append(frontier, src)
+			}
+		}
+	}
+	// Close over: reads program-order-before a member on the member's
+	// thread (including an AMO member's own read part) contribute their
+	// sources ("performed prior to an access in the predecessor set",
+	// Section 2.3.2).
+	for len(frontier) > 0 {
+		w := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		we := b.ev[w]
+		for _, e := range b.p.Mem().Threads[we.Thread] {
+			if e.Index > we.Index || !e.IsRead() {
+				continue
+			}
+			if src := b.x.RF[e.GID]; src != mem.InitWrite && !out[src] && b.ev[src].Thread != ownThread {
+				out[src] = true
+				frontier = append(frontier, src)
+			}
+		}
+	}
+	return out
+}
+
+// releaseOf walks an ISA-level release sequence backwards: starting from a
+// write w, follow AMO write-backs to their read sources until a
+// non-AMO write (or init) is reached; returns the chain of writes visited.
+// An acquire reading any element of the chain synchronizes with releases
+// earlier in the chain, mirroring C11 release sequences through RMWs.
+func (b *builder) releaseChain(w int) []int {
+	var chain []int
+	for w != mem.InitWrite {
+		chain = append(chain, w)
+		e := b.ev[w]
+		if e.Kind != mem.RMW {
+			break
+		}
+		w = b.x.RF[w]
+	}
+	return chain
+}
+
+// amoBits adds the acquire/release/SC-annotation semantics of AMOs.
+func (b *builder) amoBits() {
+	for _, th := range b.p.Mem().Threads {
+		for _, e := range th {
+			ins := b.p.InstrOf(e.GID)
+			if !ins.Op.IsAMO() {
+				continue
+			}
+			if ins.Aq {
+				b.acquireEdges(th, e)
+			}
+			if ins.Rl {
+				if b.m.Variant == Curr {
+					b.eagerReleaseEdges(th, e)
+				} else {
+					b.lazyReleaseEdges(th, e)
+				}
+			}
+			if b.scAMO(ins) {
+				b.scPairEdges(th, e)
+			}
+		}
+	}
+}
+
+// acquireEdges: "no following memory operation can be observed to take
+// place before the Acq operation" — the AMO's read performs, and its write
+// becomes visible (per core), before later accesses do.
+func (b *builder) acquireEdges(th []*mem.Event, a *mem.Event) {
+	for _, c := range th {
+		if c.Index <= a.Index || c.Kind == mem.Fence {
+			continue
+		}
+		if c.IsRead() {
+			b.g.AddEdge(b.perform(a.GID), b.perform(c.GID), "amo-aq-R")
+		}
+		if c.IsWrite() {
+			for _, v := range b.visAll(c.GID) {
+				b.g.AddEdge(b.perform(a.GID), v, "amo-aq-W")
+			}
+			if a.IsWrite() {
+				b.pointwiseVis(a.GID, c.GID, "amo-aq-vis")
+			}
+		}
+	}
+}
+
+// eagerReleaseEdges (riscv-curr): "the Rel operation cannot be observed to
+// take place before any earlier memory operation" — earlier own reads
+// perform, and earlier own writes become visible (per core), before the
+// AMO's write does. Non-cumulative: observed remote writes are NOT ordered,
+// which is exactly the Section 5.2.1 bug.
+//
+// For an AMO without a coherence-visible write (an AMO-load carrying rl,
+// i.e. the intuitive mapping's SC load AMO.aq.rl), the spec's "cannot be
+// observed to happen before any earlier memory operations in the same
+// RISC-V thread" orders the AMO's read after earlier reads' performs and
+// earlier writes' full visibility.
+func (b *builder) eagerReleaseEdges(th []*mem.Event, a *mem.Event) {
+	if !a.IsWrite() {
+		for _, p := range th {
+			if p.Index >= a.Index || p.Kind == mem.Fence {
+				continue
+			}
+			if p.IsRead() {
+				b.g.AddEdge(b.perform(p.GID), b.perform(a.GID), "amo-rl-load-R")
+			}
+			if p.IsWrite() {
+				for _, v := range b.visAll(p.GID) {
+					b.g.AddEdge(v, b.perform(a.GID), "amo-rl-load-W")
+				}
+			}
+		}
+		return
+	}
+	for _, p := range th {
+		if p.Index >= a.Index || p.Kind == mem.Fence {
+			continue
+		}
+		if p.IsRead() {
+			for _, v := range b.visAll(a.GID) {
+				b.g.AddEdge(b.perform(p.GID), v, "amo-rl-R")
+			}
+		}
+		if p.IsWrite() {
+			b.pointwiseVis(p.GID, a.GID, "amo-rl-W")
+		}
+	}
+}
+
+// lazyReleaseEdges (riscv-ours, Section 5.2.3): the release imposes no
+// unconditional visibility order. When an acquire on another core reads
+// from the release, the release's cumulative predecessor set must be
+// visible to that core before the acquire performs.
+func (b *builder) lazyReleaseEdges(th []*mem.Event, a *mem.Event) {
+	for _, r := range b.ev {
+		if !r.IsRead() || r.Thread == a.Thread {
+			continue
+		}
+		rIns := b.p.InstrOf(r.GID)
+		if !rIns.Op.IsAMO() || !rIns.Aq {
+			continue // only acquires synchronize (lazy cumulativity)
+		}
+		// The acquire must read the release's write, possibly through a
+		// chain of intervening AMO write-backs (a release sequence).
+		inChain := false
+		for _, w := range b.releaseChain(b.x.RF[r.GID]) {
+			if w == a.GID {
+				inChain = true
+				break
+			}
+		}
+		if !inChain {
+			continue
+		}
+		// Predecessor set: own earlier accesses plus A-cumulative writes.
+		for _, p := range th {
+			if p.Index >= a.Index || p.Kind == mem.Fence {
+				continue
+			}
+			if p.IsRead() {
+				b.g.AddEdge(b.perform(p.GID), b.perform(r.GID), "rel-sync-R")
+			}
+			if p.IsWrite() {
+				b.g.AddEdge(b.visTo(p.GID, r.Thread), b.perform(r.GID), "rel-sync-W")
+			}
+		}
+		for w := range b.acumWrites(th, a.Index) {
+			b.g.AddEdge(b.visTo(w, r.Thread), b.perform(r.GID), "rel-sync-cum")
+		}
+	}
+}
+
+// scPairEdges: SC AMOs appear in a global order consistent with program
+// order ("observed by any other thread in the same global order of all
+// sequentially consistent atomic memory operations"): two same-thread SC
+// AMOs are fully ordered, read performs and write visibility alike.
+func (b *builder) scPairEdges(th []*mem.Event, a *mem.Event) {
+	for _, c := range th {
+		if c.Index <= a.Index {
+			continue
+		}
+		cIns := b.p.InstrOf(c.GID)
+		if !b.scAMO(cIns) {
+			continue
+		}
+		b.g.AddEdge(b.perform(a.GID), b.perform(c.GID), "sc-order")
+		if a.IsWrite() {
+			for _, va := range b.visAll(a.GID) {
+				b.g.AddEdge(va, b.perform(c.GID), "sc-order")
+				if c.IsWrite() {
+					for _, vc := range b.visAll(c.GID) {
+						b.g.AddEdge(va, vc, "sc-order")
+					}
+				}
+			}
+		}
+		if c.IsWrite() {
+			for _, vc := range b.visAll(c.GID) {
+				b.g.AddEdge(b.perform(a.GID), vc, "sc-order")
+			}
+		}
+	}
+}

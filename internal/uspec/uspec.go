@@ -1,0 +1,404 @@
+// Package uspec implements the microarchitecture-level half of TriCheck:
+// µspec-style models of RISC-V (and Power/ARMv7) implementations, evaluated
+// by building a µhb graph per execution candidate and testing acyclicity
+// (the Check-tool decision procedure; see internal/uhb).
+//
+// The seven RISC-V models reproduce the paper's Table/Figure 7. All derive
+// from a Rocket-chip-like in-order pipeline and differ in which program
+// orders they relax and how store visibility propagates:
+//
+//	model   relaxes            store atomicity
+//	WR      W→R                MCA   (single global visibility point)
+//	rWR     W→R                rMCA  (store-buffer forwarding to own core)
+//	rWM     W→R, W→W           rMCA
+//	rMM     W→R, W→W, R→M      rMCA  (incl. same-address R→R — the CoRR bug)
+//	nWR     W→R                nMCA  (per-core visibility; shared store buffer)
+//	nMM     W→R, W→W, R→M      nMCA
+//	A9like  W→R, W→W, R→M      nMCA via write-back caches + a non-stalling
+//	                           directory (Section 4.3 point 7)
+//
+// Each model exists in two MCM variants: Curr implements the ordering
+// semantics of the RISC-V spec the paper analysed (non-cumulative fences,
+// eager non-cumulative releases, store atomicity implied by aq+rl);
+// Ours implements the paper's proposed refinements (cumulative lw/hw
+// fences, lazy cumulative releases that synchronize only with acquires,
+// the .sc store-atomicity bit, and mandatory same-address load→load
+// ordering).
+package uspec
+
+import (
+	"fmt"
+
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+	"tricheck/internal/uhb"
+)
+
+// Variant selects the ISA MCM semantics a model implements.
+type Variant uint8
+
+// MCM variants.
+const (
+	// Curr is the RISC-V MCM as specified at the time of the paper
+	// ("riscv-curr" in Figure 15).
+	Curr Variant = iota
+	// Ours is the paper's refined MCM proposal ("riscv-ours").
+	Ours
+)
+
+// String names the variant like the paper's figures do.
+func (v Variant) String() string {
+	if v == Ours {
+		return "riscv-ours"
+	}
+	return "riscv-curr"
+}
+
+// Config is a µspec model: an ordering-relaxation profile plus the MCM
+// variant governing fence/AMO interpretation.
+type Config struct {
+	// Name is the Table 7 model name.
+	Name string
+	// Description summarises the microarchitecture.
+	Description string
+	// RelaxWR permits a younger load to perform before an older store is
+	// visible (a store buffer). All Table 7 models set it.
+	RelaxWR bool
+	// Forwarding permits a load to read its own thread's store from the
+	// store buffer before the store is visible elsewhere (rMCA).
+	Forwarding bool
+	// RelaxWW permits different-address stores to leave the store buffer
+	// out of order.
+	RelaxWW bool
+	// RelaxRR permits loads to perform out of order with earlier loads and
+	// (different-address) earlier-load→store pairs (the paper's R→M).
+	RelaxRR bool
+	// OrderSameAddrRR forces same-address loads to perform in program
+	// order even when RelaxRR is set (the riscv-ours §5.1.3 requirement).
+	OrderSameAddrRR bool
+	// NMCA gives every store one visibility point per core (non-multiple-
+	// copy-atomic stores).
+	NMCA bool
+	// CacheProtocol routes store visibility through coherence-protocol
+	// events (GetM then per-core invalidation/forward), the A9like
+	// topology. ISA-visible behaviour matches NMCA.
+	CacheProtocol bool
+	// RespectDeps enforces syntactic address/data/control dependencies
+	// (true for all paper models; false models an Alpha-like machine for
+	// the Section 4.1.3 discussion).
+	RespectDeps bool
+	// Variant selects riscv-curr or riscv-ours semantics.
+	Variant Variant
+}
+
+// Model is an evaluable microarchitecture model.
+type Model struct {
+	Config
+}
+
+// New returns a model for the given configuration.
+func New(cfg Config) *Model { return &Model{Config: cfg} }
+
+// FullName is "<name>/<variant>".
+func (m *Model) FullName() string { return fmt.Sprintf("%s/%s", m.Name, m.Variant) }
+
+// rocket returns the shared Rocket-like baseline configuration.
+func rocket(variant Variant) Config {
+	return Config{
+		RelaxWR:     true,
+		RespectDeps: true,
+		Variant:     variant,
+	}
+}
+
+// WR is Table 7's strongest model: FIFO store buffer, no forwarding, MCA.
+func WR(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "WR"
+	c.Description = "FIFO store buffer, no value forwarding, MCA stores"
+	c.OrderSameAddrRR = true
+	return New(c)
+}
+
+// RWR adds store-buffer forwarding (rMCA).
+func RWR(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "rWR"
+	c.Description = "store buffer with forwarding (read-own-write-early), rMCA"
+	c.Forwarding = true
+	c.OrderSameAddrRR = true
+	return New(c)
+}
+
+// RWM additionally drains the store buffer out of order.
+func RWM(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "rWM"
+	c.Description = "rWR plus out-of-order store-buffer drain (W→W relaxed)"
+	c.Forwarding = true
+	c.RelaxWW = true
+	c.OrderSameAddrRR = true
+	return New(c)
+}
+
+// RMM additionally lets loads perform out of order; under Curr this
+// includes same-address load pairs (the Section 5.1.3 bug), under Ours
+// same-address pairs stay ordered.
+func RMM(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "rMM"
+	c.Description = "rWM plus out-of-order loads (R→M relaxed)"
+	c.Forwarding = true
+	c.RelaxWW = true
+	c.RelaxRR = true
+	c.OrderSameAddrRR = v == Ours
+	return New(c)
+}
+
+// NWR is rWR with shared store buffers: nMCA visibility.
+func NWR(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "nWR"
+	c.Description = "rWR with shared store buffers (nMCA stores)"
+	c.Forwarding = true
+	c.NMCA = true
+	c.OrderSameAddrRR = true
+	return New(c)
+}
+
+// NMM is rMM with shared store buffers: nMCA visibility.
+func NMM(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "nMM"
+	c.Description = "rMM with shared store buffers (nMCA stores)"
+	c.Forwarding = true
+	c.RelaxWW = true
+	c.RelaxRR = true
+	c.NMCA = true
+	c.OrderSameAddrRR = v == Ours
+	return New(c)
+}
+
+// A9like reaches nMM's ISA-visible relaxations through write-back caches
+// and a non-stalling directory protocol instead of shared store buffers
+// (Section 4.3 point 7).
+func A9like(v Variant) *Model {
+	c := rocket(v)
+	c.Name = "A9like"
+	c.Description = "write-back caches + non-stalling directory (nMCA without shared buffers)"
+	c.Forwarding = true
+	c.RelaxWW = true
+	c.RelaxRR = true
+	c.NMCA = true
+	c.CacheProtocol = true
+	c.OrderSameAddrRR = v == Ours
+	return New(c)
+}
+
+// Models returns the seven Table 7 models for the given MCM variant, in the
+// paper's strongest-to-weakest presentation order.
+func Models(v Variant) []*Model {
+	return []*Model{WR(v), RWR(v), RWM(v), RMM(v), NWR(v), NMM(v), A9like(v)}
+}
+
+// ModelByName finds a Table 7 model by name for the given variant, or nil.
+func ModelByName(name string, v Variant) *Model {
+	for _, m := range Models(v) {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// PowerA9 models a Power/ARMv7 Cortex-A9-like machine for the Section 7
+// compiler-mapping study: nMCA, all program orders relaxed including
+// same-address load pairs (the ARM load→load hazard of Figure 1), with
+// syntactic dependencies respected.
+func PowerA9() *Model {
+	return New(Config{
+		Name:        "PowerA9",
+		Description: "Power/ARMv7 Cortex-A9-like: nMCA, R→R relaxed incl. same address",
+		RelaxWR:     true,
+		Forwarding:  true,
+		RelaxWW:     true,
+		RelaxRR:     true,
+		NMCA:        true,
+		RespectDeps: true,
+		Variant:     Curr,
+	})
+}
+
+// PowerA9Fixed is PowerA9 with the ARM load→load hazard repaired in
+// hardware (same-address loads ordered), for the Figure 1/2 discussion.
+func PowerA9Fixed() *Model {
+	m := PowerA9()
+	m.Name = "PowerA9-ldld-fixed"
+	m.Description = "PowerA9 with same-address load→load order restored"
+	m.OrderSameAddrRR = true
+	return m
+}
+
+// TSO models an x86-TSO-like machine: a forwarding store buffer (W→R
+// relaxed, rMCA) with every other program order preserved. It matches rWR
+// in relaxation profile and exists as a named model for the x86 mapping
+// study; on x86, fences are rare (mfence only after SC stores) because TSO
+// itself provides acquire/release.
+func TSO() *Model {
+	c := rocket(Curr)
+	c.Name = "TSO"
+	c.Description = "x86-TSO-like: forwarding store buffer, all other orders preserved"
+	c.Forwarding = true
+	c.OrderSameAddrRR = true
+	return New(c)
+}
+
+// SCProof is an ablation model with no relaxations at all: a sequentially
+// consistent in-order machine. Useful as a sanity baseline (it can never be
+// buggy, only overly strict).
+func SCProof() *Model {
+	return New(Config{
+		Name:            "SC",
+		Description:     "no relaxations: sequentially consistent baseline",
+		OrderSameAddrRR: true,
+		RespectDeps:     true,
+	})
+}
+
+// AlphaLike is nMM without dependency ordering — the machine the Linux
+// read_barrier_depends discussion in Section 4.1.3 worries about.
+func AlphaLike() *Model {
+	m := NMM(Curr)
+	m.Name = "AlphaLike"
+	m.Description = "nMM without syntactic dependency ordering (Alpha-style)"
+	m.RespectDeps = false
+	return m
+}
+
+// TableRow describes one row of the Table 7 matrix for rendering.
+type TableRow struct {
+	Name                     string
+	WR, WW, RM               bool // relaxed program orders
+	MCA, RMCA, NMCA          bool // store atomicity
+	SameAddrRRRelaxed        bool
+	ViaCacheProtocol, NoDeps bool
+}
+
+// Table7 returns the model matrix of Figure 7 for rendering and tests.
+func Table7(v Variant) []TableRow {
+	var rows []TableRow
+	for _, m := range Models(v) {
+		rows = append(rows, TableRow{
+			Name:              m.Name,
+			WR:                m.RelaxWR,
+			WW:                m.RelaxWW,
+			RM:                m.RelaxRR,
+			MCA:               !m.Forwarding && !m.NMCA,
+			RMCA:              m.Forwarding && !m.NMCA,
+			NMCA:              m.NMCA,
+			SameAddrRRRelaxed: m.RelaxRR && !m.OrderSameAddrRR,
+			ViaCacheProtocol:  m.CacheProtocol,
+			NoDeps:            !m.RespectDeps,
+		})
+	}
+	return rows
+}
+
+// Result is a model evaluation over a program: which candidate outcomes are
+// observable.
+type Result struct {
+	// Observable is the set of outcomes with at least one acyclic µhb graph.
+	Observable map[mem.Outcome]bool
+	// All is the full candidate outcome universe.
+	All map[mem.Outcome]bool
+	// Candidates counts enumerated executions; Graphs counts graphs built
+	// (early-exit per outcome keeps this below Candidates).
+	Candidates, Graphs int
+}
+
+// Evaluate computes the observable outcome set of program p on the model.
+func (m *Model) Evaluate(p *isa.Program) (*Result, error) {
+	res := &Result{
+		Observable: map[mem.Outcome]bool{},
+		All:        map[mem.Outcome]bool{},
+	}
+	err := mem.Enumerate(p.Mem(), func(x *mem.Execution) bool {
+		res.Candidates++
+		o := x.OutcomeOf()
+		res.All[o] = true
+		if res.Observable[o] {
+			return true // this outcome is already known observable
+		}
+		res.Graphs++
+		g := m.BuildGraph(p, x)
+		if g.Acyclic() {
+			res.Observable[o] = true
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Observable reports whether a specific outcome is observable on the model,
+// stopping at the first acyclic witness.
+func (m *Model) Observable(p *isa.Program, want mem.Outcome) (bool, error) {
+	found := false
+	err := mem.Enumerate(p.Mem(), func(x *mem.Execution) bool {
+		if x.OutcomeOf() != want {
+			return true
+		}
+		if m.BuildGraph(p, x).Acyclic() {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil && err != mem.ErrStopped {
+		return false, err
+	}
+	return found, nil
+}
+
+// Explain returns a human-readable verdict for an outcome: either an
+// acyclic witness summary or the µhb cycle forbidding the last candidate.
+func (m *Model) Explain(p *isa.Program, want mem.Outcome) (observable bool, explanation string, err error) {
+	explanation = "outcome is not a candidate final state"
+	e := mem.Enumerate(p.Mem(), func(x *mem.Execution) bool {
+		if x.OutcomeOf() != want {
+			return true
+		}
+		g := m.BuildGraph(p, x)
+		if cycle := g.FindCycle(); cycle != nil {
+			explanation = fmt.Sprintf("forbidden on %s: cycle %s", m.FullName(), g.ExplainCycle(cycle))
+			return true
+		}
+		observable = true
+		explanation = fmt.Sprintf("observable on %s via execution %s", m.FullName(), x)
+		return false
+	})
+	if e != nil && e != mem.ErrStopped {
+		return false, "", e
+	}
+	return observable, explanation, nil
+}
+
+// ObservableGraph returns a µhb graph (preferring an acyclic witness) for
+// the outcome, for DOT export and debugging; found is false if the outcome
+// is not a candidate.
+func (m *Model) ObservableGraph(p *isa.Program, want mem.Outcome) (g *uhb.Graph, found bool, err error) {
+	e := mem.Enumerate(p.Mem(), func(x *mem.Execution) bool {
+		if x.OutcomeOf() != want {
+			return true
+		}
+		cand := m.BuildGraph(p, x)
+		g, found = cand, true
+		return !cand.Acyclic() // stop at the first acyclic witness
+	})
+	if e != nil && e != mem.ErrStopped {
+		return nil, false, e
+	}
+	return g, found, nil
+}

@@ -1,0 +1,227 @@
+// Package tricheck is the public API of this TriCheck reproduction: a
+// full-stack memory consistency model verification framework spanning the
+// high-level language (C11), compiler mapping, ISA and microarchitecture
+// layers (Trippel et al., "TriCheck: Memory Model Verification at the
+// Trisection of Software, Hardware, and ISA", ASPLOS 2017).
+//
+// The facade re-exports the pieces a user composes:
+//
+//   - litmus tests and the Figure 5 template generator (internal/litmus),
+//   - the C11 axiomatic model (internal/c11),
+//   - compiler mappings, Tables 1–3 (internal/compile),
+//   - µspec microarchitecture models, Table 7 (internal/uspec),
+//   - the four-step verification engine (internal/core).
+//
+// Quick start:
+//
+//	eng := tricheck.NewEngine()
+//	test := tricheck.WRC.Instantiate([]tricheck.Order{
+//	    tricheck.Rlx, tricheck.Rlx, tricheck.Rel, tricheck.Acq, tricheck.Rlx})
+//	res, err := eng.Run(test, tricheck.Stack{
+//	    Mapping: tricheck.RISCVBaseIntuitive,
+//	    Model:   tricheck.NMM(tricheck.Curr),
+//	})
+//	// res.Verdict == tricheck.Bug: the Figure 3 outcome is forbidden by
+//	// C11 yet observable on an nMCA RISC-V implementation.
+package tricheck
+
+import (
+	"io"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/compile"
+	"tricheck/internal/core"
+	"tricheck/internal/isa"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+	"tricheck/internal/opsim"
+	"tricheck/internal/report"
+	"tricheck/internal/uspec"
+)
+
+// Core engine types.
+type (
+	// Engine runs the four-step toolflow with HLL caching.
+	Engine = core.Engine
+	// Stack pairs a compiler mapping with a µspec model.
+	Stack = core.Stack
+	// Verdict classifies a test result (Bug / OverlyStrict / Equivalent).
+	Verdict = core.Verdict
+	// TestResult is the per-test full-stack verdict.
+	TestResult = core.TestResult
+	// SuiteResult aggregates a suite run.
+	SuiteResult = core.SuiteResult
+	// Tally counts verdicts.
+	Tally = core.Tally
+)
+
+// Verdict values.
+const (
+	Equivalent   = core.Equivalent
+	OverlyStrict = core.OverlyStrict
+	Bug          = core.Bug
+)
+
+// NewEngine returns a fresh verification engine.
+func NewEngine() *Engine { return core.NewEngine() }
+
+// RISCVStacks builds the Figure 15 stack matrix for one ISA flavour and
+// MCM version.
+func RISCVStacks(base bool, v Variant) []Stack { return core.RISCVStacks(base, v) }
+
+// Litmus testing types.
+type (
+	// Shape is a litmus-test template (Figure 5).
+	Shape = litmus.Shape
+	// Test is one memory-order instantiation of a shape.
+	Test = litmus.Test
+	// Outcome is a canonical final-state key ("r0=1; r1=0").
+	Outcome = mem.Outcome
+	// Order is a C11 memory order.
+	Order = c11.Order
+)
+
+// The paper's litmus shapes.
+var (
+	MP        = litmus.MP
+	SB        = litmus.SB
+	WRC       = litmus.WRC
+	RWC       = litmus.RWC
+	IRIW      = litmus.IRIW
+	CoRR      = litmus.CoRR
+	CORSDWI   = litmus.CORSDWI
+	LB        = litmus.LB
+	ISA2      = litmus.ISA2
+	MPAddrDep = litmus.MPAddrDep
+)
+
+// C11 memory orders.
+const (
+	NA     = c11.NA
+	Rlx    = c11.Rlx
+	Acq    = c11.Acq
+	Rel    = c11.Rel
+	AcqRel = c11.AcqRel
+	SC     = c11.SC
+)
+
+// PaperSuite generates the paper's 1,701-test evaluation suite.
+func PaperSuite() []*Test { return litmus.PaperSuite() }
+
+// PaperShapes returns the seven paper-suite shapes.
+func PaperShapes() []*Shape { return litmus.PaperShapes() }
+
+// AllShapes returns every shipped shape.
+func AllShapes() []*Shape { return litmus.AllShapes() }
+
+// ShapeByName finds a shape by name, or nil.
+func ShapeByName(name string) *Shape { return litmus.ShapeByName(name) }
+
+// Compiler mappings (Tables 1–3 and the Section 7 trailing-sync mapping).
+type Mapping = compile.Mapping
+
+var (
+	RISCVBaseIntuitive    = compile.RISCVBaseIntuitive
+	RISCVBaseRefined      = compile.RISCVBaseRefined
+	RISCVAtomicsIntuitive = compile.RISCVAtomicsIntuitive
+	RISCVAtomicsRefined   = compile.RISCVAtomicsRefined
+	PowerLeadingSync      = compile.PowerLeadingSync
+	PowerTrailingSync     = compile.PowerTrailingSync
+	ARMv7Standard         = compile.ARMv7Standard
+	ARMv7HazardFix        = compile.ARMv7HazardFix
+	X86TSO                = compile.X86TSO
+)
+
+// ISAProgram is a compiled instruction-level litmus program.
+type ISAProgram = isa.Program
+
+// CompileTest lowers a litmus test through a mapping (toolflow step 2).
+func CompileTest(m *Mapping, t *Test) (*ISAProgram, error) {
+	return compile.Compile(m, t.Prog)
+}
+
+// Mappings returns every shipped mapping.
+func Mappings() []*Mapping { return compile.Mappings() }
+
+// MappingByName finds a mapping by name, or nil.
+func MappingByName(name string) *Mapping { return compile.MappingByName(name) }
+
+// Microarchitecture models (Table 7 and companions).
+type (
+	// Model is a µspec microarchitecture model.
+	Model = uspec.Model
+	// Variant selects riscv-curr or riscv-ours semantics.
+	Variant = uspec.Variant
+)
+
+// MCM variants.
+const (
+	Curr = uspec.Curr
+	Ours = uspec.Ours
+)
+
+// Table 7 model constructors.
+var (
+	WRModel  = uspec.WR
+	RWRModel = uspec.RWR
+	RWMModel = uspec.RWM
+	RMMModel = uspec.RMM
+	NWRModel = uspec.NWR
+	NMMModel = uspec.NMM
+	A9like   = uspec.A9like
+)
+
+// NMM returns the shared-store-buffer nMCA model (re-exported by its paper
+// name for the quick-start example).
+func NMM(v Variant) *Model { return uspec.NMM(v) }
+
+// Models returns the seven Table 7 models for a variant.
+func Models(v Variant) []*Model { return uspec.Models(v) }
+
+// ModelByName finds a Table 7 model by name, or nil.
+func ModelByName(name string, v Variant) *Model { return uspec.ModelByName(name, v) }
+
+// PowerA9 returns the Section 7 Power/ARMv7 Cortex-A9-like model.
+func PowerA9() *Model { return uspec.PowerA9() }
+
+// PowerA9Fixed returns PowerA9 with the load→load hazard repaired.
+func PowerA9Fixed() *Model { return uspec.PowerA9Fixed() }
+
+// TSOModel returns the x86-TSO-like model (pairs with X86TSO).
+func TSOModel() *Model { return uspec.TSO() }
+
+// SCProofModel returns the no-relaxations ablation baseline.
+func SCProofModel() *Model { return uspec.SCProof() }
+
+// AlphaLike returns the dependency-free ablation model (Section 4.1.3).
+func AlphaLike() *Model { return uspec.AlphaLike() }
+
+// Reporting helpers.
+
+// WriteFigure15 renders suite results in the paper's Figure 15 layout.
+func WriteFigure15(w io.Writer, results []*SuiteResult) { report.Figure15(w, results) }
+
+// WriteCSV renders suite results as CSV.
+func WriteCSV(w io.Writer, results []*SuiteResult) { report.CSV(w, results) }
+
+// WriteTable7 renders the µspec model matrix.
+func WriteTable7(w io.Writer, v Variant) { report.Table7(w, v) }
+
+// WriteMappingTable renders a compiler mapping like Tables 1–3.
+func WriteMappingTable(w io.Writer, m *Mapping) { report.MappingTable(w, m) }
+
+// Operational cross-validation simulators (internal/opsim): independent
+// interleaving-based semantics for the WR, TSO and nWR machines, used to
+// validate the axiomatic µhb models and to extract concrete witness
+// interleavings.
+
+// OperationalWR returns an exhaustive interleaving simulator of the WR
+// machine for a compiled program.
+func OperationalWR(p *ISAProgram) *opsim.Simulator { return opsim.New(p) }
+
+// OperationalTSO returns the WR simulator with store-buffer forwarding
+// (the x86-TSO machine).
+func OperationalTSO(p *ISAProgram) *opsim.Simulator { return opsim.NewTSO(p) }
+
+// OperationalNWR returns the operational nMCA (nWR) simulator.
+func OperationalNWR(p *ISAProgram) *opsim.NMCASimulator { return opsim.NewNMCA(p) }

@@ -1,0 +1,140 @@
+package tricheck_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"testing"
+
+	"tricheck"
+)
+
+// ExampleEngine_Run demonstrates the quick-start flow: detect the Figure 3
+// WRC bug on an nMCA RISC-V implementation under the current MCM.
+func ExampleEngine_Run() {
+	eng := tricheck.NewEngine()
+	test := tricheck.WRC.Instantiate([]tricheck.Order{
+		tricheck.Rlx, tricheck.Rlx, tricheck.Rel, tricheck.Acq, tricheck.Rlx})
+	res, err := eng.Run(test, tricheck.Stack{
+		Mapping: tricheck.RISCVBaseIntuitive,
+		Model:   tricheck.NMM(tricheck.Curr),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Verdict)
+	// Output: Bug
+}
+
+// ExampleEngine_RunSuite shows family-level aggregation: the Section 5.1.1
+// count of 108 buggy WRC variants.
+func ExampleEngine_RunSuite() {
+	eng := tricheck.NewEngine()
+	res, err := eng.RunSuite(tricheck.WRC.Generate(), tricheck.Stack{
+		Mapping: tricheck.RISCVBaseIntuitive,
+		Model:   tricheck.NMM(tricheck.Curr),
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Tally.SpecifiedBugs)
+	// Output: 108
+}
+
+func TestFacadeShapeRegistry(t *testing.T) {
+	if len(tricheck.PaperShapes()) != 7 {
+		t.Errorf("%d paper shapes, want 7", len(tricheck.PaperShapes()))
+	}
+	if len(tricheck.AllShapes()) < 10 {
+		t.Errorf("%d shapes total, want the extended set too", len(tricheck.AllShapes()))
+	}
+	if tricheck.ShapeByName("iriw") != tricheck.IRIW {
+		t.Error("ShapeByName broken through the facade")
+	}
+	if len(tricheck.PaperSuite()) != 1701 {
+		t.Errorf("paper suite = %d tests, want 1701", len(tricheck.PaperSuite()))
+	}
+}
+
+func TestFacadeMappingsAndModels(t *testing.T) {
+	if len(tricheck.Mappings()) != 9 {
+		t.Errorf("%d mappings, want 9", len(tricheck.Mappings()))
+	}
+	if tricheck.MappingByName("riscv-base-refined") != tricheck.RISCVBaseRefined {
+		t.Error("MappingByName broken")
+	}
+	for _, v := range []tricheck.Variant{tricheck.Curr, tricheck.Ours} {
+		if len(tricheck.Models(v)) != 7 {
+			t.Errorf("%d models for %v, want 7", len(tricheck.Models(v)), v)
+		}
+	}
+	if tricheck.ModelByName("A9like", tricheck.Curr) == nil {
+		t.Error("ModelByName broken")
+	}
+	if tricheck.PowerA9() == nil || tricheck.PowerA9Fixed() == nil ||
+		tricheck.SCProofModel() == nil || tricheck.AlphaLike() == nil {
+		t.Error("companion model constructors broken")
+	}
+}
+
+func TestFacadeCompileAndReports(t *testing.T) {
+	test := tricheck.MP.Instantiate([]tricheck.Order{
+		tricheck.Rlx, tricheck.Rel, tricheck.Acq, tricheck.Rlx})
+	prog, err := tricheck.CompileTest(tricheck.RISCVAtomicsIntuitive, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NumThreads() != 2 {
+		t.Errorf("compiled threads = %d", prog.NumThreads())
+	}
+	eng := tricheck.NewEngine()
+	res, err := eng.RunSuite(tricheck.MP.Generate(), tricheck.Stack{
+		Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.NMM(tricheck.Curr)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fig, csv, t7, mt strings.Builder
+	tricheck.WriteFigure15(&fig, []*tricheck.SuiteResult{res})
+	tricheck.WriteCSV(&csv, []*tricheck.SuiteResult{res})
+	tricheck.WriteTable7(&t7, tricheck.Curr)
+	tricheck.WriteMappingTable(&mt, tricheck.RISCVBaseIntuitive)
+	for name, s := range map[string]string{
+		"Figure15": fig.String(), "CSV": csv.String(), "Table7": t7.String(), "MappingTable": mt.String(),
+	} {
+		if s == "" {
+			t.Errorf("%s writer produced nothing", name)
+		}
+	}
+}
+
+func TestFacadeStacks(t *testing.T) {
+	stacks := tricheck.RISCVStacks(true, tricheck.Ours)
+	if len(stacks) != 7 {
+		t.Fatalf("%d stacks", len(stacks))
+	}
+	for _, s := range stacks {
+		if s.Mapping != tricheck.RISCVBaseRefined {
+			t.Error("base/ours stacks must pair with the refined mapping")
+		}
+	}
+}
+
+// TestFacadeOperationalSimulators: the exposed operational simulators run
+// and agree with the engine's verdicts on a known case.
+func TestFacadeOperationalSimulators(t *testing.T) {
+	tst := tricheck.WRC.Instantiate([]tricheck.Order{
+		tricheck.Rlx, tricheck.Rlx, tricheck.Rel, tricheck.Acq, tricheck.Rlx})
+	prog, err := tricheck.CompileTest(tricheck.RISCVBaseIntuitive, tst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tricheck.OperationalWR(prog).Outcomes()[tst.Specified] {
+		t.Error("WRC bug reachable on the MCA machine")
+	}
+	if tricheck.OperationalTSO(prog).Outcomes()[tst.Specified] {
+		t.Error("WRC bug reachable on TSO")
+	}
+	if !tricheck.OperationalNWR(prog).Outcomes()[tst.Specified] {
+		t.Error("WRC bug unreachable on the operational nMCA machine")
+	}
+}
