@@ -220,6 +220,41 @@ func BenchmarkSection7TrailingSyncAudit(b *testing.B) {
 	b.ReportMetric(float64(bugs), "counterexamples")
 }
 
+// Verification-farm throughput over the paper suite (tests/sec), cold
+// vs warm memo cache. The warm benchmark's jobs are all cache hits, so
+// it measures pure farm/cache overhead; `executions` should read 0.
+func BenchmarkFarmColdSweep(b *testing.B) {
+	suite := tricheck.PaperSuite()
+	s := tricheck.Stack{Mapping: tricheck.RISCVAtomicsIntuitive, Model: tricheck.NMM(tricheck.Curr)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := tricheck.NewEngine() // fresh: every job executes
+		if _, err := eng.RunSuite(suite, s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(suite)*b.N)/b.Elapsed().Seconds(), "tests/sec")
+}
+
+func BenchmarkFarmWarmSweep(b *testing.B) {
+	suite := tricheck.PaperSuite()
+	s := tricheck.Stack{Mapping: tricheck.RISCVAtomicsIntuitive, Model: tricheck.NMM(tricheck.Curr)}
+	eng := tricheck.NewEngine()
+	eng.EnableMemo(0)
+	if _, err := eng.RunSuite(suite, s, 0); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	primed := eng.Executions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunSuite(suite, s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(suite)*b.N)/b.Elapsed().Seconds(), "tests/sec")
+	b.ReportMetric(float64(eng.Executions()-primed), "executions")
+}
+
 // Component benchmarks: the two expensive toolflow steps in isolation.
 func BenchmarkStep1C11Evaluation(b *testing.B) {
 	tst := tricheck.IRIW.Instantiate([]tricheck.Order{

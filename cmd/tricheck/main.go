@@ -7,9 +7,24 @@
 //
 //	tricheck [-family wrc] [-isa base|base+a|both] [-variant curr|ours|both]
 //	         [-models] [-mappings] [-csv] [-diagnose] [-workers N]
+//	         [-cache file] [-corpus dir] [-export dir] [-progress]
 //
-// With no flags it runs the full 1,701-test suite over all 28 stacks and
-// prints the Figure 15 tables plus the headline per-model totals.
+// With no flags it runs the full 1,701-test suite over all 28 stacks on
+// the verification farm and prints the Figure 15 tables plus the headline
+// per-model totals.
+//
+// Farm and corpus flags:
+//
+//	-cache results.json   memoize (test, stack) verdicts in a JSON
+//	                      snapshot: the first run writes it, later runs
+//	                      re-verify only jobs whose test or stack
+//	                      fingerprint changed (a warm identical rerun
+//	                      performs zero verifier executions)
+//	-corpus dir           verify .litmus files from an on-disk corpus
+//	                      instead of the built-in generator suite
+//	-export dir           write the selected suite to a corpus directory
+//	                      (herd C litmus format) and exit
+//	-progress             stream farm progress lines to stderr
 package main
 
 import (
@@ -28,7 +43,11 @@ func main() {
 	mappings := flag.Bool("mappings", false, "print the compiler mapping tables (Tables 1-3) and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
 	diagnose := flag.Bool("diagnose", false, "print a µhb cycle/witness diagnosis for the first bug of each stack")
-	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "parallel farm workers (0 = GOMAXPROCS)")
+	cache := flag.String("cache", "", "memoized result cache snapshot (JSON); loaded if present, saved after the run")
+	corpusDir := flag.String("corpus", "", "load litmus tests from this corpus directory instead of the generator")
+	export := flag.String("export", "", "export the selected tests to this corpus directory and exit")
+	progress := flag.Bool("progress", false, "stream farm progress to stderr")
 	flag.Parse()
 
 	if *models {
@@ -46,15 +65,41 @@ func main() {
 	}
 
 	var tests []*tricheck.Test
-	if *family == "" {
+	switch {
+	case *corpusDir != "":
+		c, err := tricheck.LoadCorpus(*corpusDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
+			os.Exit(1)
+		}
+		if *family == "" {
+			tests = c.Tests()
+		} else {
+			tests = c.Subset(*family)
+			if len(tests) == 0 {
+				fmt.Fprintf(os.Stderr, "tricheck: corpus %s has no family %q (have %v)\n", *corpusDir, *family, c.Families())
+				os.Exit(2)
+			}
+		}
+	case *family == "":
 		tests = tricheck.PaperSuite()
-	} else {
+	default:
 		shape := tricheck.ShapeByName(*family)
 		if shape == nil {
 			fmt.Fprintf(os.Stderr, "tricheck: unknown family %q\n", *family)
 			os.Exit(2)
 		}
 		tests = shape.Generate()
+	}
+
+	if *export != "" {
+		n, err := tricheck.ExportCorpus(*export, tests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("exported %d tests to %s\n", n, *export)
+		return
 	}
 
 	var stacks []tricheck.Stack
@@ -78,17 +123,48 @@ func main() {
 	}
 
 	eng := tricheck.NewEngine()
-	results, err := eng.Sweep(tests, stacks, *workers)
+	if *cache != "" {
+		if err := eng.LoadMemoSnapshot(*cache); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "tricheck: loading cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	var events chan tricheck.Progress
+	done := make(chan struct{})
+	if *progress {
+		events = make(chan tricheck.Progress, 1024)
+		go func() {
+			tricheck.StreamProgress(os.Stderr, events, 0)
+			close(done)
+		}()
+	} else {
+		close(done)
+	}
+	results, err := eng.SweepStream(tests, stacks, *workers, events)
+	<-done
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
 		os.Exit(1)
 	}
+
 	if *csv {
 		tricheck.WriteCSV(os.Stdout, results)
 	} else {
 		fmt.Printf("TriCheck: %d litmus tests × %d full-stack configurations\n\n", len(tests), len(stacks))
 		tricheck.WriteFigure15(os.Stdout, results)
 	}
+
+	if *cache != "" {
+		if err := eng.SaveMemoSnapshot(*cache); err != nil {
+			fmt.Fprintf(os.Stderr, "tricheck: saving cache: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	stats := eng.LastFarmStats()
+	fmt.Fprintf(os.Stderr, "farm: %d jobs (%d unique), %d executed, %d cache hits, %d stolen; %d verifier executions total\n",
+		stats.Jobs, stats.Unique, stats.Executed, stats.CacheHits, stats.Stolen, eng.Executions())
+
 	if *diagnose {
 		fmt.Println("\n── diagnoses (first bug per stack) ──")
 		for _, res := range results {

@@ -1,0 +1,3 @@
+module tricheck
+
+go 1.24

@@ -19,12 +19,13 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/compile"
+	"tricheck/internal/farm"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
 	"tricheck/internal/uspec"
@@ -92,21 +93,35 @@ type TestResult struct {
 	Racy bool
 }
 
-// Engine runs the toolflow, caching HLL evaluations across stacks.
+// Engine runs the toolflow. It caches HLL evaluations across stacks
+// (keyed by canonical test fingerprint) and, when a memo cache is
+// enabled, full (test, stack) verdicts across sweeps.
 type Engine struct {
 	mu  sync.Mutex
 	hll map[string]*c11.Result
+	// memo is the optional (test, stack) result cache shared with the
+	// verification farm; nil until EnableMemo.
+	memo *farm.Cache[string, *Memo]
+	// execs counts actual verifier executions (toolflow steps 2–3), i.e.
+	// jobs that were neither deduplicated nor satisfied from the cache.
+	execs atomic.Uint64
+	// lastFarm records the statistics of the most recent farm run.
+	lastFarm farm.Stats
 }
 
-// NewEngine returns an Engine with an empty HLL cache.
+// NewEngine returns an Engine with an empty HLL cache and no memo cache.
 func NewEngine() *Engine {
 	return &Engine{hll: map[string]*c11.Result{}}
 }
 
-// HLL returns the (cached) step-1 C11 evaluation of a test.
+// HLL returns the (cached) step-1 C11 evaluation of a test. The cache is
+// keyed by the test's canonical fingerprint, so structurally identical
+// tests — e.g. a generated test and its corpus round trip — share one
+// evaluation regardless of naming.
 func (e *Engine) HLL(t *litmus.Test) (*c11.Result, error) {
+	key := t.Fingerprint()
 	e.mu.Lock()
-	r, ok := e.hll[t.Name]
+	r, ok := e.hll[key]
 	e.mu.Unlock()
 	if ok {
 		return r, nil
@@ -116,13 +131,37 @@ func (e *Engine) HLL(t *litmus.Test) (*c11.Result, error) {
 		return nil, fmt.Errorf("core: HLL evaluation of %s: %w", t.Name, err)
 	}
 	e.mu.Lock()
-	e.hll[t.Name] = r
+	e.hll[key] = r
 	e.mu.Unlock()
 	return r, nil
 }
 
-// Run executes toolflow steps 1–4 for one test and stack.
+// Run executes toolflow steps 1–4 for one test and stack, consulting the
+// memo cache when one is enabled.
 func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
+	if e.memo != nil {
+		key := JobKey(t, s)
+		if m, ok := e.memo.Get(key); ok {
+			return m.Bind(t, s), nil
+		}
+		m, err := e.evaluate(t, s)
+		if err != nil {
+			return nil, err
+		}
+		e.memo.Put(key, m)
+		return m.Bind(t, s), nil
+	}
+	m, err := e.evaluate(t, s)
+	if err != nil {
+		return nil, err
+	}
+	return m.Bind(t, s), nil
+}
+
+// evaluate runs toolflow steps 1–4 unconditionally and returns the
+// portable verdict. It is the farm's job thunk; every call counts as one
+// verifier execution.
+func (e *Engine) evaluate(t *litmus.Test, s Stack) (*Memo, error) {
 	hll, err := e.HLL(t) // step 1
 	if err != nil {
 		return nil, err
@@ -135,14 +174,18 @@ func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: µspec evaluation of %s on %s: %w", t.Name, s.Model.FullName(), err)
 	}
-	return compare(t, s, hll, isaRes), nil // step 4
+	e.execs.Add(1)
+	return compare(hll, isaRes), nil // step 4
 }
 
-// compare implements step 4, the equivalence check.
-func compare(t *litmus.Test, s Stack, hll *c11.Result, isaRes *uspec.Result) *TestResult {
-	r := &TestResult{
-		Test:       t,
-		Stack:      s,
+// Executions returns the number of verifier executions (toolflow steps
+// 2–3 actually run) performed by this engine so far. Deduplicated jobs
+// and memo-cache hits do not execute.
+func (e *Engine) Executions() uint64 { return e.execs.Load() }
+
+// compare implements step 4, the equivalence check, in portable form.
+func compare(hll *c11.Result, isaRes *uspec.Result) *Memo {
+	m := &Memo{
 		Allowed:    hll.Allowed,
 		Observable: isaRes.Observable,
 		Racy:       hll.Racy,
@@ -157,25 +200,22 @@ func compare(t *litmus.Test, s Stack, hll *c11.Result, isaRes *uspec.Result) *Te
 	for o := range universe {
 		switch {
 		case isaRes.Observable[o] && !hll.Allowed[o]:
-			r.BugOutcomes = append(r.BugOutcomes, o)
+			m.BugOutcomes = append(m.BugOutcomes, o)
 		case hll.Allowed[o] && !isaRes.Observable[o]:
-			r.StrictOutcomes = append(r.StrictOutcomes, o)
+			m.StrictOutcomes = append(m.StrictOutcomes, o)
 		}
 	}
-	sortOutcomes(r.BugOutcomes)
-	sortOutcomes(r.StrictOutcomes)
+	sortOutcomes(m.BugOutcomes)
+	sortOutcomes(m.StrictOutcomes)
 	switch {
-	case len(r.BugOutcomes) > 0:
-		r.Verdict = Bug
-	case len(r.StrictOutcomes) > 0:
-		r.Verdict = OverlyStrict
+	case len(m.BugOutcomes) > 0:
+		m.Verdict = Bug
+	case len(m.StrictOutcomes) > 0:
+		m.Verdict = OverlyStrict
 	default:
-		r.Verdict = Equivalent
+		m.Verdict = Equivalent
 	}
-	r.SpecifiedAllowed = hll.Allowed[t.Specified]
-	r.SpecifiedObservable = isaRes.Observable[t.Specified]
-	r.SpecifiedBug = r.SpecifiedObservable && !r.SpecifiedAllowed
-	return r
+	return m
 }
 
 func sortOutcomes(os []mem.Outcome) {
@@ -224,55 +264,23 @@ func (s *SuiteResult) FamilyNames() []string {
 	return names
 }
 
-// RunSuite runs every test against the stack with the given parallelism
-// (0 = GOMAXPROCS). Results keep the input order.
+// RunSuite runs every test against the stack on the verification farm
+// with the given parallelism (0 = GOMAXPROCS). Results keep the input
+// order.
 func (e *Engine) RunSuite(tests []*litmus.Test, s Stack, workers int) (*SuiteResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	rs, err := e.SweepStream(tests, []Stack{s}, workers, nil)
+	if err != nil {
+		return nil, err
 	}
-	results := make([]*TestResult, len(tests))
-	errs := make([]error, len(tests))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, t := range tests {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, t *litmus.Test) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = e.Run(t, s)
-		}(i, t)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	out := &SuiteResult{Stack: s, Results: results, ByFamily: map[string]*Tally{}}
-	for _, r := range results {
-		out.Tally.Add(r)
-		fam := out.ByFamily[r.Test.Shape.Name]
-		if fam == nil {
-			fam = &Tally{}
-			out.ByFamily[r.Test.Shape.Name] = fam
-		}
-		fam.Add(r)
-	}
-	return out, nil
+	return rs[0], nil
 }
 
-// Sweep runs the suite over many stacks, reusing the HLL cache.
+// Sweep runs the suite over many stacks as one farm run: all
+// (test, stack) jobs are fingerprinted, deduplicated and sharded over
+// the worker pool together, so a slow stack steals capacity from
+// finished ones instead of serializing the sweep.
 func (e *Engine) Sweep(tests []*litmus.Test, stacks []Stack, workers int) ([]*SuiteResult, error) {
-	var out []*SuiteResult
-	for _, s := range stacks {
-		r, err := e.RunSuite(tests, s, workers)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return e.SweepStream(tests, stacks, workers, nil)
 }
 
 // RISCVStacks builds the paper's Figure 15 stack matrix for one ISA flavour

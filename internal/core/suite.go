@@ -1,0 +1,233 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"tricheck/internal/compile"
+	"tricheck/internal/farm"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+)
+
+// This file is the engine's verification-farm frontend: it turns suites
+// and sweeps into fingerprinted (test, stack) jobs for internal/farm,
+// memoizes their portable verdicts, and reassembles deterministic
+// SuiteResults from the streamed results.
+
+// Memo is the portable (pointer-free) verdict of one (test, stack) job:
+// everything step 4 derives except the per-test "specified outcome"
+// classification, which Bind recomputes. Memos are what the farm's memo
+// cache stores and what cache snapshots serialize; the maps and slices
+// are shared between the cache and every bound TestResult, so treat
+// them as read-only.
+type Memo struct {
+	Allowed        map[mem.Outcome]bool `json:"allowed"`
+	Observable     map[mem.Outcome]bool `json:"observable"`
+	BugOutcomes    []mem.Outcome        `json:"bugs,omitempty"`
+	StrictOutcomes []mem.Outcome        `json:"strict,omitempty"`
+	Verdict        Verdict              `json:"verdict"`
+	Racy           bool                 `json:"racy,omitempty"`
+}
+
+// Bind rebinds a portable verdict to a concrete test and stack,
+// recomputing the specified-outcome classification from the test's
+// designated interesting outcome.
+func (m *Memo) Bind(t *litmus.Test, s Stack) *TestResult {
+	r := &TestResult{
+		Test:           t,
+		Stack:          s,
+		Allowed:        m.Allowed,
+		Observable:     m.Observable,
+		BugOutcomes:    m.BugOutcomes,
+		StrictOutcomes: m.StrictOutcomes,
+		Verdict:        m.Verdict,
+		Racy:           m.Racy,
+	}
+	r.SpecifiedAllowed = m.Allowed[t.Specified]
+	r.SpecifiedObservable = m.Observable[t.Specified]
+	r.SpecifiedBug = r.SpecifiedObservable && !r.SpecifiedAllowed
+	return r
+}
+
+// StackFingerprint returns a canonical content hash of a stack: the
+// compiler mapping's recipes and the µspec model's configuration bits,
+// with display names excluded. Editing a single mapping recipe or model
+// axiom therefore changes the fingerprint — and invalidates exactly the
+// memo entries that depend on it — while renaming does not.
+func StackFingerprint(s Stack) string {
+	var b strings.Builder
+	m := s.Mapping
+	fmt.Fprintf(&b, "arch=%d;", m.Arch)
+	recipe := func(tag string, r compile.Recipe) {
+		fmt.Fprintf(&b, "%s:", tag)
+		for _, it := range r {
+			fmt.Fprintf(&b, "%d.%d.%d.%d.%t.%t.%t,", it.Kind, it.Pred, it.Succ, it.Cum, it.Aq, it.Rl, it.SC)
+		}
+		b.WriteByte(';')
+	}
+	recipe("lr", m.LoadRlx)
+	recipe("la", m.LoadAcq)
+	recipe("ls", m.LoadSC)
+	recipe("sr", m.StoreRlx)
+	recipe("se", m.StoreRel)
+	recipe("ss", m.StoreSC)
+	recipe("fa", m.FenceAcq)
+	recipe("fr", m.FenceRel)
+	recipe("far", m.FenceAcqRel)
+	recipe("fs", m.FenceSC)
+	c := s.Model.Config
+	fmt.Fprintf(&b, "wr=%t;fwd=%t;ww=%t;rr=%t;sarr=%t;nmca=%t;cp=%t;deps=%t;var=%d",
+		c.RelaxWR, c.Forwarding, c.RelaxWW, c.RelaxRR, c.OrderSameAddrRR,
+		c.NMCA, c.CacheProtocol, c.RespectDeps, c.Variant)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// JobKey is the farm/cache key of one (test, stack) verification job.
+func JobKey(t *litmus.Test, s Stack) string {
+	return jobKeyFromFPs(t.Fingerprint(), StackFingerprint(s))
+}
+
+// jobKeyFromFPs combines precomputed fingerprints into the one key
+// format shared by Run, SweepStream and cache snapshots.
+func jobKeyFromFPs(testFP, stackFP string) string {
+	return testFP + "+" + stackFP
+}
+
+// defaultMemoCapacity holds three full 28-stack paper sweeps with room
+// to spare.
+const defaultMemoCapacity = 1 << 18
+
+// EnableMemo attaches a memoized (test, stack) result cache of the
+// given capacity (0 = default) to the engine. Subsequent RunSuite/Sweep
+// runs only execute jobs whose fingerprints are not yet cached. Call it
+// before the first run; it is not safe concurrently with runs.
+func (e *Engine) EnableMemo(capacity int) {
+	if capacity <= 0 {
+		capacity = defaultMemoCapacity
+	}
+	e.memo = farm.NewCache[string, *Memo](capacity)
+}
+
+// MemoStats returns the memo-cache counters; ok is false when no memo
+// cache is enabled.
+func (e *Engine) MemoStats() (stats farm.CacheStats, ok bool) {
+	if e.memo == nil {
+		return farm.CacheStats{}, false
+	}
+	return e.memo.Stats(), true
+}
+
+// LoadMemoSnapshot merges a JSON snapshot (written by SaveMemoSnapshot)
+// into the memo cache, enabling the cache first if needed. A missing
+// file satisfies os.IsNotExist.
+func (e *Engine) LoadMemoSnapshot(path string) error {
+	if e.memo == nil {
+		e.EnableMemo(0)
+	}
+	return farm.LoadSnapshot(path, e.memo)
+}
+
+// SaveMemoSnapshot writes the memo cache to path as JSON, atomically.
+func (e *Engine) SaveMemoSnapshot(path string) error {
+	if e.memo == nil {
+		return fmt.Errorf("core: no memo cache enabled")
+	}
+	return farm.SaveSnapshot(path, e.memo)
+}
+
+// LastFarmStats returns the scheduler statistics of the most recent
+// RunSuite/Sweep/SweepStream call.
+func (e *Engine) LastFarmStats() farm.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastFarm
+}
+
+// Progress is one streamed farm result, delivered as soon as the job
+// lands (in completion order, not submission order).
+type Progress struct {
+	// Done counts delivered results so far; Total is the sweep size.
+	Done, Total int
+	// Stack and Test identify the job; Verdict is its outcome.
+	Stack, Test string
+	Verdict     Verdict
+	// Cached reports that the result came from the memo cache or from
+	// deduplication rather than an execution.
+	Cached bool
+}
+
+// SweepStream runs tests × stacks as a single verification-farm run and
+// returns one SuiteResult per stack, in stack order with per-stack
+// results in test order. When events is non-nil every result is
+// additionally streamed to it for progressive reporting; the channel is
+// closed before SweepStream returns. A slow consumer backpressures the
+// farm, so buffer the channel or drain it promptly.
+func (e *Engine) SweepStream(tests []*litmus.Test, stacks []Stack, workers int, events chan<- Progress) ([]*SuiteResult, error) {
+	if events != nil {
+		defer close(events)
+	}
+	total := len(tests) * len(stacks)
+	testFPs := make([]string, len(tests))
+	for i, t := range tests {
+		testFPs[i] = t.Fingerprint()
+	}
+	jobs := make([]farm.Job[string, *Memo], 0, total)
+	for _, s := range stacks {
+		s := s
+		sfp := StackFingerprint(s)
+		for ti, t := range tests {
+			t := t
+			jobs = append(jobs, farm.Job[string, *Memo]{
+				Key: jobKeyFromFPs(testFPs[ti], sfp),
+				Run: func() (*Memo, error) { return e.evaluate(t, s) },
+			})
+		}
+	}
+	done := 0
+	opts := farm.Options[string, *Memo]{
+		Workers: workers,
+		Cache:   e.memo,
+		OnResult: func(i int, m *Memo, cached bool) {
+			if events == nil {
+				return
+			}
+			done++
+			events <- Progress{
+				Done:    done,
+				Total:   total,
+				Stack:   stacks[i/len(tests)].Name(),
+				Test:    tests[i%len(tests)].Name,
+				Verdict: m.Verdict,
+				Cached:  cached,
+			}
+		},
+	}
+	memos, stats, err := farm.Run(jobs, opts)
+	e.mu.Lock()
+	e.lastFarm = stats
+	e.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*SuiteResult, len(stacks))
+	for si, s := range stacks {
+		sr := &SuiteResult{Stack: s, ByFamily: map[string]*Tally{}}
+		for ti, t := range tests {
+			r := memos[si*len(tests)+ti].Bind(t, s)
+			sr.Results = append(sr.Results, r)
+			sr.Tally.Add(r)
+			fam := sr.ByFamily[t.Shape.Name]
+			if fam == nil {
+				fam = &Tally{}
+				sr.ByFamily[t.Shape.Name] = fam
+			}
+			fam.Add(r)
+		}
+		out[si] = sr
+	}
+	return out, nil
+}

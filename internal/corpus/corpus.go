@@ -1,0 +1,184 @@
+// Package corpus gives TriCheck an on-disk litmus-test corpus: a
+// herd-compatible .litmus parser and emitter (herd.go) plus a
+// directory-tree loader/registry, so the generator's suites can be
+// exported to files, external corpora imported, and named subsets
+// addressed from the CLI.
+//
+// Layout convention: a corpus is a directory tree whose .litmus files
+// each hold one test in the herd C litmus format. The first path
+// component below the corpus root names the test's family (subset), so
+//
+//	corpus/
+//	  mp/mp-rlx.rlx.rlx.rlx.litmus
+//	  mp/mp-rlx.rlx.rlx.acq.litmus
+//	  iriw/iriw-sc.sc.sc.sc.sc.sc.litmus
+//
+// loads as families "mp" and "iriw". A `(* tricheck: family=... *)`
+// metadata comment inside a file overrides the directory-derived
+// family. Export writes this layout.
+package corpus
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"tricheck/internal/litmus"
+)
+
+// Entry is one corpus test with its provenance.
+type Entry struct {
+	// Name is the test's full name (generator syntax when the file
+	// carries tricheck metadata).
+	Name string
+	// Family is the subset the test belongs to.
+	Family string
+	// Path is the file path relative to the corpus root.
+	Path string
+	// Test is the parsed test.
+	Test *litmus.Test
+}
+
+// Corpus is a registry of litmus tests loaded from a directory tree.
+type Corpus struct {
+	// Dir is the corpus root.
+	Dir string
+	// Entries lists the tests in deterministic (path) order.
+	Entries []*Entry
+
+	byName map[string]*Entry
+}
+
+// Load reads every .litmus file under dir (recursively, in lexical
+// order) into a registry. A file that fails to parse aborts the load
+// with its path in the error.
+func Load(dir string) (*Corpus, error) {
+	c := &Corpus{Dir: dir, byName: map[string]*Entry{}}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".litmus") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		t, familyFromMeta, err := parseWithMeta(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		e := &Entry{Name: t.Name, Family: familyOfEntry(t, rel, familyFromMeta), Path: rel, Test: t}
+		// The family may come from the directory rather than file
+		// metadata; keep the Shape consistent so per-family tallies and
+		// reports agree with the registry.
+		if t.Shape != nil && t.Shape.Name != e.Family {
+			t.Shape.Name = e.Family
+		}
+		c.Entries = append(c.Entries, e)
+		if dup, ok := c.byName[e.Name]; ok {
+			return fmt.Errorf("%s: duplicate test name %q (also in %s)", path, e.Name, dup.Path)
+		}
+		c.byName[e.Name] = e
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("corpus: loading %s: %w", dir, err)
+	}
+	return c, nil
+}
+
+// familyOfEntry resolves a test's family with the documented
+// precedence: an explicit tricheck metadata family wins, then the first
+// directory component of the relative path, then the parser's guess
+// from the test name.
+func familyOfEntry(t *litmus.Test, rel string, familyFromMeta bool) string {
+	if familyFromMeta && t.Shape != nil && t.Shape.Name != "" {
+		return t.Shape.Name
+	}
+	if i := strings.IndexByte(rel, filepath.Separator); i > 0 {
+		return rel[:i]
+	}
+	if t.Shape != nil && t.Shape.Name != "" {
+		return t.Shape.Name
+	}
+	return "corpus"
+}
+
+// Len returns the number of tests.
+func (c *Corpus) Len() int { return len(c.Entries) }
+
+// Tests returns every test in registry order.
+func (c *Corpus) Tests() []*litmus.Test {
+	out := make([]*litmus.Test, len(c.Entries))
+	for i, e := range c.Entries {
+		out[i] = e.Test
+	}
+	return out
+}
+
+// Lookup finds a test by name, or nil.
+func (c *Corpus) Lookup(name string) *Entry { return c.byName[name] }
+
+// Families returns the family names in sorted order.
+func (c *Corpus) Families() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range c.Entries {
+		if !seen[e.Family] {
+			seen[e.Family] = true
+			out = append(out, e.Family)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset returns the tests of one family, in registry order.
+func (c *Corpus) Subset(family string) []*litmus.Test {
+	var out []*litmus.Test
+	for _, e := range c.Entries {
+		if e.Family == family {
+			out = append(out, e.Test)
+		}
+	}
+	return out
+}
+
+// Export writes tests to dir as <family>/<sanitized-name>.litmus files
+// in the herd C litmus format, creating directories as needed and
+// overwriting existing files. It returns the number of files written.
+// Files from a previous export that are no longer in the selection are
+// NOT removed; export into a fresh directory when the corpus must
+// mirror the selection exactly.
+func Export(dir string, tests []*litmus.Test) (int, error) {
+	n := 0
+	for _, t := range tests {
+		family := "corpus"
+		if t.Shape != nil && t.Shape.Name != "" {
+			family = t.Shape.Name
+		}
+		sub := filepath.Join(dir, family)
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return n, fmt.Errorf("corpus: export: %w", err)
+		}
+		src, err := EmitString(t)
+		if err != nil {
+			return n, fmt.Errorf("corpus: export %s: %w", t.Name, err)
+		}
+		path := filepath.Join(sub, SanitizeName(t.Name)+".litmus")
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return n, fmt.Errorf("corpus: export %s: %w", t.Name, err)
+		}
+		n++
+	}
+	return n, nil
+}

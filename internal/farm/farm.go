@@ -1,0 +1,233 @@
+// Package farm is the verification farm substrate: a sharded
+// work-stealing scheduler with job deduplication and a memoized result
+// cache (in-memory LRU plus an optional JSON snapshot on disk).
+//
+// The farm is deliberately generic. Jobs are (key, thunk) pairs: the key
+// is a canonical fingerprint of the work (for TriCheck, a hash of the
+// litmus test program plus the full-stack identity) and the thunk
+// performs it. The scheduler:
+//
+//   - deduplicates jobs by key, executing each distinct key once and
+//     fanning the result out to every submitted duplicate;
+//   - consults the optional cache before scheduling, so a warm farm
+//     performs zero executions for previously-verified work;
+//   - distributes the remaining jobs over per-worker shard deques; each
+//     worker drains its own shard LIFO and steals FIFO from the others
+//     when idle, so stragglers (litmus tests with large execution-
+//     candidate spaces) never serialize the sweep;
+//   - streams every result to an optional observer as it lands, for
+//     progressive reporting, while still returning the full result slice
+//     in submission order for deterministic aggregation.
+//
+// Determinism: results are assigned by submission index, the cache is
+// keyed by content fingerprints, and verdict aggregation happens outside
+// the farm, so the output of a run is byte-identical regardless of the
+// worker count or the steal schedule.
+package farm
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of farm work: a canonical key plus the thunk that
+// computes the value. Jobs with equal keys MUST compute equal values;
+// the farm runs only one of them.
+type Job[K comparable, V any] struct {
+	// Key is the canonical fingerprint of the work.
+	Key K
+	// Run performs the work. It is called at most once per distinct key
+	// per farm run, and not at all on a cache hit.
+	Run func() (V, error)
+}
+
+// Stats reports what a farm run did.
+type Stats struct {
+	// Jobs is the number of submitted jobs; Unique the number of
+	// distinct keys among them.
+	Jobs, Unique int
+	// CacheHits counts distinct keys satisfied from the cache without
+	// execution; Executed counts keys whose thunk actually ran.
+	CacheHits, Executed int
+	// Stolen counts executions a worker took from a foreign shard.
+	Stolen int
+	// Workers is the resolved worker count.
+	Workers int
+}
+
+// Options configures a farm run.
+type Options[K comparable, V any] struct {
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, memoizes results across runs.
+	Cache *Cache[K, V]
+	// OnResult, when non-nil, observes every job's result as it lands
+	// (duplicates and cache hits included, with cached=true). Calls are
+	// serialized; index is the job's submission index.
+	OnResult func(index int, v V, cached bool)
+}
+
+// shard is one worker's deque. The owner pops newest-first from the
+// tail; thieves pop oldest-first from the head, so stolen work is the
+// work least likely to be in the owner's cache-warm neighbourhood.
+type shard struct {
+	mu   sync.Mutex
+	jobs []int // indices into the canonical job list
+}
+
+func (s *shard) popTail() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return 0, false
+	}
+	j := s.jobs[len(s.jobs)-1]
+	s.jobs = s.jobs[:len(s.jobs)-1]
+	return j, true
+}
+
+func (s *shard) popHead() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) == 0 {
+		return 0, false
+	}
+	j := s.jobs[0]
+	s.jobs = s.jobs[1:]
+	return j, true
+}
+
+// Run executes the jobs and returns their values in submission order.
+// On error the partial results are returned together with the first
+// error in submission order.
+func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats, error) {
+	stats := Stats{Jobs: len(jobs)}
+	results := make([]V, len(jobs))
+	errs := make([]error, len(jobs))
+
+	// Deduplicate by key: the first job with a key is canonical, later
+	// ones become aliases that receive a copy of its result.
+	canon := make(map[K]int, len(jobs))
+	aliases := make(map[int][]int)
+	var pending []int
+	var emitMu sync.Mutex
+	emit := func(i int, v V, cached bool) {
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		results[i] = v
+		if opts.OnResult != nil {
+			opts.OnResult(i, v, cached)
+		}
+		for _, a := range aliases[i] {
+			results[a] = v
+			if opts.OnResult != nil {
+				opts.OnResult(a, v, true)
+			}
+		}
+	}
+	for i, j := range jobs {
+		if ci, ok := canon[j.Key]; ok {
+			aliases[ci] = append(aliases[ci], i)
+			continue
+		}
+		canon[j.Key] = i
+		pending = append(pending, i)
+	}
+	stats.Unique = len(pending)
+
+	// Warm-cache pass: satisfy whatever we can without scheduling.
+	if opts.Cache != nil {
+		uncached := pending[:0]
+		for _, i := range pending {
+			if v, ok := opts.Cache.Get(jobs[i].Key); ok {
+				stats.CacheHits++
+				emit(i, v, true)
+				continue
+			}
+			uncached = append(uncached, i)
+		}
+		pending = uncached
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers == 0 {
+		return results, stats, firstError(errs)
+	}
+	stats.Workers = workers
+
+	// Stripe the pending jobs across the shards so that expensive
+	// neighbourhoods (litmus families are generated contiguously)
+	// spread evenly, then let stealing fix any residual imbalance.
+	shards := make([]*shard, workers)
+	for w := range shards {
+		shards[w] = &shard{}
+	}
+	for n, i := range pending {
+		s := shards[n%workers]
+		s.jobs = append(s.jobs, i)
+	}
+
+	var mu sync.Mutex // guards stats.Executed / stats.Stolen and errs
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i, stolen, ok := take(shards, w)
+				if !ok {
+					return
+				}
+				v, err := jobs[i].Run()
+				mu.Lock()
+				stats.Executed++
+				if stolen {
+					stats.Stolen++
+				}
+				if err != nil {
+					errs[i] = err
+				}
+				mu.Unlock()
+				if err != nil {
+					continue
+				}
+				if opts.Cache != nil {
+					opts.Cache.Put(jobs[i].Key, v)
+				}
+				emit(i, v, false)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return results, stats, firstError(errs)
+}
+
+// take pops work for worker w: its own shard first (tail, LIFO), then a
+// steal sweep over the other shards (head, FIFO). All work is enqueued
+// before the workers start, so one empty sweep means the farm is done.
+func take(shards []*shard, w int) (idx int, stolen, ok bool) {
+	if i, ok := shards[w].popTail(); ok {
+		return i, false, true
+	}
+	for d := 1; d < len(shards); d++ {
+		if i, ok := shards[(w+d)%len(shards)].popHead(); ok {
+			return i, true, true
+		}
+	}
+	return 0, false, false
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func squareJobs(n int, execs *atomic.Int64) []Job[string, int] {
+	jobs := make([]Job[string, int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[string, int]{
+			Key: fmt.Sprintf("sq:%d", i),
+			Run: func() (int, error) {
+				execs.Add(1)
+				return i * i, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunOrderAndDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var execs atomic.Int64
+		got, stats, err := Run(squareJobs(100, &execs), Options[string, int]{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		if execs.Load() != 100 || stats.Executed != 100 {
+			t.Fatalf("workers=%d: executed %d/%d, want 100", workers, execs.Load(), stats.Executed)
+		}
+		if stats.Unique != 100 || stats.Jobs != 100 {
+			t.Fatalf("workers=%d: stats %+v", workers, stats)
+		}
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	var execs atomic.Int64
+	jobs := make([]Job[string, int], 30)
+	for i := range jobs {
+		key := fmt.Sprintf("k%d", i%10) // each key submitted 3 times
+		jobs[i] = Job[string, int]{Key: key, Run: func() (int, error) {
+			execs.Add(1)
+			return len(key), nil
+		}}
+	}
+	got, stats, err := Run(jobs, Options[string, int]{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 10 {
+		t.Fatalf("executed %d thunks, want 10 (deduplicated)", execs.Load())
+	}
+	if stats.Unique != 10 || stats.Jobs != 30 {
+		t.Fatalf("stats %+v", stats)
+	}
+	for i, v := range got {
+		if v != len(fmt.Sprintf("k%d", i%10)) {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWarmCacheRunsNothing(t *testing.T) {
+	cache := NewCache[string, int](0)
+	var execs atomic.Int64
+	jobs := squareJobs(50, &execs)
+
+	cold, coldStats, err := Run(jobs, Options[string, int]{Workers: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 50 || coldStats.Executed != 50 || coldStats.CacheHits != 0 {
+		t.Fatalf("cold run: execs=%d stats=%+v", execs.Load(), coldStats)
+	}
+
+	warm, warmStats, err := Run(jobs, Options[string, int]{Workers: 8, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execs.Load() != 50 {
+		t.Fatalf("warm run executed %d new thunks, want 0", execs.Load()-50)
+	}
+	if warmStats.Executed != 0 || warmStats.CacheHits != 50 {
+		t.Fatalf("warm stats %+v", warmStats)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm results differ from cold results")
+	}
+}
+
+func TestOnResultStreamsEverything(t *testing.T) {
+	var execs atomic.Int64
+	jobs := squareJobs(20, &execs)
+	jobs = append(jobs, jobs...) // 20 duplicates
+	seen := make([]bool, len(jobs))
+	var cachedCount int
+	_, _, err := Run(jobs, Options[string, int]{
+		Workers: 4,
+		OnResult: func(i int, v int, cached bool) {
+			if seen[i] {
+				t.Errorf("result %d delivered twice", i)
+			}
+			seen[i] = true
+			if cached {
+				cachedCount++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("result %d never delivered", i)
+		}
+	}
+	if cachedCount != 20 {
+		t.Fatalf("%d results marked cached, want the 20 duplicates", cachedCount)
+	}
+}
+
+func TestFirstErrorWins(t *testing.T) {
+	boom7 := errors.New("boom 7")
+	boom3 := errors.New("boom 3")
+	jobs := make([]Job[string, int], 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[string, int]{Key: fmt.Sprintf("e%d", i), Run: func() (int, error) {
+			switch i {
+			case 3:
+				return 0, boom3
+			case 7:
+				return 0, boom7
+			}
+			return i, nil
+		}}
+	}
+	// Deterministic regardless of scheduling: the error of the lowest
+	// submission index is reported.
+	for _, workers := range []int{1, 4} {
+		_, _, err := Run(jobs, Options[string, int]{Workers: workers})
+		if !errors.Is(err, boom3) {
+			t.Fatalf("workers=%d: err = %v, want boom 3", workers, err)
+		}
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	cache := NewCache[string, int](0)
+	fail := true
+	job := []Job[string, int]{{Key: "flaky", Run: func() (int, error) {
+		if fail {
+			return 0, errors.New("transient")
+		}
+		return 42, nil
+	}}}
+	if _, _, err := Run(job, Options[string, int]{Cache: cache}); err == nil {
+		t.Fatal("want error from first run")
+	}
+	if cache.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	fail = false
+	got, _, err := Run(job, Options[string, int]{Cache: cache})
+	if err != nil || got[0] != 42 {
+		t.Fatalf("retry: got %v, %v", got, err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	c := NewCache[string, []string](0)
+	c.Put("x", []string{"1", "2"})
+	c.Put("y", nil)
+	if err := SaveSnapshot(path, c); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache[string, []string](0)
+	if err := LoadSnapshot(path, c2); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c2.Get("x"); !ok || !reflect.DeepEqual(v, []string{"1", "2"}) {
+		t.Fatalf("x = %v, %v", v, ok)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("len = %d", c2.Len())
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	got, stats, err := Run(nil, Options[string, int]{})
+	if err != nil || len(got) != 0 || stats.Jobs != 0 {
+		t.Fatalf("got %v, %+v, %v", got, stats, err)
+	}
+}

@@ -1,0 +1,130 @@
+package litmus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+// This file implements canonical test fingerprints: a content hash of a
+// test's program that is independent of every piece of surface syntax —
+// test and shape names, location names, register numbering, and the
+// textual format the test was authored in. Two tests with the same
+// fingerprint have identical semantics at every layer of the toolflow
+// (same candidate executions, same outcome namespace), so the
+// verification farm can deduplicate and memoize (test, stack) jobs by
+// fingerprint, and a corpus round trip through any emitter/parser pair
+// leaves the fingerprint unchanged.
+//
+// What IS part of the fingerprint:
+//   - the thread structure and per-thread operation sequences,
+//   - each operation's kind, memory order, and RMW function,
+//   - address/data operands with locations as dense ids (names dropped)
+//     and registers renumbered per thread in definition order,
+//   - control-dependency edges (as per-thread op indices),
+//   - observers and their outcome labels (they define the outcome
+//     namespace, so results keyed by them are only shareable when the
+//     labels agree).
+//
+// What is NOT part of the fingerprint: the test name, the shape name, the
+// location display names, the concrete register numbers, and the
+// designated "interesting" outcome (everything derived from it is
+// recomputed when a memoized result is rebound to a test).
+
+// Fingerprint returns the canonical content hash of the test's program.
+// The hash is a 64-bit-collision-safe 128-bit hex string (the first 16
+// bytes of a SHA-256). It is computed once per test: a cold sweep asks
+// for it once per (test, stack) job, so caching saves tens of
+// thousands of canonicalization passes per paper sweep.
+func (t *Test) Fingerprint() string {
+	t.fpOnce.Do(func() { t.fp = FingerprintProgram(t.Prog) })
+	return t.fp
+}
+
+// FingerprintProgram computes the canonical fingerprint of a C11 program.
+func FingerprintProgram(p *c11.Program) string {
+	var b strings.Builder
+	mp := p.Mem()
+	fmt.Fprintf(&b, "locs=%d;", mp.NumLocs)
+	for th, ops := range p.Ops {
+		// Registers renumber per thread in definition order, so the
+		// builder's global numbering and a parser's local numbering
+		// fingerprint identically.
+		canon := map[int]int{}
+		reg := func(r int) int {
+			c, ok := canon[r]
+			if !ok {
+				c = len(canon)
+				canon[r] = c
+			}
+			return c
+		}
+		operand := func(o mem.Operand) string {
+			if o.Kind == mem.OpReg {
+				return fmt.Sprintf("r%d", reg(o.Reg))
+			}
+			return fmt.Sprintf("#%d", o.Const)
+		}
+		fmt.Fprintf(&b, "T%d:", th)
+		for _, op := range ops {
+			switch op.Kind {
+			case c11.OpLoad:
+				fmt.Fprintf(&b, "ld,%s,%s,r%d", op.Ord, operand(op.Addr), reg(op.Dst))
+			case c11.OpStore:
+				fmt.Fprintf(&b, "st,%s,%s,%s", op.Ord, operand(op.Addr), operand(op.Data))
+			case c11.OpRMW:
+				fmt.Fprintf(&b, "rmw%d,%s,%s,%s,r%d", op.RMWOp, op.Ord, operand(op.Addr), operand(op.Data), reg(op.Dst))
+			case c11.OpFence:
+				fmt.Fprintf(&b, "f,%s", op.Ord)
+			}
+			if len(op.CtrlDepOn) > 0 {
+				deps := append([]int(nil), op.CtrlDepOn...)
+				sort.Ints(deps)
+				fmt.Fprintf(&b, ",ctrl%v", deps)
+			}
+			b.WriteByte(';')
+		}
+		// Observers for this thread, in (register, label) order. The
+		// canonical register map is thread-local, so they are rendered
+		// inside the thread block.
+		var obs []mem.Observer
+		for _, o := range mp.Observers {
+			if o.Thread == th {
+				obs = append(obs, o)
+			}
+		}
+		sort.Slice(obs, func(i, j int) bool {
+			if obs[i].Reg != obs[j].Reg {
+				return obs[i].Reg < obs[j].Reg
+			}
+			return obs[i].Label < obs[j].Label
+		})
+		for _, o := range obs {
+			c, ok := canon[o.Reg]
+			if !ok {
+				// An observer of a never-written register: keep the raw
+				// number, prefixed so it cannot collide with canon ids.
+				fmt.Fprintf(&b, "obs:?%d=%s;", o.Reg, o.Label)
+				continue
+			}
+			fmt.Fprintf(&b, "obs:r%d=%s;", c, o.Label)
+		}
+	}
+	memObs := append([]mem.MemObserver(nil), mp.MemObservers...)
+	sort.Slice(memObs, func(i, j int) bool {
+		if memObs[i].Loc != memObs[j].Loc {
+			return memObs[i].Loc < memObs[j].Loc
+		}
+		return memObs[i].Label < memObs[j].Label
+	})
+	for _, o := range memObs {
+		fmt.Fprintf(&b, "memobs:%d=%s;", o.Loc, o.Label)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}

@@ -1,0 +1,88 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/mem"
+)
+
+// TestFingerprintIgnoresNaming: location names, register numbering and
+// test names are not part of the fingerprint; structure and labels are.
+func TestFingerprintIgnoresNaming(t *testing.T) {
+	build := func(locA, locB string, r0, r1 int) *Test {
+		p := c11.New(2, locA, locB)
+		p.Store(0, c11.Rlx, mem.Const(0), mem.Const(1))
+		p.Store(0, c11.Rel, mem.Const(1), mem.Const(1))
+		p.Load(1, c11.Acq, mem.Const(1), r0)
+		p.Load(1, c11.Rlx, mem.Const(0), r1)
+		p.Observe(1, r0, "r0")
+		p.Observe(1, r1, "r1")
+		return &Test{Name: locA + locB, Shape: MP, Prog: p, Specified: "r0=1; r1=0"}
+	}
+	a := build("x", "y", 0, 1)
+	b := build("u", "v", 5, 9) // renamed locations, renumbered registers
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint depends on location names or register numbering")
+	}
+
+	// Changing a memory order must change the fingerprint.
+	c := build("x", "y", 0, 1)
+	c.Prog = c11.New(2, "x", "y")
+	c.Prog.Store(0, c11.Rlx, mem.Const(0), mem.Const(1))
+	c.Prog.Store(0, c11.SC, mem.Const(1), mem.Const(1)) // rel → sc
+	c.Prog.Load(1, c11.Acq, mem.Const(1), 0)
+	c.Prog.Load(1, c11.Rlx, mem.Const(0), 1)
+	c.Prog.Observe(1, 0, "r0")
+	c.Prog.Observe(1, 1, "r1")
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("fingerprint misses a memory-order change")
+	}
+
+	// Changing an outcome label must change the fingerprint (labels
+	// define the outcome namespace results are keyed by).
+	d := build("x", "y", 0, 1)
+	d.Prog = c11.New(2, "x", "y")
+	d.Prog.Store(0, c11.Rlx, mem.Const(0), mem.Const(1))
+	d.Prog.Store(0, c11.Rel, mem.Const(1), mem.Const(1))
+	d.Prog.Load(1, c11.Acq, mem.Const(1), 0)
+	d.Prog.Load(1, c11.Rlx, mem.Const(0), 1)
+	d.Prog.Observe(1, 0, "a")
+	d.Prog.Observe(1, 1, "b")
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("fingerprint misses an observer-label change")
+	}
+}
+
+// TestFingerprintDistinguishesSuite: all 1,701 paper-suite tests have
+// distinct fingerprints (no accidental dedup collisions).
+func TestFingerprintDistinguishesSuite(t *testing.T) {
+	seen := map[string]string{}
+	for _, tst := range PaperSuite() {
+		fp := tst.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision: %s and %s", prev, tst.Name)
+		}
+		seen[fp] = tst.Name
+	}
+}
+
+// TestFingerprintStableAcrossTextualFormat: the internal textual format
+// (Format/Parse) also preserves fingerprints.
+func TestFingerprintStableAcrossTextualFormat(t *testing.T) {
+	for _, shape := range PaperShapes() {
+		tst := shape.Generate()[0]
+		var b strings.Builder
+		if err := Format(&b, tst); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ParseString(b.String())
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", tst.Name, err, b.String())
+		}
+		if parsed.Fingerprint() != tst.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across internal-format round trip", tst.Name)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package litmus
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/mem"
@@ -85,6 +86,11 @@ type Test struct {
 	Prog *c11.Program
 	// Specified is the shape's interesting outcome.
 	Specified mem.Outcome
+
+	// fp caches the canonical fingerprint; the program is immutable
+	// once the test is built.
+	fpOnce sync.Once
+	fp     string
 }
 
 // Generate expands the template into all memory-order permutations.

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"tricheck/internal/core"
+)
+
+// StreamProgress drains a SweepStream event channel, writing periodic
+// progress lines to w — one every `every` results (0 picks roughly 2%
+// of the total) plus a final summary. It returns when the channel
+// closes, so it is normally run on its own goroutine:
+//
+//	events := make(chan core.Progress, 256)
+//	done := make(chan struct{})
+//	go func() { report.StreamProgress(os.Stderr, events, 0); close(done) }()
+//	results, err := eng.SweepStream(tests, stacks, 0, events)
+//	<-done
+//
+// The farm delivers results in completion order; each line shows the
+// running verdict tallies and how much of the sweep was served from the
+// memo cache.
+func StreamProgress(w io.Writer, events <-chan core.Progress, every int) {
+	var bugs, strict, equiv, cached, done, total int
+	for ev := range events {
+		done = ev.Done
+		switch ev.Verdict {
+		case core.Bug:
+			bugs++
+		case core.OverlyStrict:
+			strict++
+		default:
+			equiv++
+		}
+		if ev.Cached {
+			cached++
+		}
+		total = ev.Total
+		step := every
+		if step <= 0 {
+			step = ev.Total / 50
+			if step == 0 {
+				step = 1
+			}
+		}
+		if ev.Done%step == 0 && ev.Done != ev.Total {
+			fmt.Fprintf(w, "farm: %d/%d (%d%%) bugs=%d strict=%d equiv=%d cached=%d  last=%s on %s\n",
+				ev.Done, ev.Total, 100*ev.Done/ev.Total, bugs, strict, equiv, cached, ev.Test, ev.Stack)
+		}
+	}
+	// done < total happens when the sweep aborted on an error.
+	if total > 0 {
+		fmt.Fprintf(w, "farm: %d/%d done — bugs=%d strict=%d equiv=%d cached=%d\n",
+			done, total, bugs, strict, equiv, cached)
+	}
+}

@@ -31,6 +31,8 @@ import (
 	"tricheck/internal/c11"
 	"tricheck/internal/compile"
 	"tricheck/internal/core"
+	"tricheck/internal/corpus"
+	"tricheck/internal/farm"
 	"tricheck/internal/isa"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
@@ -68,6 +70,49 @@ func NewEngine() *Engine { return core.NewEngine() }
 // RISCVStacks builds the Figure 15 stack matrix for one ISA flavour and
 // MCM version.
 func RISCVStacks(base bool, v Variant) []Stack { return core.RISCVStacks(base, v) }
+
+// Verification farm types (internal/farm wiring). RunSuite and Sweep
+// run on a sharded work-stealing scheduler; enabling the engine's memo
+// cache (Engine.EnableMemo / LoadMemoSnapshot) makes repeated sweeps
+// re-verify only what changed.
+type (
+	// FarmStats reports what the most recent farm run did
+	// (Engine.LastFarmStats).
+	FarmStats = farm.Stats
+	// CacheStats reports memo-cache hit/miss counters
+	// (Engine.MemoStats).
+	CacheStats = farm.CacheStats
+	// Progress is one streamed farm result (Engine.SweepStream).
+	Progress = core.Progress
+)
+
+// StackFingerprint returns the canonical content hash of a stack's
+// mapping recipes and model configuration.
+func StackFingerprint(s Stack) string { return core.StackFingerprint(s) }
+
+// JobKey returns the farm/cache key of one (test, stack) job.
+func JobKey(t *Test, s Stack) string { return core.JobKey(t, s) }
+
+// Corpus types (internal/corpus): an on-disk litmus corpus in the herd
+// C litmus format.
+type (
+	// Corpus is a directory-tree litmus-test registry.
+	Corpus = corpus.Corpus
+	// CorpusEntry is one corpus test with provenance.
+	CorpusEntry = corpus.Entry
+)
+
+// LoadCorpus reads every .litmus file under dir into a registry.
+func LoadCorpus(dir string) (*Corpus, error) { return corpus.Load(dir) }
+
+// ExportCorpus writes tests to dir as <family>/<name>.litmus files.
+func ExportCorpus(dir string, tests []*Test) (int, error) { return corpus.Export(dir, tests) }
+
+// EmitLitmus renders a test in the herd C litmus format.
+func EmitLitmus(t *Test) (string, error) { return corpus.EmitString(t) }
+
+// ParseLitmus parses a herd C litmus test.
+func ParseLitmus(src string) (*Test, error) { return corpus.ParseString(src) }
 
 // Litmus testing types.
 type (
@@ -209,6 +254,12 @@ func WriteTable7(w io.Writer, v Variant) { report.Table7(w, v) }
 
 // WriteMappingTable renders a compiler mapping like Tables 1–3.
 func WriteMappingTable(w io.Writer, m *Mapping) { report.MappingTable(w, m) }
+
+// StreamProgress drains a SweepStream event channel, writing periodic
+// progress lines to w; it returns when the channel closes.
+func StreamProgress(w io.Writer, events <-chan Progress, every int) {
+	report.StreamProgress(w, events, every)
+}
 
 // Operational cross-validation simulators (internal/opsim): independent
 // interleaving-based semantics for the WR, TSO and nWR machines, used to
