@@ -303,3 +303,65 @@ func BenchmarkAblationLazyRelease(b *testing.B) {
 	b.ReportMetric(float64(strictCurr), "strict-outcomes-eager")
 	b.ReportMetric(float64(strictOurs), "strict-outcomes-lazy")
 }
+
+// Synthesis benchmarks: cold enumeration of the critical-cycle space
+// (every shape lowered, probed for degeneracy and deduplicated) and a
+// warm memoized sweep of the synthesized suite — the two costs a
+// synthesized corpus adds on top of the shipped one.
+func BenchmarkSynthEnumerateCold(b *testing.B) {
+	var shapes int
+	for i := 0; i < b.N; i++ {
+		res, err := tricheck.SynthesizeShapes(tricheck.SynthOptions{MaxLen: 6, Deps: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		shapes = len(res)
+	}
+	b.ReportMetric(float64(shapes), "shapes")
+	b.ReportMetric(float64(shapes*b.N)/b.Elapsed().Seconds(), "shapes/sec")
+}
+
+func synthSweepSuite(b *testing.B) []*tricheck.Test {
+	b.Helper()
+	res, err := tricheck.SynthesizeShapes(tricheck.SynthOptions{MaxLen: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tests []*tricheck.Test
+	for _, s := range tricheck.SynthNovelOnly(res) {
+		tests = append(tests, s.Shape.Generate()...)
+	}
+	return tests
+}
+
+func BenchmarkSynthColdSweep(b *testing.B) {
+	tests := synthSweepSuite(b)
+	s := tricheck.Stack{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.NMM(tricheck.Curr)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := tricheck.NewEngine() // fresh: every job executes
+		if _, err := eng.RunSuite(tests, s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tests)*b.N)/b.Elapsed().Seconds(), "tests/sec")
+}
+
+func BenchmarkSynthWarmSweep(b *testing.B) {
+	tests := synthSweepSuite(b)
+	s := tricheck.Stack{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.NMM(tricheck.Curr)}
+	eng := tricheck.NewEngine()
+	eng.EnableMemo(0)
+	if _, err := eng.RunSuite(tests, s, 0); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	primed := eng.Executions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunSuite(tests, s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tests)*b.N)/b.Elapsed().Seconds(), "tests/sec")
+	b.ReportMetric(float64(eng.Executions()-primed), "executions")
+}

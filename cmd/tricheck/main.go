@@ -124,7 +124,7 @@ func main() {
 
 	eng := tricheck.NewEngine()
 	if *cache != "" {
-		if err := eng.LoadMemoSnapshot(*cache); err != nil && !os.IsNotExist(err) {
+		if err := tricheck.LoadMemoSnapshotLenient(eng, *cache, os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "tricheck: loading cache: %v\n", err)
 			os.Exit(1)
 		}

@@ -19,8 +19,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"tricheck"
 	"tricheck/internal/corpus"
@@ -115,25 +117,42 @@ func cmdLs(args []string) {
 	verbose := fs.Bool("v", false, "show fingerprints and paths")
 	fs.Parse(args)
 	c := loadCorpus(*dir)
-	byFam := map[string]int{}
+	writeListing(os.Stdout, os.Stderr, c, *family, *verbose)
+}
+
+// writeListing renders the ls output deterministically: entries sorted
+// by (family, name) regardless of on-disk layout, with the per-family
+// tallies in sorted family order.
+func writeListing(w, summary io.Writer, c *tricheck.Corpus, family string, verbose bool) {
+	entries := make([]*tricheck.CorpusEntry, 0, len(c.Entries))
 	for _, e := range c.Entries {
-		if *family != "" && e.Family != *family {
+		if family != "" && e.Family != family {
 			continue
 		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Family != entries[j].Family {
+			return entries[i].Family < entries[j].Family
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	byFam := map[string]int{}
+	for _, e := range entries {
 		byFam[e.Family]++
-		if *verbose {
-			fmt.Printf("%-40s %s %s\n", e.Name, e.Test.Fingerprint(), e.Path)
+		if verbose {
+			fmt.Fprintf(w, "%-40s %s %s\n", e.Name, e.Test.Fingerprint(), e.Path)
 		} else {
-			fmt.Println(e.Name)
+			fmt.Fprintln(w, e.Name)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%d tests in %d families:", c.Len(), len(c.Families()))
+	fmt.Fprintf(summary, "%d tests in %d families:", c.Len(), len(c.Families()))
 	for _, f := range c.Families() {
 		if n := byFam[f]; n > 0 {
-			fmt.Fprintf(os.Stderr, " %s=%d", f, n)
+			fmt.Fprintf(summary, " %s=%d", f, n)
 		}
 	}
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(summary)
 }
 
 func cmdShow(args []string) {

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tricheck"
+)
+
+// TestListingDeterministic: ls output is sorted by (family, name)
+// regardless of the on-disk file layout, and identical across reloads.
+func TestListingDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	// Export two shapes, then move one file so WalkDir order diverges
+	// from name order: path order would list zz-relocated/… last by
+	// family dir but its family metadata keeps it in "mp".
+	var tests []*tricheck.Test
+	tests = append(tests, tricheck.MP.Generate()[:3]...)
+	tests = append(tests, tricheck.SB.Generate()[:2]...)
+	if _, err := tricheck.ExportCorpus(dir, tests); err != nil {
+		t.Fatal(err)
+	}
+	// Relocate one mp file into a directory that sorts after sb: the
+	// explicit family metadata inside the file wins over the layout.
+	if err := os.MkdirAll(filepath.Join(dir, "zz"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "mp", "mp-rlx.rlx.rlx.rlx.litmus")
+	if err := os.Rename(moved, filepath.Join(dir, "zz", "relocated.litmus")); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func() string {
+		c, err := tricheck.LoadCorpus(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out, sum strings.Builder
+		writeListing(&out, &sum, c, "", false)
+		return out.String() + "#" + sum.String()
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("listing unstable across reloads:\n%s\nvs\n%s", first, got)
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(strings.Split(first, "#")[0], "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("listed %d tests, want 5:\n%s", len(lines), first)
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Errorf("listing not sorted: %q before %q", lines[i-1], lines[i])
+		}
+	}
+	// The relocated file keeps its metadata family, so every mp test
+	// still lists before every sb test.
+	if !strings.HasPrefix(lines[0], "mp[") || !strings.HasPrefix(lines[4], "sb[") {
+		t.Errorf("family grouping broken:\n%s", first)
+	}
+	if !strings.Contains(first, "mp=3") || !strings.Contains(first, "sb=2") {
+		t.Errorf("family tallies wrong:\n%s", first)
+	}
+}
+
+// TestListingFamilyFilterAndVerbose: the -family filter and -v
+// fingerprint columns stay deterministic too.
+func TestListingFamilyFilterAndVerbose(t *testing.T) {
+	dir := t.TempDir()
+	var tests []*tricheck.Test
+	tests = append(tests, tricheck.MP.Generate()[:2]...)
+	tests = append(tests, tricheck.SB.Generate()[:2]...)
+	if _, err := tricheck.ExportCorpus(dir, tests); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tricheck.LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, sum strings.Builder
+	writeListing(&out, &sum, c, "sb", true)
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("family filter listed %d tests, want 2:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "sb[") {
+			t.Errorf("family filter leaked: %q", l)
+		}
+		if fields := strings.Fields(l); len(fields) != 3 {
+			t.Errorf("verbose listing has %d columns, want 3: %q", len(fields), l)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Command trisynth synthesizes litmus-test shapes from first
+// principles — every critical cycle over {po, pos, dep, rfe, coe, fre}
+// up to a bound — and drives them through the TriCheck toolflow.
+//
+// Usage:
+//
+//	trisynth enumerate [-max-len N] [-min-len N] [-max-threads N] [-max-locs N]
+//	                   [-deps] [-novel-only] [-v]
+//	trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
+//	trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both]
+//	                   [-variant curr|ours|both] [-workers N] [-cache file]
+//	                   [-progress] [-csv] [-bugs]
+//
+// enumerate lists the synthesized shapes (cycle word, threads,
+// locations, variant count, novelty). export writes their memory-order
+// expansions to an on-disk corpus in the herd C litmus format. sweep
+// runs the expansions over the RISC-V stack matrix on the verification
+// farm and prints per-family verdict tables; -bugs additionally lists
+// every buggy (test, stack) pair on novel shapes — full-stack bugs on
+// tests nobody wrote.
+//
+// The bounds flags are shared by all three subcommands: -max-len is the
+// cycle length (= accesses) ceiling, -deps adds dependency-flavoured
+// program-order edges, and -novel-only drops the shapes that are
+// structurally identical to a shipped one (the rediscovered paper
+// shapes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tricheck"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "enumerate":
+		cmdEnumerate(args)
+	case "export":
+		cmdExport(args)
+	case "sweep":
+		cmdSweep(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  trisynth enumerate [-max-len N] [-min-len N] [-max-threads N] [-max-locs N] [-deps] [-novel-only] [-v]
+  trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
+  trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both] [-variant curr|ours|both]
+                     [-workers N] [-cache file] [-progress] [-csv] [-bugs]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "trisynth: %v\n", err)
+	os.Exit(1)
+}
+
+// boundsFlags registers the shared synthesis bounds on a FlagSet.
+func boundsFlags(fs *flag.FlagSet) (opts *tricheck.SynthOptions, novelOnly *bool) {
+	opts = &tricheck.SynthOptions{}
+	fs.IntVar(&opts.MaxLen, "max-len", 5, "maximum cycle length (edges = accesses)")
+	fs.IntVar(&opts.MinLen, "min-len", 0, "minimum cycle length (default 3)")
+	fs.IntVar(&opts.MaxThreads, "max-threads", 0, "maximum threads per shape (0 = unbounded)")
+	fs.IntVar(&opts.MaxLocs, "max-locs", 0, "maximum shared locations per shape (0 = unbounded)")
+	fs.BoolVar(&opts.Deps, "deps", false, "include dependency-flavoured program-order edges")
+	novelOnly = fs.Bool("novel-only", false, "drop shapes structurally identical to shipped ones")
+	return opts, novelOnly
+}
+
+func synthesize(opts *tricheck.SynthOptions, novelOnly bool) []*tricheck.Synthesized {
+	res, err := tricheck.SynthesizeShapes(*opts)
+	if err != nil {
+		fatal(err)
+	}
+	if novelOnly {
+		res = tricheck.SynthNovelOnly(res)
+	}
+	if len(res) == 0 {
+		fatal(fmt.Errorf("no shapes synthesized within the bounds"))
+	}
+	return res
+}
+
+func cmdEnumerate(args []string) {
+	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
+	opts, novelOnly := boundsFlags(fs)
+	verbose := fs.Bool("v", false, "also print each shape's specified outcome and fingerprint")
+	fs.Parse(args)
+	res := synthesize(opts, *novelOnly)
+	for _, s := range res {
+		novel := "shipped"
+		if s.Novel {
+			novel = "novel"
+		}
+		fmt.Printf("%-30s len=%d threads=%d locs=%d variants=%-4d %s\n",
+			s.Shape.Name, s.Cycle.Len(), s.Cycle.NThreads, s.Cycle.NLocs, s.Shape.Variants(), novel)
+		if *verbose {
+			fmt.Printf("    specified %q  fingerprint %s\n", s.Shape.Specified, s.Fingerprint)
+		}
+	}
+	st := tricheck.SynthSummarize(res)
+	fmt.Fprintf(os.Stderr, "%d shapes (%d novel), %d memory-order variants; per length:", st.Cycles, st.Novel, st.Variants)
+	for _, n := range st.Lengths() {
+		fmt.Fprintf(os.Stderr, " %d=%d", n, st.ByLen[n])
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func cmdExport(args []string) {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	opts, novelOnly := boundsFlags(fs)
+	dir := fs.String("dir", "", "corpus directory to write")
+	orders := fs.String("orders", "all", "which memory-order variants: first (one per shape) or all")
+	fs.Parse(args)
+	if *dir == "" {
+		usage()
+	}
+	res := synthesize(opts, *novelOnly)
+	var tests []*tricheck.Test
+	for _, s := range res {
+		switch *orders {
+		case "all":
+			tests = append(tests, s.Shape.Generate()...)
+		case "first":
+			// One representative per shape: the canonical first-choice
+			// variant, not the full 3^slots expansion.
+			tests = append(tests, tricheck.SynthFirstInstance(s.Shape))
+		default:
+			fatal(fmt.Errorf("unknown -orders %q (want first or all)", *orders))
+		}
+	}
+	n, err := tricheck.ExportCorpus(*dir, tests)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("exported %d tests from %d synthesized shapes to %s\n", n, len(res), *dir)
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	opts, novelOnly := boundsFlags(fs)
+	isaFlag := fs.String("isa", "base", "ISA flavour: base, base+a or both")
+	variant := fs.String("variant", "curr", "MCM version: curr, ours or both")
+	workers := fs.Int("workers", 0, "parallel farm workers (0 = GOMAXPROCS)")
+	cache := fs.String("cache", "", "memoized result cache snapshot (JSON)")
+	progress := fs.Bool("progress", false, "stream farm progress to stderr")
+	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
+	bugs := fs.Bool("bugs", false, "list buggy (test, stack) pairs on novel shapes")
+	fs.Parse(args)
+
+	res := synthesize(opts, *novelOnly)
+	novel := map[string]bool{}
+	var tests []*tricheck.Test
+	for _, s := range res {
+		novel[s.Shape.Name] = s.Novel
+		tests = append(tests, s.Shape.Generate()...)
+	}
+
+	var stacks []tricheck.Stack
+	addISA := func(base bool) {
+		if *variant == "curr" || *variant == "both" {
+			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Curr)...)
+		}
+		if *variant == "ours" || *variant == "both" {
+			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Ours)...)
+		}
+	}
+	if *isaFlag == "base" || *isaFlag == "both" {
+		addISA(true)
+	}
+	if *isaFlag == "base+a" || *isaFlag == "both" {
+		addISA(false)
+	}
+	if len(stacks) == 0 {
+		fatal(fmt.Errorf("no stacks selected (isa=%q variant=%q)", *isaFlag, *variant))
+	}
+
+	eng := tricheck.NewEngine()
+	if *cache != "" {
+		if err := tricheck.LoadMemoSnapshotLenient(eng, *cache, os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	var events chan tricheck.Progress
+	done := make(chan struct{})
+	if *progress {
+		events = make(chan tricheck.Progress, 1024)
+		go func() {
+			tricheck.StreamProgress(os.Stderr, events, 0)
+			close(done)
+		}()
+	} else {
+		close(done)
+	}
+	results, err := eng.SweepStream(tests, stacks, *workers, events)
+	<-done
+	if err != nil {
+		fatal(err)
+	}
+
+	if *csv {
+		tricheck.WriteCSV(os.Stdout, results)
+	} else {
+		fmt.Printf("trisynth: %d synthesized shapes, %d tests × %d stacks\n\n", len(res), len(tests), len(stacks))
+		tricheck.WriteFigure15(os.Stdout, results)
+	}
+	if *cache != "" {
+		if err := eng.SaveMemoSnapshot(*cache); err != nil {
+			fatal(err)
+		}
+	}
+	stats := eng.LastFarmStats()
+	fmt.Fprintf(os.Stderr, "farm: %d jobs (%d unique), %d executed, %d cache hits; %d verifier executions\n",
+		stats.Jobs, stats.Unique, stats.Executed, stats.CacheHits, eng.Executions())
+
+	// Novel-bug report: the sweep's whole point.
+	type finding struct{ test, stack string }
+	var findings []finding
+	novelBugShapes := map[string]bool{}
+	for _, sr := range results {
+		for _, r := range sr.Results {
+			if r.Verdict == tricheck.Bug && novel[r.Test.Shape.Name] {
+				findings = append(findings, finding{r.Test.Name, r.Stack.Name()})
+				novelBugShapes[r.Test.Shape.Name] = true
+			}
+		}
+	}
+	novelTotal := 0
+	for _, isNovel := range novel {
+		if isNovel {
+			novelTotal++
+		}
+	}
+	var shapeNames []string
+	for n := range novelBugShapes {
+		shapeNames = append(shapeNames, n)
+	}
+	sort.Strings(shapeNames)
+	fmt.Fprintf(os.Stderr, "novel shapes with Bug verdicts: %d of %d novel (%d synthesized)", len(shapeNames), novelTotal, len(res))
+	for _, n := range shapeNames {
+		fmt.Fprintf(os.Stderr, " %s", n)
+	}
+	fmt.Fprintln(os.Stderr)
+	if *bugs {
+		// Keep stdout machine-readable under -csv: the bug listing
+		// moves to stderr there.
+		out := os.Stdout
+		if *csv {
+			out = os.Stderr
+		}
+		sort.Slice(findings, func(i, j int) bool {
+			if findings[i].test != findings[j].test {
+				return findings[i].test < findings[j].test
+			}
+			return findings[i].stack < findings[j].stack
+		})
+		for _, f := range findings {
+			fmt.Fprintf(out, "BUG %s on %s\n", f.test, f.stack)
+		}
+	}
+}

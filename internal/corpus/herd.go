@@ -85,6 +85,41 @@ func SanitizeName(s string) string {
 	return strings.NewReplacer("[", "-", "]", "", ",", ".", " ", "").Replace(s)
 }
 
+var (
+	// unsafeNameChars is what safeName strips from emitted headers: a
+	// header name containing "(*" or "*)" would corrupt the comment
+	// structure of the emitted file.
+	unsafeNameChars = regexp.MustCompile(`[^\w.+-]`)
+	// metaSafeRe bounds what may appear as a metadata value: generator
+	// names ("mp[rlx,sc]") pass through exactly; anything that could
+	// break the whitespace-split key=value metadata syntax (or the
+	// comment itself) is sanitized first.
+	metaSafeRe = regexp.MustCompile(`^[\w.\[\],+-]+$`)
+	// identRe is a herd identifier (location and register names).
+	identRe = regexp.MustCompile(`^\w+$`)
+)
+
+// safeName renders any test name as a herd-safe identifier: the
+// SanitizeName rewriting plus replacement of every remaining character
+// that could corrupt the emitted file. Idempotent, so emit→parse→emit
+// reaches a byte fixed point even for hostile names.
+func safeName(s string) string {
+	s = unsafeNameChars.ReplaceAllString(SanitizeName(s), "-")
+	if s == "" {
+		return "test"
+	}
+	return s
+}
+
+// metaValue returns a value safe to embed in the tricheck metadata
+// comment, preserving it exactly when possible.
+func metaValue(s string) string {
+	if s == "" || metaSafeRe.MatchString(s) {
+		return s
+	}
+	return safeName(s)
+}
+
 // Emit writes a test in the herd C litmus format.
 func Emit(w io.Writer, t *litmus.Test) error {
 	s, err := EmitString(t)
@@ -100,6 +135,19 @@ func Emit(w io.Writer, t *litmus.Test) error {
 // byte-identical output.
 func EmitString(t *litmus.Test) (string, error) {
 	mp := t.Prog.Mem()
+	// Location names and observer labels become C identifiers in the
+	// emitted file; anything else would silently produce an unparseable
+	// (or differently-parsed) file.
+	for _, l := range mp.LocNames {
+		if !identRe.MatchString(l) {
+			return "", fmt.Errorf("corpus: %s: location name %q is not an identifier", t.Name, l)
+		}
+	}
+	for _, o := range mp.Observers {
+		if !identRe.MatchString(o.Label) {
+			return "", fmt.Errorf("corpus: %s: observer label %q is not an identifier", t.Name, o.Label)
+		}
+	}
 	var b strings.Builder
 
 	// Variable names: observed registers take their outcome label, the
@@ -117,7 +165,7 @@ func EmitString(t *litmus.Test) (string, error) {
 		return n
 	}
 
-	fmt.Fprintf(&b, "C %s\n", SanitizeName(t.Name))
+	fmt.Fprintf(&b, "C %s\n", safeName(t.Name))
 	var obsMeta []string
 	for _, o := range mp.Observers {
 		obsMeta = append(obsMeta, fmt.Sprintf("%d:%s", o.Thread, o.Label))
@@ -132,7 +180,8 @@ func EmitString(t *litmus.Test) (string, error) {
 	if t.Shape != nil {
 		family = t.Shape.Name
 	}
-	fmt.Fprintf(&b, "(* tricheck: name=%s family=%s observers=%s *)\n", t.Name, family, strings.Join(obsMeta, ","))
+	fmt.Fprintf(&b, "(* tricheck: name=%s family=%s observers=%s *)\n",
+		metaValue(t.Name), metaValue(family), strings.Join(obsMeta, ","))
 	b.WriteString("{}\n")
 
 	params := make([]string, len(mp.LocNames))
@@ -295,6 +344,7 @@ type herdParser struct {
 	locOf    map[string]int
 	prog     *c11.Program
 	thread   int
+	nextProc int
 	regOf    map[int]map[string]int // thread → var name → register
 	regOpIdx map[int]map[string]int // thread → var name → defining op index
 	nextReg  map[int]int
@@ -365,6 +415,20 @@ func parseWithMeta(src string) (*litmus.Test, bool, error) {
 		return nil, false, fmt.Errorf("corpus: want header \"C <name>\", got %q", l)
 	}
 	p.name = strings.TrimSpace(name)
+	if p.name == "" {
+		return nil, false, fmt.Errorf("corpus: empty test name")
+	}
+
+	// Pre-scan every thread header so all parameter locations exist
+	// before the first body is parsed — threads need not repeat an
+	// identical parameter list (herd permits asymmetric ones).
+	for _, pl := range lines[i:] {
+		if m := procRe.FindStringSubmatch(strings.TrimSpace(pl)); m != nil {
+			if err := p.declareParams(m[2]); err != nil {
+				return nil, false, err
+			}
+		}
+	}
 
 	for {
 		l, ok := next()
@@ -403,6 +467,9 @@ func parseWithMeta(src string) (*litmus.Test, bool, error) {
 				if err := p.stmt(sl); err != nil {
 					return nil, false, fmt.Errorf("corpus: P%d: %w", th, err)
 				}
+			}
+			if th >= len(p.prog.Ops) || len(p.prog.Ops[th]) == 0 {
+				return nil, false, fmt.Errorf("corpus: thread P%d has no statements", th)
 			}
 		case strings.HasPrefix(l, "forall"):
 			return nil, false, fmt.Errorf("corpus: forall final-state conditions are not supported (only exists/~exists)")
@@ -450,28 +517,48 @@ func (p *herdParser) init(body string) error {
 		if value != "0" {
 			return fmt.Errorf("corpus: non-zero init %q is not supported (TriCheck memory starts zeroed)", item)
 		}
-		p.declareLoc(name)
+		if _, err := p.declareLoc(name); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-func (p *herdParser) declareLoc(name string) int {
+func (p *herdParser) declareLoc(name string) (int, error) {
+	if !identRe.MatchString(name) {
+		return 0, fmt.Errorf("corpus: location name %q is not an identifier", name)
+	}
 	if id, ok := p.locOf[name]; ok {
-		return id
+		return id, nil
 	}
 	p.locOf[name] = len(p.locs)
 	p.locs = append(p.locs, name)
-	return len(p.locs) - 1
+	return len(p.locs) - 1, nil
 }
 
-func (p *herdParser) beginProc(th int, params string) error {
+// declareParams declares every location named by a thread header's
+// parameter list.
+func (p *herdParser) declareParams(params string) error {
 	for _, prm := range strings.Split(params, ",") {
 		prm = strings.TrimSpace(prm)
 		if prm == "" {
 			continue
 		}
 		fields := strings.Fields(prm)
-		p.declareLoc(strings.TrimPrefix(fields[len(fields)-1], "*"))
+		if _, err := p.declareLoc(strings.TrimPrefix(fields[len(fields)-1], "*")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *herdParser) beginProc(th int, params string) error {
+	if th != p.nextProc {
+		return fmt.Errorf("corpus: thread header P%d out of order (want P%d: threads number densely from 0)", th, p.nextProc)
+	}
+	p.nextProc++
+	if err := p.declareParams(params); err != nil {
+		return err
 	}
 	if p.prog == nil {
 		p.prog = c11.New(len(p.locs), p.locs...)
@@ -636,6 +723,14 @@ func (p *herdParser) finish(meta map[string]string) (*litmus.Test, bool, error) 
 	if p.prog == nil {
 		return nil, false, fmt.Errorf("corpus: no thread bodies")
 	}
+	if len(p.locs) != p.prog.Mem().NumLocs {
+		// Locations declared after the first thread body (e.g. a late
+		// init block) would dangle past the program's location space.
+		return nil, false, fmt.Errorf("corpus: %d locations declared after the thread bodies began", len(p.locs)-p.prog.Mem().NumLocs)
+	}
+	if err := p.prog.Mem().Validate(); err != nil {
+		return nil, false, fmt.Errorf("corpus: %w", err)
+	}
 	name := p.name
 	if meta["name"] != "" {
 		name = meta["name"]
@@ -654,8 +749,16 @@ func (p *herdParser) finish(meta map[string]string) (*litmus.Test, bool, error) 
 	var regObservers []regObs
 	var memObservers []string
 	if obs := meta["observers"]; obs != "" {
+		// Outcome labels must be unique program-wide: outcomes are
+		// "label=value" strings, so a duplicated label (across threads,
+		// or shared between a register and a location) is ambiguous.
+		seenOn := map[string]int{}
 		for _, o := range strings.Split(obs, ",") {
 			if rest, ok := strings.CutPrefix(o, "m:"); ok {
+				if _, dup := seenOn[rest]; dup {
+					return nil, false, fmt.Errorf("corpus: duplicate observer label %q", rest)
+				}
+				seenOn[rest] = -1
 				memObservers = append(memObservers, rest)
 				continue
 			}
@@ -667,20 +770,40 @@ func (p *herdParser) finish(meta map[string]string) (*litmus.Test, bool, error) 
 			if err != nil {
 				return nil, false, fmt.Errorf("corpus: malformed observer %q", o)
 			}
+			if _, dup := seenOn[label]; dup {
+				return nil, false, fmt.Errorf("corpus: duplicate observer label %q", label)
+			}
+			seenOn[label] = th
 			regObservers = append(regObservers, regObs{th, label})
 		}
 	} else {
-		seen := map[string]bool{}
+		seenOn := map[string]int{}
 		for _, c := range p.exists {
 			if m := regClause.FindStringSubmatch(c); m != nil {
 				th, _ := strconv.Atoi(m[1])
-				if !seen[m[2]] {
-					seen[m[2]] = true
-					regObservers = append(regObservers, regObs{th, m[2]})
+				if prev, ok := seenOn[m[2]]; ok {
+					if prev == -1 {
+						return nil, false, fmt.Errorf("corpus: label %q names both a register and a location", m[2])
+					}
+					if prev != th {
+						// Outcomes are keyed by bare label, so the same
+						// register name observed on two threads would
+						// silently bind both clauses to one register.
+						return nil, false, fmt.Errorf("corpus: register %q observed on both P%d and P%d; outcome labels must be unique across threads", m[2], prev, th)
+					}
+					continue
 				}
+				seenOn[m[2]] = th
+				regObservers = append(regObservers, regObs{th, m[2]})
 			} else if m := memClause.FindStringSubmatch(c); m != nil {
-				if _, ok := p.locOf[m[1]]; ok && !seen[m[1]] {
-					seen[m[1]] = true
+				if _, ok := p.locOf[m[1]]; ok {
+					if prev, seen := seenOn[m[1]]; seen {
+						if prev != -1 {
+							return nil, false, fmt.Errorf("corpus: label %q names both a register and a location", m[1])
+						}
+						continue
+					}
+					seenOn[m[1]] = -1
 					memObservers = append(memObservers, m[1])
 				}
 			}
@@ -702,12 +825,28 @@ func (p *herdParser) finish(meta map[string]string) (*litmus.Test, bool, error) 
 	}
 
 	// Specified outcome: the exists clauses with thread prefixes
-	// stripped, in file order.
+	// stripped, in file order. Every clause label must be covered by a
+	// registered observer (an explicit metadata observer list may name
+	// fewer than the clauses do) — otherwise the emitted file could not
+	// express the outcome and the round trip would break.
+	obsLabel := map[string]bool{}
+	for _, o := range regObservers {
+		obsLabel[o.label] = true
+	}
+	for _, l := range memObservers {
+		obsLabel[l] = true
+	}
 	var parts []string
 	for _, c := range p.exists {
 		if m := regClause.FindStringSubmatch(c); m != nil {
+			if !obsLabel[m[2]] {
+				return nil, false, fmt.Errorf("corpus: exists clause %q has no observer", c)
+			}
 			parts = append(parts, m[2]+"="+m[3])
 		} else if m := memClause.FindStringSubmatch(c); m != nil {
+			if !obsLabel[m[1]] {
+				return nil, false, fmt.Errorf("corpus: exists clause %q has no observer", c)
+			}
 			parts = append(parts, m[1]+"="+m[2])
 		} else {
 			return nil, false, fmt.Errorf("corpus: unsupported exists clause %q", c)

@@ -3,6 +3,7 @@ package farm
 import (
 	"container/list"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -115,7 +116,16 @@ type snapshot[V any] struct {
 
 // snapshotVersion guards the on-disk format; bump it when the key
 // derivation or the value encoding changes incompatibly.
-const snapshotVersion = 1
+// History: 2 = the canonical test fingerprint became invariant under
+// thread permutation and location renumbering (v1 keys never match it).
+const snapshotVersion = 2
+
+// ErrSnapshotVersion reports a snapshot written by an incompatible
+// build. Callers should treat it as a cold start (the next
+// SaveSnapshot overwrites the stale file) but may want to surface it —
+// silently re-verifying everything surprises users expecting a warm
+// cache.
+var ErrSnapshotVersion = errors.New("incompatible snapshot version")
 
 // SaveSnapshot writes a string-keyed cache to path as JSON, atomically
 // (write to a temp file in the same directory, then rename).
@@ -158,7 +168,7 @@ func LoadSnapshot[V any](path string, c *Cache[string, V]) error {
 		return fmt.Errorf("farm: decoding snapshot %s: %w", path, err)
 	}
 	if snap.Version != snapshotVersion {
-		return fmt.Errorf("farm: snapshot %s has version %d, want %d", path, snap.Version, snapshotVersion)
+		return fmt.Errorf("farm: snapshot %s has version %d, want %d: %w", path, snap.Version, snapshotVersion, ErrSnapshotVersion)
 	}
 	c.Fill(snap.Entries)
 	return nil

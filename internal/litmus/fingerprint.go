@@ -13,28 +13,57 @@ import (
 
 // This file implements canonical test fingerprints: a content hash of a
 // test's program that is independent of every piece of surface syntax —
-// test and shape names, location names, register numbering, and the
-// textual format the test was authored in. Two tests with the same
-// fingerprint have identical semantics at every layer of the toolflow
-// (same candidate executions, same outcome namespace), so the
-// verification farm can deduplicate and memoize (test, stack) jobs by
-// fingerprint, and a corpus round trip through any emitter/parser pair
-// leaves the fingerprint unchanged.
+// test and shape names, location names, register numbering, thread
+// ordering, location numbering, and the textual format the test was
+// authored in. Two tests with the same fingerprint have identical
+// semantics at every layer of the toolflow (same candidate executions,
+// same outcome namespace), so the verification farm can deduplicate and
+// memoize (test, stack) jobs by fingerprint, and a corpus round trip
+// through any emitter/parser pair leaves the fingerprint unchanged.
 //
 // What IS part of the fingerprint:
-//   - the thread structure and per-thread operation sequences,
+//   - the thread structure and per-thread operation sequences (but not
+//     which dense thread id a thread carries: thread blocks are sorted),
 //   - each operation's kind, memory order, and RMW function,
-//   - address/data operands with locations as dense ids (names dropped)
-//     and registers renumbered per thread in definition order,
+//   - address/data operands with locations canonicalized (the hash is
+//     minimized over location renumberings, so renumbering the shared
+//     variables does not change it) and registers renumbered per thread
+//     in definition order,
 //   - control-dependency edges (as per-thread op indices),
 //   - observers and their outcome labels (they define the outcome
 //     namespace, so results keyed by them are only shareable when the
 //     labels agree).
 //
 // What is NOT part of the fingerprint: the test name, the shape name, the
-// location display names, the concrete register numbers, and the
-// designated "interesting" outcome (everything derived from it is
-// recomputed when a memoized result is rebound to a test).
+// location display names, the concrete register numbers, the order in
+// which threads and locations happen to be numbered, and the designated
+// "interesting" outcome (everything derived from it is recomputed when a
+// memoized result is rebound to a test).
+//
+// The STRUCTURAL fingerprint additionally anonymizes observer labels
+// and canonicalizes written constants (renumbered by order of
+// appearance, so writing {1,2} or {2,1} to a location is the same
+// skeleton): it identifies tests that are the same program modulo
+// outcome naming and value numbering. Two tests with equal structural
+// fingerprints describe the same cycle skeleton — the synthesizer uses
+// it to collapse duplicate shapes and to decide whether a synthesized
+// shape is genuinely novel — but their results are NOT interchangeable
+// (the outcome strings differ), so the memo cache must keep using the
+// full fingerprint.
+
+// maxCanonLocs bounds the location-permutation search: up to this many
+// locations the canonical form is the exact minimum over all location
+// renumberings; beyond it (no shipped or synthesized test comes close)
+// the identity numbering is used, which is still deterministic.
+const maxCanonLocs = 5
+
+// maxCanonThreads bounds the thread-permutation search of the
+// STRUCTURAL fingerprint. Value renumbering depends on the order thread
+// blocks are visited, so the exact canonical form minimizes over block
+// orders; beyond this many threads the blocks are sorted on their raw
+// rendering instead (deterministic, but value-renamed duplicates of
+// such oversized programs may not collapse).
+const maxCanonThreads = 6
 
 // Fingerprint returns the canonical content hash of the test's program.
 // The hash is a 64-bit-collision-safe 128-bit hex string (the first 16
@@ -48,10 +77,130 @@ func (t *Test) Fingerprint() string {
 
 // FingerprintProgram computes the canonical fingerprint of a C11 program.
 func FingerprintProgram(p *c11.Program) string {
-	var b strings.Builder
+	return hashCanonical(canonicalString(p, false))
+}
+
+// StructuralFingerprintProgram computes the label-anonymized canonical
+// fingerprint: equal for two programs that coincide modulo thread order,
+// location numbering, register numbering and observer-label naming. Use
+// it for shape-level dedup (is this the same litmus skeleton?), never
+// for result memoization.
+func StructuralFingerprintProgram(p *c11.Program) string {
+	return hashCanonical(canonicalString(p, true))
+}
+
+// StructuralFingerprint returns the label-anonymized fingerprint of the
+// test's program (see StructuralFingerprintProgram).
+func (t *Test) StructuralFingerprint() string {
+	return StructuralFingerprintProgram(t.Prog)
+}
+
+func hashCanonical(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:16])
+}
+
+// canonicalString renders the program minimally over every location
+// renumbering (exact up to maxCanonLocs locations) with thread blocks
+// sorted, so the result is invariant under thread permutation and
+// location renaming/renumbering. With anonLabels set, observer labels
+// are dropped from the rendering.
+func canonicalString(p *c11.Program, anonLabels bool) string {
+	nlocs := p.Mem().NumLocs
+	best := ""
+	have := false
+	permutations(nlocs, maxCanonLocs, func(sigma []int) {
+		s := renderProgram(p, sigma, anonLabels)
+		if !have || s < best {
+			best, have = s, true
+		}
+	})
+	return best
+}
+
+// permutations calls fn with every permutation of [0,n) when n <= limit,
+// or just the identity otherwise (Heap's algorithm, iterative; the slice
+// is reused across calls).
+func permutations(n, limit int, fn func([]int)) {
+	sigma := make([]int, n)
+	for i := range sigma {
+		sigma[i] = i
+	}
+	fn(sigma)
+	if n > limit {
+		return
+	}
+	c := make([]int, n)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				sigma[0], sigma[i] = sigma[i], sigma[0]
+			} else {
+				sigma[c[i]], sigma[i] = sigma[i], sigma[c[i]]
+			}
+			fn(sigma)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}
+
+// renderProgram renders the canonical string for one location
+// renumbering: per-thread blocks (ops with thread-local canonical
+// registers, then the thread's observers) followed by the memory
+// observers. The full fingerprint sorts the blocks (value-exact
+// renderings sort identically for thread-permuted programs); the
+// structural fingerprint instead minimizes over block orders with the
+// value renumbering applied per candidate, so value-renamed duplicates
+// collapse no matter how the renaming reorders the raw renderings.
+func renderProgram(p *c11.Program, sigma []int, anonLabels bool) string {
+	blocks := renderBlocks(p, sigma, anonLabels)
+	prefix := fmt.Sprintf("locs=%d;", p.Mem().NumLocs)
+	memObs := renderMemObs(p, sigma, anonLabels)
+	if !anonLabels || len(blocks) > maxCanonThreads {
+		sorted := append([]string(nil), blocks...)
+		sort.Strings(sorted)
+		s := assembleRendering(prefix, sorted, memObs)
+		if anonLabels {
+			s = canonValues(s)
+		}
+		return s
+	}
+	best := ""
+	have := false
+	ordered := make([]string, len(blocks))
+	permutations(len(blocks), maxCanonThreads, func(pi []int) {
+		for i, bi := range pi {
+			ordered[i] = blocks[bi]
+		}
+		s := canonValues(assembleRendering(prefix, ordered, memObs))
+		if !have || s < best {
+			best, have = s, true
+		}
+	})
+	return best
+}
+
+func assembleRendering(prefix string, blocks []string, memObs string) string {
+	var out strings.Builder
+	out.WriteString(prefix)
+	for i, blk := range blocks {
+		fmt.Fprintf(&out, "T%d:%s", i, blk)
+	}
+	out.WriteString(memObs)
+	return out.String()
+}
+
+// renderBlocks renders each thread's operations and observers.
+func renderBlocks(p *c11.Program, sigma []int, anonLabels bool) []string {
 	mp := p.Mem()
-	fmt.Fprintf(&b, "locs=%d;", mp.NumLocs)
+	blocks := make([]string, 0, len(p.Ops))
 	for th, ops := range p.Ops {
+		var b strings.Builder
 		// Registers renumber per thread in definition order, so the
 		// builder's global numbering and a parser's local numbering
 		// fingerprint identically.
@@ -64,21 +213,29 @@ func FingerprintProgram(p *c11.Program) string {
 			}
 			return c
 		}
-		operand := func(o mem.Operand) string {
+		operand := func(o mem.Operand, isLoc bool) string {
 			if o.Kind == mem.OpReg {
 				return fmt.Sprintf("r%d", reg(o.Reg))
 			}
-			return fmt.Sprintf("#%d", o.Const)
+			if isLoc {
+				if o.Const >= 0 && int(o.Const) < len(sigma) {
+					return fmt.Sprintf("#%d", sigma[o.Const])
+				}
+				return fmt.Sprintf("#%d", o.Const)
+			}
+			// Data constants use a distinct marker so the structural
+			// canonicalization can renumber them without touching
+			// location ids.
+			return fmt.Sprintf("$%d", o.Const)
 		}
-		fmt.Fprintf(&b, "T%d:", th)
 		for _, op := range ops {
 			switch op.Kind {
 			case c11.OpLoad:
-				fmt.Fprintf(&b, "ld,%s,%s,r%d", op.Ord, operand(op.Addr), reg(op.Dst))
+				fmt.Fprintf(&b, "ld,%s,%s,r%d", op.Ord, operand(op.Addr, true), reg(op.Dst))
 			case c11.OpStore:
-				fmt.Fprintf(&b, "st,%s,%s,%s", op.Ord, operand(op.Addr), operand(op.Data))
+				fmt.Fprintf(&b, "st,%s,%s,%s", op.Ord, operand(op.Addr, true), operand(op.Data, false))
 			case c11.OpRMW:
-				fmt.Fprintf(&b, "rmw%d,%s,%s,%s,r%d", op.RMWOp, op.Ord, operand(op.Addr), operand(op.Data), reg(op.Dst))
+				fmt.Fprintf(&b, "rmw%d,%s,%s,%s,r%d", op.RMWOp, op.Ord, operand(op.Addr, true), operand(op.Data, false), reg(op.Dst))
 			case c11.OpFence:
 				fmt.Fprintf(&b, "f,%s", op.Ord)
 			}
@@ -92,30 +249,53 @@ func FingerprintProgram(p *c11.Program) string {
 		// Observers for this thread, in (register, label) order. The
 		// canonical register map is thread-local, so they are rendered
 		// inside the thread block.
-		var obs []mem.Observer
+		type canonObs struct {
+			rendered string // "r<canon>" or "?<raw>" for never-written registers
+			label    string
+		}
+		var obs []canonObs
 		for _, o := range mp.Observers {
-			if o.Thread == th {
-				obs = append(obs, o)
+			if o.Thread != th {
+				continue
+			}
+			label := o.Label
+			if anonLabels {
+				label = "*"
+			}
+			if c, ok := canon[o.Reg]; ok {
+				obs = append(obs, canonObs{fmt.Sprintf("r%d", c), label})
+			} else {
+				// An observer of a never-written register: keep the raw
+				// number, prefixed so it cannot collide with canon ids.
+				obs = append(obs, canonObs{fmt.Sprintf("?%d", o.Reg), label})
 			}
 		}
 		sort.Slice(obs, func(i, j int) bool {
-			if obs[i].Reg != obs[j].Reg {
-				return obs[i].Reg < obs[j].Reg
+			if obs[i].rendered != obs[j].rendered {
+				return obs[i].rendered < obs[j].rendered
 			}
-			return obs[i].Label < obs[j].Label
+			return obs[i].label < obs[j].label
 		})
 		for _, o := range obs {
-			c, ok := canon[o.Reg]
-			if !ok {
-				// An observer of a never-written register: keep the raw
-				// number, prefixed so it cannot collide with canon ids.
-				fmt.Fprintf(&b, "obs:?%d=%s;", o.Reg, o.Label)
-				continue
-			}
-			fmt.Fprintf(&b, "obs:r%d=%s;", c, o.Label)
+			fmt.Fprintf(&b, "obs:%s=%s;", o.rendered, o.label)
 		}
+		blocks = append(blocks, b.String())
 	}
-	memObs := append([]mem.MemObserver(nil), mp.MemObservers...)
+	return blocks
+}
+
+// renderMemObs renders the program-wide memory observers.
+func renderMemObs(p *c11.Program, sigma []int, anonLabels bool) string {
+	mp := p.Mem()
+	var out strings.Builder
+	memObs := make([]mem.MemObserver, len(mp.MemObservers))
+	for i, o := range mp.MemObservers {
+		loc := o.Loc
+		if loc >= 0 && int(loc) < len(sigma) {
+			loc = mem.Loc(sigma[loc])
+		}
+		memObs[i] = mem.MemObserver{Loc: loc, Label: o.Label}
+	}
 	sort.Slice(memObs, func(i, j int) bool {
 		if memObs[i].Loc != memObs[j].Loc {
 			return memObs[i].Loc < memObs[j].Loc
@@ -123,8 +303,43 @@ func FingerprintProgram(p *c11.Program) string {
 		return memObs[i].Label < memObs[j].Label
 	})
 	for _, o := range memObs {
-		fmt.Fprintf(&b, "memobs:%d=%s;", o.Loc, o.Label)
+		label := o.Label
+		if anonLabels {
+			label = "*"
+		}
+		fmt.Fprintf(&out, "memobs:%d=%s;", o.Loc, label)
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:16])
+	return out.String()
+}
+
+// canonValues renumbers the data constants of a rendered program ($N
+// markers) by order of appearance, making the structural fingerprint
+// independent of which concrete integers a test writes. The map is
+// injective, so distinct values stay distinct.
+func canonValues(s string) string {
+	var out strings.Builder
+	out.Grow(len(s))
+	canon := map[string]int{}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '$' {
+			out.WriteByte(s[i])
+			continue
+		}
+		j := i + 1
+		if j < len(s) && s[j] == '-' {
+			j++
+		}
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		tok := s[i:j]
+		c, ok := canon[tok]
+		if !ok {
+			c = len(canon)
+			canon[tok] = c
+		}
+		fmt.Fprintf(&out, "$v%d", c)
+		i = j - 1
+	}
+	return out.String()
 }

@@ -1,0 +1,291 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EdgeKind is one relation of the critical-cycle alphabet. Program-order
+// edges relate two events of the same thread; communication edges relate
+// events of different threads ("external" in herd terminology) accessing
+// the same location.
+type EdgeKind uint8
+
+// The alphabet, in canonical order (cycle words are deduplicated by
+// minimal rotation under this order, so the order is part of the
+// enumerator's output contract).
+const (
+	// Po is program order between accesses to different locations.
+	Po EdgeKind = iota
+	// Pos is program order between accesses to the same location (the
+	// coherence-test edge: CoRR's two reads, CoWW's two writes, ...).
+	Pos
+	// Dep is program order to a different location carrying a
+	// dependency: the target is control-dependent on the source load.
+	Dep
+	// Rfe is external reads-from: a write to the read observing it on
+	// another thread.
+	Rfe
+	// Coe is external coherence order: a write to a coherence-later
+	// write on another thread.
+	Coe
+	// Fre is external from-reads: a read to a write (on another thread)
+	// that is coherence-after the read's source.
+	Fre
+
+	numEdgeKinds
+)
+
+// String returns the edge's conventional lower-case name.
+func (k EdgeKind) String() string {
+	switch k {
+	case Po:
+		return "po"
+	case Pos:
+		return "pos"
+	case Dep:
+		return "dep"
+	case Rfe:
+		return "rfe"
+	case Coe:
+		return "coe"
+	case Fre:
+		return "fre"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// IsProgramOrder reports whether the edge stays within one thread.
+func (k EdgeKind) IsProgramOrder() bool { return k <= Dep }
+
+// IsComm reports whether the edge is a communication (external) edge.
+func (k EdgeKind) IsComm() bool { return k >= Rfe }
+
+// SameLoc reports whether the edge's endpoints access the same location.
+func (k EdgeKind) SameLoc() bool { return k == Pos || k.IsComm() }
+
+// evKind constrains what an event can be while a word is being resolved.
+type evKind uint8
+
+const (
+	evAny evKind = iota
+	evRead
+	evWrite
+	evConflict
+)
+
+// srcKind returns the event kind an edge requires of its source.
+func (k EdgeKind) srcKind() evKind {
+	switch k {
+	case Rfe, Coe:
+		return evWrite
+	case Fre, Dep:
+		// A from-read starts at a read; a dependency is carried by a
+		// loaded value.
+		return evRead
+	}
+	return evAny
+}
+
+// tgtKind returns the event kind an edge requires of its target.
+func (k EdgeKind) tgtKind() evKind {
+	switch k {
+	case Rfe:
+		return evRead
+	case Coe, Fre:
+		return evWrite
+	}
+	return evAny
+}
+
+func mergeKind(a, b evKind) evKind {
+	switch {
+	case a == evAny:
+		return b
+	case b == evAny || a == b:
+		return a
+	}
+	return evConflict
+}
+
+// composable reports whether edge a immediately followed by edge b is
+// redundant because the pair composes into a single alphabet edge — in
+// which case the cycle is not critical (dropping the middle event gives
+// a shorter cycle with the same meaning):
+//
+//	rf;fr ⊆ co    co;co ⊆ co    fr;co ⊆ fr
+//
+// The two non-composable communication adjacencies, co;rf and fr;rf,
+// remain allowed — they are the diy generators' Ws;Rf and Fr;Rf pairs
+// (IRIW needs fr;rf).
+func composable(a, b EdgeKind) bool {
+	switch {
+	case a == Rfe && b == Fre:
+		return true
+	case a == Coe && b == Coe:
+		return true
+	case a == Fre && b == Coe:
+		return true
+	}
+	return false
+}
+
+// Cycle is one resolved critical cycle: a canonical edge word plus the
+// event structure it induces. Event i is the source of Edges[i] and the
+// target of Edges[i-1] (cyclically).
+type Cycle struct {
+	// Edges is the canonical (minimal-rotation) edge word.
+	Edges []EdgeKind
+
+	// isWrite classifies each event (false = read).
+	isWrite []bool
+	// thread assigns each event its dense thread id; threads are
+	// maximal program-order runs along the cycle.
+	thread []int
+	// loc assigns each event its dense location id; locations are the
+	// equivalence classes of the same-location edges.
+	loc []int
+
+	// NThreads and NLocs are the derived counts.
+	NThreads, NLocs int
+}
+
+// Lowering order note: because canonical words start at a run boundary
+// and runs are contiguous along the cycle, event order 0..n-1 already
+// IS thread-by-thread program order — the lowering iterates events in
+// cycle order directly.
+
+// Len returns the number of edges (= events) in the cycle.
+func (c *Cycle) Len() int { return len(c.Edges) }
+
+// Word renders the canonical edge word, e.g. "po.rfe.po.fre".
+func (c *Cycle) Word() string {
+	parts := make([]string, len(c.Edges))
+	for i, e := range c.Edges {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ".")
+}
+
+// Name returns the shape name derived from the word ("syn-po.rfe.po.fre").
+func (c *Cycle) Name() string { return "syn-" + c.Word() }
+
+// minimalRotation reports whether w is lexicographically minimal among
+// its rotations (ties with a rotation of itself are fine: the word IS
+// the canonical form).
+func minimalRotation(w []EdgeKind) bool {
+	n := len(w)
+	for s := 1; s < n; s++ {
+		for i := 0; i < n; i++ {
+			a, b := w[(s+i)%n], w[i]
+			if a < b {
+				return false
+			}
+			if a > b {
+				break
+			}
+		}
+	}
+	return true
+}
+
+// resolve derives the event structure of an edge word, or reports why
+// the word is not a well-formed critical cycle. The word must already
+// satisfy the adjacency constraints enforced by the enumerator.
+func resolve(word []EdgeKind) (*Cycle, error) {
+	n := len(word)
+	if n < 3 {
+		return nil, fmt.Errorf("cycle too short")
+	}
+	c := &Cycle{Edges: append([]EdgeKind(nil), word...)}
+
+	// Event kinds: each event is the target of the previous edge and
+	// the source of its own. The no-adjacent-po rule guarantees every
+	// event touches at least one communication edge, so no kind is
+	// left unconstrained.
+	c.isWrite = make([]bool, n)
+	for i := 0; i < n; i++ {
+		in := word[(i-1+n)%n]
+		k := mergeKind(in.tgtKind(), word[i].srcKind())
+		switch k {
+		case evConflict:
+			return nil, fmt.Errorf("event %d: incompatible edge kinds %s→%s", i, in, word[i])
+		case evAny:
+			return nil, fmt.Errorf("event %d: unconstrained kind (adjacent po edges?)", i)
+		}
+		c.isWrite[i] = k == evWrite
+	}
+
+	// Threads: maximal program-order runs. The canonical word starts
+	// with its minimal edge; a cycle with any po-family edge therefore
+	// starts with one, and its first event's incoming edge (the last
+	// edge) is communication — so event 0 always starts a run. All-comm
+	// words trivially start runs everywhere.
+	if word[n-1].IsProgramOrder() && word[0].IsProgramOrder() {
+		return nil, fmt.Errorf("adjacent program-order edges across the seam")
+	}
+	c.thread = make([]int, n)
+	th := -1
+	for i := 0; i < n; i++ {
+		if !word[(i-1+n)%n].IsProgramOrder() {
+			th++ // incoming communication edge: new thread
+		}
+		if th < 0 {
+			return nil, fmt.Errorf("cycle has no communication edge")
+		}
+		c.thread[i] = th
+	}
+	c.NThreads = th + 1
+	if c.NThreads < 2 {
+		return nil, fmt.Errorf("single-thread cycle")
+	}
+	// Externality: every communication edge must cross threads. Runs
+	// partition the cycle, so this can only fail when one run wraps the
+	// whole cycle (exactly one communication edge).
+	for i, e := range word {
+		if e.IsComm() && c.thread[i] == c.thread[(i+1)%n] {
+			return nil, fmt.Errorf("communication edge %d is internal", i)
+		}
+	}
+
+	// Locations: union same-location edge endpoints, then demand that
+	// po/dep edges (different-location by definition) cross classes.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, e := range word {
+		if e.SameLoc() {
+			a, b := find(i), find((i+1)%n)
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	for i, e := range word {
+		if e.IsProgramOrder() && !e.SameLoc() && find(i) == find((i+1)%n) {
+			return nil, fmt.Errorf("different-location edge %d collapsed to one location", i)
+		}
+	}
+	c.loc = make([]int, n)
+	classID := map[int]int{}
+	for ev := 0; ev < n; ev++ {
+		root := find(ev)
+		id, ok := classID[root]
+		if !ok {
+			id = len(classID)
+			classID[root] = id
+		}
+		c.loc[ev] = id
+	}
+	c.NLocs = len(classID)
+	return c, nil
+}

@@ -1,0 +1,265 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+)
+
+// This file lowers a resolved critical cycle to a litmus.Shape: a
+// concrete program skeleton (threads, events, shared locations, values)
+// plus the specified outcome that witnesses the cycle, with memory-order
+// placeholders for every access so the shape expands through the
+// Figure 5 generator exactly like the hand-written ones.
+//
+// The lowering picks values so that the specified outcome pins the
+// cycle's relations:
+//
+//   - every write to a location gets a distinct value, 1..k in the
+//     coherence order the cycle demands, so a read's observed value pins
+//     its reads-from edge;
+//   - a read that is an rfe target observes its source's value; a read
+//     po-after its own thread's same-location write (a W-pos->R edge)
+//     observes that write (CoWR allows nothing older, and the cycle's
+//     from-read then demands that write be coherence-before the fre
+//     target); any other fre source observes the initial value 0 (the
+//     initial write is coherence-before every write, so the from-read
+//     edge to the cycle's target write always holds);
+//   - a location written more than once gets a final-state memory
+//     observer, so the outcome also pins which write is coherence-last
+//     (for the common two-writes case this pins the whole coherence
+//     order; with three or more writes the interior order is pinned
+//     only as far as the cycle's own constraints reach).
+
+// locNames names synthesized locations like the shipped shapes do.
+var locNames = []string{"x", "y", "z", "w", "u", "v"}
+
+func locName(i int) string {
+	if i < len(locNames) {
+		return locNames[i]
+	}
+	return fmt.Sprintf("v%d", i)
+}
+
+// lowered holds the value/coherence solution of a cycle, shared between
+// Shape (computed once) and the Build closure (replayed per variant).
+type lowered struct {
+	c *Cycle
+	// value[ev] is the written value for writes, the expected observed
+	// value for reads.
+	value []int64
+	// coByLoc lists, per location, the write events in coherence order.
+	coByLoc [][]int
+	// opIndex[ev] is the event's program-order index within its thread.
+	opIndex []int
+	// regOf[ev] is the destination register of each read (-1 for
+	// writes); registers number loads globally in lowering order, like
+	// the shipped shapes.
+	regOf []int
+	// specified is the outcome witnessing the cycle.
+	specified mem.Outcome
+}
+
+// lower solves values and coherence for a resolved cycle. It fails when
+// the cycle's coherence constraints are contradictory (e.g. a read both
+// observing a write and from-reading to a coherence-earlier one).
+func lower(c *Cycle) (*lowered, error) {
+	n := c.Len()
+	lw := &lowered{c: c}
+
+	// Coherence constraints: explicit coe edges, same-location
+	// program-order write pairs (CoWW), and the implied source-before-
+	// target constraint of a read that observes some write — an rfe
+	// source, or the read's own thread's po-earlier write to the same
+	// location (CoWR forces the read to see at least that write, so a
+	// W-pos->R read observes it) — and from-reads to another write.
+	type pair struct{ a, b int }
+	var coLess []pair
+	readsFrom := make([]int, n) // the write each read observes, or -1 (init)
+	freTgt := make([]int, n)
+	for i := range readsFrom {
+		readsFrom[i], freTgt[i] = -1, -1
+	}
+	for i, e := range c.Edges {
+		j := (i + 1) % n
+		switch e {
+		case Coe:
+			coLess = append(coLess, pair{i, j})
+		case Rfe:
+			readsFrom[j] = i
+		case Fre:
+			freTgt[i] = j
+		case Pos:
+			switch {
+			case c.isWrite[i] && c.isWrite[j]:
+				coLess = append(coLess, pair{i, j}) // CoWW
+			case c.isWrite[i] && !c.isWrite[j]:
+				readsFrom[j] = i // CoWR: the read sees its own thread's write
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		if readsFrom[r] >= 0 && freTgt[r] >= 0 {
+			coLess = append(coLess, pair{readsFrom[r], freTgt[r]})
+		}
+	}
+
+	// Per-location coherence order: Kahn's toposort over the cycle's
+	// writes, preferring lowering order among unconstrained writes so
+	// the result is deterministic.
+	lw.coByLoc = make([][]int, c.NLocs)
+	succs := map[int][]int{}
+	indeg := make([]int, n)
+	for _, p := range coLess {
+		succs[p.a] = append(succs[p.a], p.b)
+		indeg[p.b]++
+	}
+	lw.value = make([]int64, n)
+	for l := 0; l < c.NLocs; l++ {
+		var avail, rest []int
+		for ev := 0; ev < n; ev++ {
+			if c.loc[ev] == l && c.isWrite[ev] {
+				rest = append(rest, ev)
+			}
+		}
+		total := len(rest)
+		deg := map[int]int{}
+		for _, ev := range rest {
+			deg[ev] = indeg[ev]
+		}
+		for _, ev := range rest {
+			if deg[ev] == 0 {
+				avail = append(avail, ev)
+			}
+		}
+		var co []int
+		for len(avail) > 0 {
+			ev := avail[0]
+			avail = avail[1:]
+			co = append(co, ev)
+			lw.value[ev] = int64(len(co))
+			for _, s := range succs[ev] {
+				deg[s]--
+				if deg[s] == 0 {
+					avail = append(avail, s)
+				}
+			}
+		}
+		if len(co) != total {
+			return nil, fmt.Errorf("coherence constraints of %s are cyclic on %s", c.Word(), locName(l))
+		}
+		lw.coByLoc[l] = co
+	}
+
+	// Read values: the observed write's value, or the initial 0.
+	for r := 0; r < n; r++ {
+		if c.isWrite[r] {
+			continue
+		}
+		if s := readsFrom[r]; s >= 0 {
+			lw.value[r] = lw.value[s]
+		}
+	}
+
+	// Program-order op indices and global load registers. Event order
+	// is already thread-by-thread program order (see the lowering-order
+	// note in cycle.go).
+	lw.opIndex = make([]int, n)
+	lw.regOf = make([]int, n)
+	perThread := map[int]int{}
+	reg := 0
+	for ev := 0; ev < n; ev++ {
+		lw.opIndex[ev] = perThread[c.thread[ev]]
+		perThread[c.thread[ev]]++
+		lw.regOf[ev] = -1
+		if !c.isWrite[ev] {
+			lw.regOf[ev] = reg
+			reg++
+		}
+	}
+
+	// The specified outcome, in observer declaration order: loads
+	// first, then the multi-write locations' final values.
+	var parts []string
+	for ev := 0; ev < n; ev++ {
+		if !c.isWrite[ev] {
+			parts = append(parts, fmt.Sprintf("r%d=%d", lw.regOf[ev], lw.value[ev]))
+		}
+	}
+	for l := 0; l < c.NLocs; l++ {
+		if co := lw.coByLoc[l]; len(co) > 1 {
+			parts = append(parts, fmt.Sprintf("%s=%d", locName(l), lw.value[co[len(co)-1]]))
+		}
+	}
+	lw.specified = mem.Outcome(strings.Join(parts, "; "))
+	return lw, nil
+}
+
+// program instantiates the skeleton with one memory order per event, in
+// lowering order (the Shape's slot order).
+func (lw *lowered) program(orders []c11.Order) *c11.Program {
+	c := lw.c
+	names := make([]string, c.NLocs)
+	for i := range names {
+		names[i] = locName(i)
+	}
+	p := c11.New(c.NLocs, names...)
+	for ev := 0; ev < c.Len(); ev++ {
+		th := c.thread[ev]
+		addr := mem.Const(int64(c.loc[ev]))
+		var ctrl []int
+		if c.Edges[(ev-1+c.Len())%c.Len()] == Dep {
+			// The incoming dep edge's source is the same thread's
+			// previous op, always a load.
+			ctrl = []int{lw.opIndex[ev] - 1}
+		}
+		if c.isWrite[ev] {
+			p.StoreDep(th, orders[ev], addr, mem.Const(lw.value[ev]), ctrl)
+		} else {
+			p.LoadDep(th, orders[ev], addr, lw.regOf[ev], ctrl)
+		}
+	}
+	for ev := 0; ev < c.Len(); ev++ {
+		if !c.isWrite[ev] {
+			p.Observe(c.thread[ev], lw.regOf[ev], fmt.Sprintf("r%d", lw.regOf[ev]))
+		}
+	}
+	for l := 0; l < c.NLocs; l++ {
+		if len(lw.coByLoc[l]) > 1 {
+			p.ObserveMem(mem.Loc(l), locName(l))
+		}
+	}
+	return p
+}
+
+// Shape lowers the cycle to a litmus template: one memory-order
+// placeholder per access, a Build that replays the lowering, and the
+// cycle-witnessing outcome as the specified outcome. It fails when the
+// cycle's coherence constraints are contradictory.
+func Shape(c *Cycle) (*litmus.Shape, error) {
+	lw, err := lower(c)
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]litmus.SlotKind, c.Len())
+	for ev := 0; ev < c.Len(); ev++ {
+		if c.isWrite[ev] {
+			slots[ev] = litmus.StoreSlot
+		} else {
+			slots[ev] = litmus.LoadSlot
+		}
+	}
+	return &litmus.Shape{
+		Name: c.Name(),
+		Description: fmt.Sprintf("synthesized critical cycle %s (%d threads, %d locations)",
+			c.Word(), c.NThreads, c.NLocs),
+		Paper:         false,
+		Slots:         slots,
+		Build:         lw.program,
+		Specified:     lw.specified,
+		SpecifiedNote: "the synthesized critical cycle is witnessed",
+	}, nil
+}

@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tricheck/internal/compile"
+	"tricheck/internal/core"
+	"tricheck/internal/corpus"
+	"tricheck/internal/litmus"
+	"tricheck/internal/uspec"
+)
+
+// TestSynthesizedSweepFindsNMCABugs is the end-to-end acceptance gate:
+// a bounded synthesized sweep through the verification farm must
+// reproduce the paper's known nMCA bugs on the riscv-curr Base stack
+// AND report Bug verdicts on shapes outside the shipped set — i.e. the
+// synthesizer finds real full-stack bugs on tests nobody wrote — with
+// results identical across farm worker counts.
+func TestSynthesizedSweepFindsNMCABugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-thousand-test synthesized sweep")
+	}
+	res, err := Enumerate(Options{MaxLen: 5, Deps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tests []*litmus.Test
+	byShape := map[string]*Synthesized{}
+	for _, s := range res {
+		byShape[s.Shape.Name] = s
+		tests = append(tests, s.Shape.Generate()...)
+	}
+	stack := core.Stack{Mapping: compile.RISCVBaseIntuitive, Model: uspec.NMM(uspec.Curr)}
+
+	run := func(workers int) *core.SuiteResult {
+		t.Helper()
+		eng := core.NewEngine()
+		sr, err := eng.RunSuite(tests, stack, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sr
+	}
+	sr := run(0)
+
+	// Known nMCA bugs, rediscovered through synthesized shapes: the
+	// wrc cycle hits the paper's 108 buggy Base/nMM variants, the rwc
+	// cycle its 2 (Section 6.1); both lower to programs fingerprint-
+	// identical to the shipped suite's.
+	wantKnown := map[string]int{
+		"syn-po.rfe.po.fre.rfe": 108, // wrc
+		"syn-po.fre.po.fre.rfe": 2,   // rwc
+	}
+	for fam, want := range wantKnown {
+		got, ok := sr.ByFamily[fam]
+		if !ok {
+			t.Fatalf("family %s missing from sweep", fam)
+		}
+		if got.SpecifiedBugs != want {
+			t.Errorf("%s: %d specified bugs, want %d", fam, got.SpecifiedBugs, want)
+		}
+	}
+
+	// Novel shapes — outside the shipped ten — with Bug verdicts. The
+	// exact counts are pinned so a toolflow regression cannot silently
+	// shrink the finding: the one-write CoRR cycle (6), the CO-RSDWI-
+	// like coherence cycle (54), and W+RWC (2), a named diy shape the
+	// paper never evaluated.
+	wantNovel := map[string]int{
+		"syn-pos.fre.rfe":         6,
+		"syn-pos.coe.rfe.pos.fre": 54,
+		"syn-pos.fre.pos.fre.rfe": 54, // W-pos->R (CoWR) class
+		"syn-po.coe.po.fre.rfe":   2,  // W+RWC
+	}
+	novelBugShapes := 0
+	for fam, tally := range sr.ByFamily {
+		s := byShape[fam]
+		if s == nil {
+			t.Fatalf("unexpected family %s", fam)
+		}
+		if s.Novel && tally.Bugs > 0 {
+			novelBugShapes++
+		}
+	}
+	if novelBugShapes == 0 {
+		t.Error("no Bug verdict on any shape outside the shipped set")
+	}
+	for fam, want := range wantNovel {
+		s := byShape[fam]
+		if s == nil || !s.Novel {
+			t.Errorf("%s missing or not novel", fam)
+			continue
+		}
+		if got := sr.ByFamily[fam].SpecifiedBugs; got != want {
+			t.Errorf("%s: %d specified bugs, want %d", fam, got, want)
+		}
+	}
+
+	// Determinism across worker counts: single-threaded and heavily
+	// sharded farm runs must agree verdict for verdict.
+	for _, workers := range []int{1, 7} {
+		other := run(workers)
+		for i, r := range sr.Results {
+			o := other.Results[i]
+			if r.Verdict != o.Verdict || r.SpecifiedBug != o.SpecifiedBug {
+				t.Fatalf("workers=%d: verdict for %s diverged (%s vs %s)",
+					workers, r.Test.Name, r.Verdict, o.Verdict)
+			}
+		}
+	}
+}
+
+// TestSynthesizedCorpusRoundTrip: synthesized shapes export to the
+// on-disk corpus, reload, and keep their canonical fingerprints — so a
+// synthesized corpus can be re-verified later (or elsewhere) with full
+// memo-cache reuse.
+func TestSynthesizedCorpusRoundTrip(t *testing.T) {
+	res, err := Enumerate(Options{MaxLen: 4, Deps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var tests []*litmus.Test
+	for _, s := range res {
+		// One representative variant per shape keeps the test quick
+		// while covering every lowering feature (deps, memobs, ...).
+		tests = append(tests, s.Shape.Generate()[0])
+	}
+	n, err := corpus.Export(dir, tests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(tests) {
+		t.Fatalf("exported %d files, want %d", n, len(tests))
+	}
+	c, err := corpus.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != len(tests) {
+		t.Fatalf("corpus has %d tests, want %d", c.Len(), len(tests))
+	}
+	want := map[string]string{}
+	for _, tst := range tests {
+		want[tst.Name] = tst.Fingerprint()
+	}
+	for _, e := range c.Entries {
+		if fp, ok := want[e.Name]; !ok {
+			t.Errorf("unexpected corpus test %s", e.Name)
+		} else if e.Test.Fingerprint() != fp {
+			t.Errorf("%s: fingerprint drifted across corpus round trip", e.Name)
+		}
+		// Families nest one directory per shape.
+		if filepath.Dir(e.Path) == "." {
+			t.Errorf("%s: exported flat, want <family>/<name>.litmus", e.Path)
+		}
+	}
+	// The exported files are real herd-format files on disk.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(res) {
+		t.Errorf("%d family directories, want %d", len(ents), len(res))
+	}
+}

@@ -26,7 +26,10 @@
 package tricheck
 
 import (
+	"errors"
+	"fmt"
 	"io"
+	"os"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/compile"
@@ -38,6 +41,7 @@ import (
 	"tricheck/internal/mem"
 	"tricheck/internal/opsim"
 	"tricheck/internal/report"
+	"tricheck/internal/synth"
 	"tricheck/internal/uspec"
 )
 
@@ -89,6 +93,28 @@ type (
 // StackFingerprint returns the canonical content hash of a stack's
 // mapping recipes and model configuration.
 func StackFingerprint(s Stack) string { return core.StackFingerprint(s) }
+
+// ErrSnapshotVersion reports a memo-cache snapshot written by an
+// incompatible build (errors.Is against Engine.LoadMemoSnapshot's
+// error). Treat it as a cold start: warn, continue, and let the next
+// save overwrite the stale file.
+var ErrSnapshotVersion = farm.ErrSnapshotVersion
+
+// LoadMemoSnapshotLenient loads a memo-cache snapshot, tolerating the
+// recoverable cases: a missing file is a silent cold start, and an
+// incompatible-version snapshot warns on w and cold-starts (the next
+// SaveMemoSnapshot overwrites it). Any other error is returned.
+func LoadMemoSnapshotLenient(eng *Engine, path string, w io.Writer) error {
+	switch err := eng.LoadMemoSnapshot(path); {
+	case err == nil, os.IsNotExist(err):
+		return nil
+	case errors.Is(err, ErrSnapshotVersion):
+		fmt.Fprintf(w, "ignoring stale cache (will be rewritten): %v\n", err)
+		return nil
+	default:
+		return err
+	}
+}
 
 // JobKey returns the farm/cache key of one (test, stack) job.
 func JobKey(t *Test, s Stack) string { return core.JobKey(t, s) }
@@ -149,6 +175,46 @@ const (
 	AcqRel = c11.AcqRel
 	SC     = c11.SC
 )
+
+// Litmus-shape synthesis (internal/synth): enumerate every critical
+// cycle over {po, pos, dep, rfe, coe, fre} up to a bound and lower each
+// to a Shape that expands, compiles, sweeps and exports exactly like
+// the shipped ones.
+type (
+	// SynthOptions bounds a synthesis run (cycle length, threads,
+	// locations, dependency edges).
+	SynthOptions = synth.Options
+	// Synthesized is one synthesized shape with its cycle provenance
+	// and novelty classification.
+	Synthesized = synth.Synthesized
+	// SynthCycle is a resolved critical cycle.
+	SynthCycle = synth.Cycle
+	// SynthStats summarizes a synthesis run.
+	SynthStats = synth.Stats
+)
+
+// SynthesizeShapes enumerates, lowers and deduplicates every critical
+// cycle within the bounds. See internal/synth for the cycle grammar.
+func SynthesizeShapes(opts SynthOptions) ([]*Synthesized, error) { return synth.Enumerate(opts) }
+
+// SynthNovelOnly filters a synthesis run to shapes not shipped with the
+// framework.
+func SynthNovelOnly(in []*Synthesized) []*Synthesized { return synth.NovelOnly(in) }
+
+// SynthShapes projects a synthesis run to its litmus templates.
+func SynthShapes(in []*Synthesized) []*Shape { return synth.Shapes(in) }
+
+// SynthSummarize tallies a synthesis run.
+func SynthSummarize(in []*Synthesized) SynthStats { return synth.Summarize(in) }
+
+// SynthFirstInstance instantiates a shape's canonical first-choice
+// variant (the dedup-probe instance; one representative per shape).
+func SynthFirstInstance(s *Shape) *Test { return synth.FirstChoiceInstance(s) }
+
+// StructuralFingerprint returns the label- and value-anonymized
+// canonical fingerprint of a test — the shape-level identity the
+// synthesizer dedups by (NOT a memo-cache key; see litmus package docs).
+func StructuralFingerprint(t *Test) string { return t.StructuralFingerprint() }
 
 // PaperSuite generates the paper's 1,701-test evaluation suite.
 func PaperSuite() []*Test { return litmus.PaperSuite() }

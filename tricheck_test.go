@@ -138,3 +138,49 @@ func TestFacadeOperationalSimulators(t *testing.T) {
 		t.Error("WRC bug unreachable on the operational nMCA machine")
 	}
 }
+
+// TestFacadeSynthesis: the synthesis surface — enumerate, filter,
+// summarize, run one novel shape end to end through the engine.
+func TestFacadeSynthesis(t *testing.T) {
+	res, err := tricheck.SynthesizeShapes(tricheck.SynthOptions{MaxLen: 4, Deps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tricheck.SynthSummarize(res)
+	if st.Cycles != 12 || st.Novel != 6 || st.Variants != 918 {
+		t.Errorf("max-len 4 with deps: %d shapes / %d novel / %d variants, want 12/6/918",
+			st.Cycles, st.Novel, st.Variants)
+	}
+	novel := tricheck.SynthNovelOnly(res)
+	if len(novel) != st.Novel {
+		t.Fatalf("SynthNovelOnly kept %d, want %d", len(novel), st.Novel)
+	}
+	if got := len(tricheck.SynthShapes(res)); got != st.Cycles {
+		t.Fatalf("SynthShapes kept %d, want %d", got, st.Cycles)
+	}
+	// The one-write CoRR cycle bugs on the Section 5.1.3 stack.
+	var corr *tricheck.Synthesized
+	for _, s := range novel {
+		if s.Shape.Name == "syn-pos.fre.rfe" {
+			corr = s
+		}
+	}
+	if corr == nil {
+		t.Fatal("syn-pos.fre.rfe missing")
+	}
+	eng := tricheck.NewEngine()
+	sr, err := eng.RunSuite(corr.Shape.Generate(),
+		tricheck.Stack{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.NMM(tricheck.Curr)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Tally.SpecifiedBugs != 6 {
+		t.Errorf("one-write corr on Base/nMM-curr: %d specified bugs, want 6", sr.Tally.SpecifiedBugs)
+	}
+	// Structural fingerprints collapse a test and its thread-permuted
+	// corpus round trip onto one identity.
+	probe := corr.Shape.Generate()[0]
+	if tricheck.StructuralFingerprint(probe) != corr.Fingerprint {
+		t.Error("facade StructuralFingerprint disagrees with the synthesizer's dedup key")
+	}
+}
