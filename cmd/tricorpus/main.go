@@ -6,14 +6,15 @@
 //	tricorpus export -dir DIR [-suite paper|extended|all] [-family NAME]
 //	tricorpus ls     -dir DIR [-family NAME] [-v]
 //	tricorpus show   -dir DIR -name TEST
-//	tricorpus verify -dir DIR
+//	tricorpus verify -dir DIR [-profile PREFIX]
 //
 // export writes generator suites to DIR as <family>/<name>.litmus
 // files. ls lists the corpus (with fingerprints under -v). show prints
 // one test both as stored and in the internal textual format. verify
 // checks every file round-trips (parse → emit → parse is a fixed point)
 // and that canonical fingerprints are stable — the invariant the
-// verification farm's memo cache relies on.
+// verification farm's memo cache relies on; -profile PREFIX captures
+// cpu/heap pprof profiles of the run into PREFIX.{cpu,mem}.pprof.
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"tricheck"
 	"tricheck/internal/corpus"
 	"tricheck/internal/litmus"
+	"tricheck/internal/prof"
 )
 
 func main() {
@@ -53,11 +55,18 @@ func usage() {
   tricorpus export -dir DIR [-suite paper|extended|all] [-family NAME]
   tricorpus ls     -dir DIR [-family NAME] [-v]
   tricorpus show   -dir DIR -name TEST
-  tricorpus verify -dir DIR`)
+  tricorpus verify -dir DIR [-profile PREFIX]`)
 	os.Exit(2)
 }
 
+// onFatal runs before a fatal exit; cmdVerify uses it to flush pprof
+// profiles so even a failed profiled run leaves usable profiles.
+var onFatal func()
+
 func fatal(err error) {
+	if onFatal != nil {
+		onFatal()
+	}
 	fmt.Fprintf(os.Stderr, "tricorpus: %v\n", err)
 	os.Exit(1)
 }
@@ -183,7 +192,23 @@ func cmdShow(args []string) {
 func cmdVerify(args []string) {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	dir := fs.String("dir", "", "corpus directory")
+	profile := fs.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
 	fs.Parse(args)
+	stopProf, err := prof.Start(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	profStopped := false
+	stopProfOnce := func() {
+		if !profStopped {
+			profStopped = true
+			if err := stopProf(); err != nil {
+				fmt.Fprintf(os.Stderr, "tricorpus: finalizing profiles: %v\n", err)
+			}
+		}
+	}
+	onFatal = stopProfOnce
+	defer func() { onFatal = nil }()
 	c := loadCorpus(*dir)
 	bad := 0
 	for _, e := range c.Entries {
@@ -215,6 +240,8 @@ func cmdVerify(args []string) {
 			bad++
 		}
 	}
+	// Finalize profiles before any exit path so partial runs still profile.
+	stopProfOnce()
 	if bad > 0 {
 		fatal(fmt.Errorf("%d of %d tests failed verification", bad, c.Len()))
 	}

@@ -9,7 +9,7 @@
 //	trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
 //	trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both]
 //	                   [-variant curr|ours|both] [-workers N] [-cache file]
-//	                   [-progress] [-csv] [-bugs]
+//	                   [-progress] [-csv] [-bugs] [-profile PREFIX]
 //
 // enumerate lists the synthesized shapes (cycle word, threads,
 // locations, variant count, novelty). export writes their memory-order
@@ -33,6 +33,7 @@ import (
 	"sort"
 
 	"tricheck"
+	"tricheck/internal/prof"
 )
 
 func main() {
@@ -57,11 +58,18 @@ func usage() {
   trisynth enumerate [-max-len N] [-min-len N] [-max-threads N] [-max-locs N] [-deps] [-novel-only] [-v]
   trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
   trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both] [-variant curr|ours|both]
-                     [-workers N] [-cache file] [-progress] [-csv] [-bugs]`)
+                     [-workers N] [-cache file] [-progress] [-csv] [-bugs] [-profile PREFIX]`)
 	os.Exit(2)
 }
 
+// onFatal runs before a fatal exit; cmdSweep uses it to flush pprof
+// profiles so even a failed profiled sweep leaves usable profiles.
+var onFatal func()
+
 func fatal(err error) {
+	if onFatal != nil {
+		onFatal()
+	}
 	fmt.Fprintf(os.Stderr, "trisynth: %v\n", err)
 	os.Exit(1)
 }
@@ -157,7 +165,24 @@ func cmdSweep(args []string) {
 	progress := fs.Bool("progress", false, "stream farm progress to stderr")
 	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
 	bugs := fs.Bool("bugs", false, "list buggy (test, stack) pairs on novel shapes")
+	profile := fs.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
 	fs.Parse(args)
+
+	stopProf, err := prof.Start(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	profStopped := false
+	stopProfOnce := func() {
+		if !profStopped {
+			profStopped = true
+			if err := stopProf(); err != nil {
+				fmt.Fprintf(os.Stderr, "trisynth: finalizing profiles: %v\n", err)
+			}
+		}
+	}
+	onFatal = stopProfOnce
+	defer func() { onFatal = nil }()
 
 	res := synthesize(opts, *novelOnly)
 	novel := map[string]bool{}
@@ -208,6 +233,9 @@ func cmdSweep(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	// The profile window covers synthesis + the farm sweep, the two costs
+	// a perf PR would target; reporting below is excluded.
+	stopProfOnce()
 
 	if *csv {
 		tricheck.WriteCSV(os.Stdout, results)

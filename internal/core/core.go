@@ -98,7 +98,7 @@ type TestResult struct {
 // enabled, full (test, stack) verdicts across sweeps.
 type Engine struct {
 	mu  sync.Mutex
-	hll map[string]*c11.Result
+	hll map[string]*hllEntry
 	// memo is the optional (test, stack) result cache shared with the
 	// verification farm; nil until EnableMemo.
 	memo *farm.Cache[string, *Memo]
@@ -111,29 +111,41 @@ type Engine struct {
 
 // NewEngine returns an Engine with an empty HLL cache and no memo cache.
 func NewEngine() *Engine {
-	return &Engine{hll: map[string]*c11.Result{}}
+	return &Engine{hll: map[string]*hllEntry{}}
+}
+
+// hllEntry is one singleflight slot of the HLL cache: the first caller
+// evaluates, concurrent callers for the same fingerprint wait on the
+// same Once instead of re-running (and racing on) the shared program.
+type hllEntry struct {
+	once sync.Once
+	r    *c11.Result
+	err  error
 }
 
 // HLL returns the (cached) step-1 C11 evaluation of a test. The cache is
 // keyed by the test's canonical fingerprint, so structurally identical
 // tests — e.g. a generated test and its corpus round trip — share one
-// evaluation regardless of naming.
+// evaluation regardless of naming, and concurrent farm workers hitting
+// the same test evaluate it exactly once.
 func (e *Engine) HLL(t *litmus.Test) (*c11.Result, error) {
 	key := t.Fingerprint()
 	e.mu.Lock()
-	r, ok := e.hll[key]
-	e.mu.Unlock()
-	if ok {
-		return r, nil
+	ent, ok := e.hll[key]
+	if !ok {
+		ent = &hllEntry{}
+		e.hll[key] = ent
 	}
-	r, err := c11.Evaluate(t.Prog)
-	if err != nil {
-		return nil, fmt.Errorf("core: HLL evaluation of %s: %w", t.Name, err)
-	}
-	e.mu.Lock()
-	e.hll[key] = r
 	e.mu.Unlock()
-	return r, nil
+	ent.once.Do(func() {
+		r, err := c11.Evaluate(t.Prog)
+		if err != nil {
+			ent.err = fmt.Errorf("core: HLL evaluation of %s: %w", t.Name, err)
+			return
+		}
+		ent.r = r
+	})
+	return ent.r, ent.err
 }
 
 // Run executes toolflow steps 1–4 for one test and stack, consulting the
@@ -161,6 +173,11 @@ func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
 // evaluate runs toolflow steps 1–4 unconditionally and returns the
 // portable verdict. It is the farm's job thunk; every call counts as one
 // verifier execution.
+//
+// Step 3 uses the two-tier µhb core: the job prepares the compiled
+// program's static skeleton exactly once and streams every candidate
+// execution through a pooled overlay, so a sweep's per-execution cost is
+// dynamic edges plus an allocation-free cycle check.
 func (e *Engine) evaluate(t *litmus.Test, s Stack) (*Memo, error) {
 	hll, err := e.HLL(t) // step 1
 	if err != nil {
@@ -170,12 +187,14 @@ func (e *Engine) evaluate(t *litmus.Test, s Stack) (*Memo, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling %s with %s: %w", t.Name, s.Mapping.Name, err)
 	}
-	isaRes, err := s.Model.Evaluate(prog) // step 3
+	pr := s.Model.Prepare(prog) // step 3: skeleton once per job
+	isaRes, err := pr.Evaluate()
+	pr.Close()
 	if err != nil {
 		return nil, fmt.Errorf("core: µspec evaluation of %s on %s: %w", t.Name, s.Model.FullName(), err)
 	}
 	e.execs.Add(1)
-	return compare(hll, isaRes), nil // step 4
+	return compare(hll, isaRes), nil
 }
 
 // Executions returns the number of verifier executions (toolflow steps

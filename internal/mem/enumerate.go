@@ -17,13 +17,22 @@ var ErrUnresolvable = errors.New("mem: unresolvable register-carried address")
 // Enumerate visits every candidate execution of p (see the package comment
 // for exactly which consistency facts are baked in). The visitor may return
 // false to stop enumeration early, in which case Enumerate returns
-// ErrStopped. The Execution passed to visit is reused; visitors must copy
-// anything they retain.
+// ErrStopped.
+//
+// Visitor contract: the Execution passed to visit is a scratch value owned
+// by the enumerator and reused for every candidate — its slices (RF, MO,
+// MOIndex, LocOf, RVal, WVal) are overwritten between calls. A visitor may
+// read it freely for the duration of the call (evaluators are expected to
+// borrow it zero-copy, e.g. to layer per-execution µhb overlay edges over
+// a static skeleton) but must Clone anything it retains afterwards.
+// Allocation-averse visitors should use the Append* accessors
+// (AppendFRSuccessors) with their own scratch buffers instead of the
+// slice-returning convenience forms.
 func Enumerate(p *Program, visit func(*Execution) bool) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	p.frozen = true
+	p.frozen.Store(true)
 	en := &enumerator{p: p, visit: visit}
 	en.init()
 	en.assignReads()

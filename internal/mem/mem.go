@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Loc identifies a memory location (a litmus-test variable such as x or y).
@@ -180,7 +181,10 @@ type Program struct {
 	MemObservers []MemObserver
 
 	events []*Event // dense by GID
-	frozen bool
+	// frozen flips (atomically: concurrent evaluators may Enumerate one
+	// program at the same time) once enumeration begins, rejecting
+	// further mutation.
+	frozen atomic.Bool
 }
 
 // NewProgram returns an empty program with nlocs locations named by names
@@ -216,7 +220,7 @@ func (p *Program) Event(gid int) *Event { return p.events[gid] }
 
 // Add appends ev to thread t, assigning GID/Thread/Index, and returns it.
 func (p *Program) Add(t int, ev Event) *Event {
-	if p.frozen {
+	if p.frozen.Load() {
 		panic("mem: Add after enumeration began")
 	}
 	for len(p.Threads) <= t {
@@ -330,22 +334,29 @@ func (x *Execution) MOBefore(a, b int) bool {
 // FRSuccessors returns the writes that read r is from-reads-ordered before:
 // every write to r's location that is mo-after r's source.
 func (x *Execution) FRSuccessors(r int) []int {
+	return x.AppendFRSuccessors(r, nil)
+}
+
+// AppendFRSuccessors appends read r's from-reads successors to dst and
+// returns the extended slice — the copy-avoidance variant of FRSuccessors
+// for evaluators that visit every candidate of an enumeration sweep and
+// keep a reusable scratch buffer (see the Enumerate visitor contract).
+func (x *Execution) AppendFRSuccessors(r int, dst []int) []int {
 	loc := x.LocOf[r]
 	if loc == LocNone {
-		return nil
+		return dst
 	}
 	src := x.RF[r]
 	srcIdx := 0
 	if src != InitWrite {
 		srcIdx = x.MOIndex[src]
 	}
-	var out []int
 	for _, w := range x.MO[loc] {
 		if x.MOIndex[w] > srcIdx && w != r {
-			out = append(out, w)
+			dst = append(dst, w)
 		}
 	}
-	return out
+	return dst
 }
 
 // FinalMem returns the final value of each location (the mo-maximal write,

@@ -1,0 +1,47 @@
+// Package prof is the CLI profiling plumbing shared by the tricheck
+// commands: a -profile flag value turns into a CPU profile captured for
+// the lifetime of the run plus a heap profile snapshotted at the end, so
+// performance work on the sweep paths can be grounded in real profiles
+// (go tool pprof <binary> <prefix>.cpu.pprof).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into <prefix>.cpu.pprof and returns a stop
+// function that ends it and writes a heap profile to <prefix>.mem.pprof.
+// An empty prefix is a no-op: Start returns a stop function that does
+// nothing, so callers can wire the flag unconditionally.
+func Start(prefix string) (stop func() error, err error) {
+	if prefix == "" {
+		return func() error { return nil }, nil
+	}
+	cpu, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		heap, err := os.Create(prefix + ".mem.pprof")
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer heap.Close()
+		runtime.GC() // publish up-to-date allocation stats
+		if err := pprof.Lookup("allocs").WriteTo(heap, 0); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,43 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartEmptyPrefixIsNoop(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartWritesBothProfiles(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run")
+	stop, err := Start(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".cpu.pprof", ".mem.pprof"} {
+		fi, err := os.Stat(prefix + suffix)
+		if err != nil {
+			t.Fatalf("missing %s: %v", suffix, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", suffix)
+		}
+	}
+}

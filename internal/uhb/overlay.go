@@ -1,0 +1,198 @@
+package uhb
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Overlay is the dynamic tier of a two-tier µhb graph: the
+// execution-dependent edges of one candidate execution (coherence order,
+// reads-from, from-reads, dependency-sourced values, cumulative fence
+// closures) layered over a frozen Skeleton.
+//
+// Overlays are resettable and allocation-free in steady state: all edge
+// and traversal storage lives in reusable buffers that survive Reset, so
+// one overlay can evaluate an entire enumeration sweep — acquire one per
+// worker via AcquireOverlay, Reset it per execution, and release it when
+// the sweep ends.
+//
+// Unlike Graph and Skeleton, an Overlay does not deduplicate edges:
+// duplicates cannot change acyclicity, the number of AddEdge calls is
+// already bounded by the builder's work, and skipping the lookup keeps
+// the hot path branch-free. Reason codes are stored but never resolved
+// here; diagnostics always go through the materialized Graph path.
+type Overlay struct {
+	skel *Skeleton
+
+	// Dynamic adjacency as per-node singly linked lists threaded through
+	// shared buffers: head[v] is the first edge index of node v or -1,
+	// next[e] chains, from[e]/to[e]/reason[e] describe edge e. Lists are
+	// built head-first; the cycle check does not depend on traversal order.
+	head   []int32
+	next   []int32
+	from   []int32
+	to     []int32
+	reason []uint32
+
+	// Cycle-check scratch, sized to the node count.
+	color []byte
+	fnode []int32 // DFS stack: node per frame
+	fsidx []int32 // next static-CSR index to explore
+	fdyn  []int32 // next dynamic edge index to explore (-1 = done)
+}
+
+// NewOverlay returns an overlay bound to skel, ready for AddEdge.
+func NewOverlay(skel *Skeleton) *Overlay {
+	o := &Overlay{}
+	o.Reset(skel)
+	return o
+}
+
+// Reset rebinds the overlay to skel (which may differ from the previous
+// binding) and discards all dynamic edges, retaining buffer capacity.
+func (o *Overlay) Reset(skel *Skeleton) {
+	if !skel.frozen {
+		panic("uhb: Overlay.Reset on unfrozen Skeleton")
+	}
+	o.skel = skel
+	n := skel.n
+	if cap(o.head) < n {
+		o.head = make([]int32, n)
+		o.color = make([]byte, n)
+		o.fnode = make([]int32, n)
+		o.fsidx = make([]int32, n)
+		o.fdyn = make([]int32, n)
+	}
+	o.head = o.head[:n]
+	o.color = o.color[:n]
+	o.fnode = o.fnode[:n]
+	o.fsidx = o.fsidx[:n]
+	o.fdyn = o.fdyn[:n]
+	for i := range o.head {
+		o.head[i] = -1
+	}
+	o.next = o.next[:0]
+	o.from = o.from[:0]
+	o.to = o.to[:0]
+	o.reason = o.reason[:0]
+}
+
+// NumNodes returns the node count of the bound skeleton.
+func (o *Overlay) NumNodes() int { return o.skel.n }
+
+// NumDynamicEdges returns the number of dynamic edge records (duplicates
+// included).
+func (o *Overlay) NumDynamicEdges() int { return len(o.to) }
+
+// Skeleton returns the bound static tier.
+func (o *Overlay) Skeleton() *Skeleton { return o.skel }
+
+// AddEdge records a dynamic edge with an opaque reason code.
+func (o *Overlay) AddEdge(from, to int, reason uint32) {
+	if from < 0 || from >= o.skel.n || to < 0 || to >= o.skel.n {
+		panic(fmt.Sprintf("uhb: overlay edge (%d,%d) out of range [0,%d)", from, to, o.skel.n))
+	}
+	e := int32(len(o.to))
+	o.next = append(o.next, o.head[from])
+	o.from = append(o.from, int32(from))
+	o.to = append(o.to, int32(to))
+	o.reason = append(o.reason, reason)
+	o.head[from] = e
+}
+
+// HasEdge reports whether the edge exists in either tier.
+func (o *Overlay) HasEdge(from, to int) bool {
+	if o.skel.HasEdge(from, to) {
+		return true
+	}
+	for e := o.head[from]; e >= 0; e = o.next[e] {
+		if int(o.to[e]) == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachDynamicEdge visits every dynamic edge record in insertion order
+// with its reason code.
+func (o *Overlay) ForEachDynamicEdge(fn func(from, to int, reason uint32)) {
+	for e := range o.to {
+		fn(int(o.from[e]), int(o.to[e]), o.reason[e])
+	}
+}
+
+// HasCycle reports whether skeleton+overlay contains a directed cycle.
+// The search is iterative (explicit stack) and allocation-free: all
+// scratch lives in the overlay's reusable buffers, so deep graphs from
+// synthesized variants can neither overflow a goroutine stack nor
+// allocate per call.
+func (o *Overlay) HasCycle() bool {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on stack
+		black = 2 // done
+	)
+	s := o.skel
+	n := s.n
+	color := o.color
+	for i := range color {
+		color[i] = white
+	}
+	for start := 0; start < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		sp := 0
+		o.fnode[sp] = int32(start)
+		o.fsidx[sp] = s.off[start]
+		o.fdyn[sp] = o.head[start]
+		color[start] = gray
+		sp++
+		for sp > 0 {
+			f := sp - 1
+			v := o.fnode[f]
+			var w int32 = -1
+			if i := o.fsidx[f]; i < s.off[v+1] {
+				w = s.dst[i]
+				o.fsidx[f] = i + 1
+			} else if e := o.fdyn[f]; e >= 0 {
+				w = o.to[e]
+				o.fdyn[f] = o.next[e]
+			} else {
+				color[v] = black
+				sp--
+				continue
+			}
+			switch color[w] {
+			case white:
+				color[w] = gray
+				o.fnode[sp] = w
+				o.fsidx[sp] = s.off[w]
+				o.fdyn[sp] = o.head[w]
+				sp++
+			case gray:
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// overlayPool recycles overlays across evaluations; a whole enumeration
+// sweep on one worker reuses a single buffer set.
+var overlayPool = sync.Pool{New: func() any { return &Overlay{} }}
+
+// AcquireOverlay returns a pooled overlay bound (and reset) to skel.
+// Release it with ReleaseOverlay when the sweep is done.
+func AcquireOverlay(skel *Skeleton) *Overlay {
+	o := overlayPool.Get().(*Overlay)
+	o.Reset(skel)
+	return o
+}
+
+// ReleaseOverlay returns an overlay to the pool. The caller must not use
+// it afterwards.
+func ReleaseOverlay(o *Overlay) {
+	o.skel = nil
+	overlayPool.Put(o)
+}

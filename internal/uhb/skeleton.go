@@ -1,0 +1,141 @@
+package uhb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Skeleton is the static tier of a two-tier µhb graph: the node numbering
+// and every execution-independent edge of one compiled program under one
+// model configuration — pipeline and per-instruction path order, preserved
+// program order that does not consult rf/mo, dependency edges, the
+// non-cumulative part of fence semantics, and AMO annotation edges.
+//
+// A Skeleton is built once per (program, model) and then shared, read-only,
+// by every execution candidate: per-execution edges (coherence, reads-from,
+// from-reads, cumulative fence closures) layer on top via an Overlay.
+// Edges carry opaque uint32 reason codes supplied by the builder; the
+// Skeleton never formats or stores a string, keeping diagnostics entirely
+// lazy.
+//
+// Construction is two-phase: AddEdge while building, then Freeze, after
+// which the edge set is immutable and stored in CSR (compressed sparse
+// row) form for allocation-free traversal.
+type Skeleton struct {
+	n      int
+	frozen bool
+
+	// Under construction: one entry per AddEdge call, in call order.
+	bFrom, bTo []int32
+	bReason    []uint32
+
+	// Frozen CSR: node v's static successors are dst[off[v]:off[v+1]],
+	// deduplicated (first reason per (from,to) wins) and sorted by target.
+	off    []int32
+	dst    []int32
+	reason []uint32
+}
+
+// NewSkeleton returns an empty skeleton over n nodes, ready for AddEdge.
+func NewSkeleton(n int) *Skeleton {
+	return &Skeleton{n: n}
+}
+
+// NumNodes returns the number of nodes.
+func (s *Skeleton) NumNodes() int { return s.n }
+
+// NumEdges returns the number of distinct static edges (valid after
+// Freeze).
+func (s *Skeleton) NumEdges() int { return len(s.dst) }
+
+// AddEdge records a static edge with an opaque reason code. Panics if the
+// skeleton is frozen or the edge is out of range. Duplicates are accepted
+// and collapsed by Freeze, keeping the first reason — matching the
+// first-reason-wins semantics of Graph.AddEdge.
+func (s *Skeleton) AddEdge(from, to int, reason uint32) {
+	if s.frozen {
+		panic("uhb: AddEdge on frozen Skeleton")
+	}
+	if from < 0 || from >= s.n || to < 0 || to >= s.n {
+		panic(fmt.Sprintf("uhb: skeleton edge (%d,%d) out of range [0,%d)", from, to, s.n))
+	}
+	s.bFrom = append(s.bFrom, int32(from))
+	s.bTo = append(s.bTo, int32(to))
+	s.bReason = append(s.bReason, reason)
+}
+
+// Freeze deduplicates the recorded edges and builds the CSR form. After
+// Freeze the skeleton is immutable and safe for concurrent readers.
+func (s *Skeleton) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.frozen = true
+	m := len(s.bFrom)
+	// Sort edge indices by (from, to, insertion order) so duplicates are
+	// adjacent with the first-recorded one leading.
+	idx := make([]int32, m)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if s.bFrom[ia] != s.bFrom[ib] {
+			return s.bFrom[ia] < s.bFrom[ib]
+		}
+		return s.bTo[ia] < s.bTo[ib]
+	})
+	s.off = make([]int32, s.n+1)
+	s.dst = make([]int32, 0, m)
+	s.reason = make([]uint32, 0, m)
+	prevFrom, prevTo := int32(-1), int32(-1)
+	for _, i := range idx {
+		f, t := s.bFrom[i], s.bTo[i]
+		if f == prevFrom && t == prevTo {
+			continue // duplicate; first reason already kept
+		}
+		prevFrom, prevTo = f, t
+		s.dst = append(s.dst, t)
+		s.reason = append(s.reason, s.bReason[i])
+		s.off[f+1]++
+	}
+	for v := 0; v < s.n; v++ {
+		s.off[v+1] += s.off[v]
+	}
+	s.bFrom, s.bTo, s.bReason = nil, nil, nil
+}
+
+// HasEdge reports whether the static edge exists (valid after Freeze).
+func (s *Skeleton) HasEdge(from, to int) bool {
+	_, ok := s.findEdge(from, to)
+	return ok
+}
+
+// Reason returns the reason code of a static edge and whether it exists
+// (valid after Freeze).
+func (s *Skeleton) Reason(from, to int) (uint32, bool) {
+	return s.findEdge(from, to)
+}
+
+func (s *Skeleton) findEdge(from, to int) (uint32, bool) {
+	if !s.frozen || from < 0 || from >= s.n {
+		return 0, false
+	}
+	lo, hi := int(s.off[from]), int(s.off[from+1])
+	row := s.dst[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(to) })
+	if i < len(row) && row[i] == int32(to) {
+		return s.reason[lo+i], true
+	}
+	return 0, false
+}
+
+// ForEachEdge visits every static edge in (from, to) order with its
+// reason code (valid after Freeze).
+func (s *Skeleton) ForEachEdge(fn func(from, to int, reason uint32)) {
+	for v := 0; v < s.n; v++ {
+		for i := s.off[v]; i < s.off[v+1]; i++ {
+			fn(v, int(s.dst[i]), s.reason[i])
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package uhb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkeletonCSRAndDedup(t *testing.T) {
+	s := NewSkeleton(4)
+	s.AddEdge(0, 1, 7)
+	s.AddEdge(0, 1, 9) // duplicate: first reason wins
+	s.AddEdge(2, 3, 1)
+	s.AddEdge(0, 2, 5)
+	s.Freeze()
+	if s.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", s.NumEdges())
+	}
+	if !s.HasEdge(0, 1) || !s.HasEdge(0, 2) || !s.HasEdge(2, 3) {
+		t.Fatal("missing edges after freeze")
+	}
+	if s.HasEdge(1, 0) {
+		t.Fatal("phantom edge")
+	}
+	if r, ok := s.Reason(0, 1); !ok || r != 7 {
+		t.Fatalf("Reason(0,1) = %d,%v, want 7,true", r, ok)
+	}
+	var got [][3]int
+	s.ForEachEdge(func(from, to int, reason uint32) {
+		got = append(got, [3]int{from, to, int(reason)})
+	})
+	want := [][3]int{{0, 1, 7}, {0, 2, 5}, {2, 3, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachEdge visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachEdge visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOverlayCycleAcrossTiers(t *testing.T) {
+	// Static chain 0→1→2; the overlay's back edge 2→0 closes the cycle.
+	s := NewSkeleton(3)
+	s.AddEdge(0, 1, 0)
+	s.AddEdge(1, 2, 0)
+	s.Freeze()
+	o := NewOverlay(s)
+	if o.HasCycle() {
+		t.Fatal("static chain must be acyclic")
+	}
+	o.AddEdge(2, 0, 1)
+	if !o.HasCycle() {
+		t.Fatal("overlay back edge must close the cycle")
+	}
+	o.Reset(s)
+	if o.HasCycle() {
+		t.Fatal("reset must drop dynamic edges")
+	}
+	o.AddEdge(2, 2, 1) // self-loop
+	if !o.HasCycle() {
+		t.Fatal("dynamic self-loop must be cyclic")
+	}
+}
+
+func TestOverlayHasEdgeBothTiers(t *testing.T) {
+	s := NewSkeleton(3)
+	s.AddEdge(0, 1, 0)
+	s.Freeze()
+	o := NewOverlay(s)
+	o.AddEdge(1, 2, 3)
+	if !o.HasEdge(0, 1) {
+		t.Error("static edge must be visible through the overlay")
+	}
+	if !o.HasEdge(1, 2) {
+		t.Error("dynamic edge missing")
+	}
+	if o.HasEdge(2, 0) {
+		t.Error("phantom edge")
+	}
+	var dyn [][2]int
+	o.ForEachDynamicEdge(func(from, to int, reason uint32) {
+		dyn = append(dyn, [2]int{from, to})
+	})
+	if len(dyn) != 1 || dyn[0] != [2]int{1, 2} {
+		t.Errorf("dynamic edges = %v, want [[1 2]]", dyn)
+	}
+}
+
+// TestQuickOverlayMatchesGraph: splitting a random edge set arbitrarily
+// into static and dynamic tiers never changes acyclicity — the two-tier
+// verdict always equals the single-graph verdict over the union.
+func TestQuickOverlayMatchesGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		type edge struct{ from, to int }
+		var edges []edge
+		for i := 0; i < 3*n; i++ {
+			edges = append(edges, edge{rng.Intn(n), rng.Intn(n)})
+		}
+		g := NewGraph(n)
+		s := NewSkeleton(n)
+		var dyn []edge
+		for _, e := range edges {
+			g.AddEdge(e.from, e.to, "e")
+			if rng.Intn(2) == 0 {
+				s.AddEdge(e.from, e.to, 0)
+			} else {
+				dyn = append(dyn, e)
+			}
+		}
+		s.Freeze()
+		o := AcquireOverlay(s)
+		defer ReleaseOverlay(o)
+		for _, e := range dyn {
+			o.AddEdge(e.from, e.to, 0)
+		}
+		return o.HasCycle() == !g.Acyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlayReuseAcrossSkeletons: a pooled overlay rebinds cleanly to a
+// skeleton of a different size.
+func TestOverlayReuseAcrossSkeletons(t *testing.T) {
+	small := NewSkeleton(2)
+	small.AddEdge(0, 1, 0)
+	small.Freeze()
+	big := NewSkeleton(50)
+	for i := 0; i < 49; i++ {
+		big.AddEdge(i, i+1, 0)
+	}
+	big.Freeze()
+	o := AcquireOverlay(small)
+	o.AddEdge(1, 0, 0)
+	if !o.HasCycle() {
+		t.Fatal("small cycle missed")
+	}
+	o.Reset(big)
+	if o.HasCycle() {
+		t.Fatal("stale dynamic edges after rebind")
+	}
+	o.AddEdge(49, 0, 0)
+	if !o.HasCycle() {
+		t.Fatal("big cycle missed")
+	}
+	ReleaseOverlay(o)
+}
+
+// BenchmarkOverlayCheck measures the pooled per-execution cost: reset,
+// add a handful of dynamic edges, run the cycle check. This is the inner
+// loop of the µspec verdict path and must not allocate.
+func BenchmarkOverlayCheck(b *testing.B) {
+	const n = 120
+	s := NewSkeleton(n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 4*n; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		if from < to {
+			s.AddEdge(from, to, 0)
+		}
+	}
+	s.Freeze()
+	o := AcquireOverlay(s)
+	defer ReleaseOverlay(o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Reset(s)
+		for j := 0; j < 30; j++ {
+			from, to := (j*7)%n, (j*13+1)%n
+			if from < to {
+				o.AddEdge(from, to, 0)
+			}
+		}
+		if o.HasCycle() {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}

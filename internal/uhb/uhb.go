@@ -15,11 +15,19 @@ import (
 
 // Graph is a directed graph over a fixed set of nodes with labelled edges.
 // The zero value is not usable; call NewGraph.
+//
+// Graph is the fully materialized, diagnostics-grade representation: every
+// edge carries a reason string and every node may carry a label. The
+// verdict path of the µspec evaluator does not use Graph at all — it runs
+// on the two-tier Skeleton/Overlay core (see skeleton.go and overlay.go),
+// which stores compact reason codes and never formats a string. Graphs are
+// built only when a human asks for an explanation, a witness, or DOT.
 type Graph struct {
 	n      int
 	adj    [][]int32
 	edgeOf map[int64]string // packed (from,to) → first reason recorded
 	labels []string
+	dirty  bool // adjacency lists not yet sorted for deterministic search
 }
 
 // NewGraph returns a graph with n nodes and no edges. Node labels are
@@ -62,6 +70,22 @@ func (g *Graph) AddEdge(from, to int, reason string) {
 	}
 	g.edgeOf[k] = reason
 	g.adj[from] = append(g.adj[from], int32(to))
+	g.dirty = true
+}
+
+// sortAdj sorts every adjacency list by target node so that traversals are
+// deterministic regardless of edge insertion order. Builders may insert
+// edges in nondeterministic order (e.g. when a set of obligations comes out
+// of a map); sorting here makes FindCycle — and therefore every cycle
+// explanation — a pure function of the edge set.
+func (g *Graph) sortAdj() {
+	if !g.dirty {
+		return
+	}
+	for _, outs := range g.adj {
+		sort.Slice(outs, func(i, j int) bool { return outs[i] < outs[j] })
+	}
+	g.dirty = false
 }
 
 // HasEdge reports whether the edge exists.
@@ -81,8 +105,11 @@ func (g *Graph) Acyclic() bool { return g.FindCycle() == nil }
 
 // FindCycle returns the node sequence of some directed cycle
 // (c[0] → c[1] → ... → c[len-1] → c[0]), or nil if the graph is acyclic.
-// The search is iterative, so deep graphs cannot overflow the stack.
+// The search is iterative, so deep graphs cannot overflow the stack, and
+// deterministic: neighbors are explored in increasing node order, so the
+// reported cycle depends only on the edge set, never on insertion order.
 func (g *Graph) FindCycle() []int {
+	g.sortAdj()
 	const (
 		white = 0 // unvisited
 		gray  = 1 // on stack

@@ -199,6 +199,44 @@ func TestQuickCycleWitnessValid(t *testing.T) {
 	}
 }
 
+// TestFindCycleInsertionOrderIndependent: the reported cycle is a pure
+// function of the edge set — permuting edge insertion order cannot change
+// it. This is what keeps cycle explanations deterministic even when a
+// builder discovers ordering obligations in nondeterministic (map) order.
+func TestFindCycleInsertionOrderIndependent(t *testing.T) {
+	type edge struct{ from, to int }
+	edges := []edge{
+		{0, 1}, {1, 2}, {2, 0}, // one cycle
+		{2, 3}, {3, 4}, {4, 2}, // another cycle
+		{5, 0}, {1, 5}, // extra structure
+	}
+	build := func(perm []int) *Graph {
+		g := NewGraph(6)
+		for _, i := range perm {
+			g.AddEdge(edges[i].from, edges[i].to, "e")
+		}
+		return g
+	}
+	base := build([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	want := base.FindCycle()
+	if want == nil {
+		t.Fatal("graph must be cyclic")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(len(edges))
+		got := build(perm).FindCycle()
+		if len(got) != len(want) {
+			t.Fatalf("insertion order changed cycle: got %v want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("insertion order changed cycle: got %v want %v", got, want)
+			}
+		}
+	}
+}
+
 func TestAddEdgeOutOfRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

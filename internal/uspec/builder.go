@@ -19,22 +19,55 @@ const (
 	slotVis0    // first visibility slot; nMCA uses one per core
 )
 
-// builder constructs the µhb graph of one execution candidate.
+// tier selects which half of the two-tier µhb graph a builder run emits.
+//
+// The axiom passes below are written once and shared by all three tiers:
+// every edge-producing statement is annotated static (addS) or dynamic
+// (addD) according to whether it consults the execution candidate
+// (rf/mo/resolved locations) or only the compiled program and model
+// configuration. A tierStatic run emits the static edges into a
+// uhb.Skeleton (built once per program × model), a tierDynamic run emits
+// the dynamic edges into a pooled uhb.Overlay (once per execution), and a
+// tierBoth run emits everything, in the original single-graph order, into
+// a fully materialized uhb.Graph for diagnostics (Explain, witnesses,
+// DOT). tierBoth is the zero value so ad-hoc builders behave like the
+// historical single-tier one.
+type tier uint8
+
+const (
+	tierBoth    tier = iota // materialize: every edge into a diagnostics Graph
+	tierStatic              // execution-independent edges into a Skeleton
+	tierDynamic             // execution-dependent edges into an Overlay
+)
+
+// builder constructs (one tier of) the µhb graph of an execution candidate.
 type builder struct {
 	m *Model
 	p *isa.Program
-	x *mem.Execution
-	g *uhb.Graph
+	x *mem.Execution // nil for tierStatic runs
+	g *uhb.Graph     // tierBoth sink
+
+	skel *uhb.Skeleton // tierStatic sink
+	ov   *uhb.Overlay  // tierDynamic sink
+	mode tier
 
 	ev []*mem.Event
 	C  int // cores (threads)
 	K  int // node slots per instruction
+
+	// Reusable scratch for the dynamic passes, so a Prepared evaluation
+	// streams every execution of a sweep through one buffer set.
+	predR, predW, succR, succW []int
+	cumMark                    []bool
+	cumFront                   []int
+	cumBuf                     []int
+	frBuf                      []int
 }
 
-// BuildGraph constructs the µhb graph of execution x of program p under the
-// model's axioms. The graph is acyclic iff the execution is observable.
-func (m *Model) BuildGraph(p *isa.Program, x *mem.Execution) *uhb.Graph {
-	C := p.NumThreads()
+// layout computes the node layout shared by all tiers of a (model,
+// program) pair.
+func (m *Model) layout(p *isa.Program) (C, K int) {
+	C = p.NumThreads()
 	if C < 1 {
 		C = 1
 	}
@@ -42,10 +75,26 @@ func (m *Model) BuildGraph(p *isa.Program, x *mem.Execution) *uhb.Graph {
 	if m.NMCA {
 		maxV = C
 	}
-	K := slotVis0 + maxV + 1 // + Complete
-	b := &builder{m: m, p: p, x: x, ev: p.Mem().Events(), C: C, K: K}
+	K = slotVis0 + maxV + 1 // + Complete
+	return C, K
+}
+
+// BuildGraph constructs the fully materialized µhb graph of execution x of
+// program p under the model's axioms — the diagnostics path, with string
+// reasons and node labels. The graph is acyclic iff the execution is
+// observable. The verdict path does not use it; see Model.Prepare.
+func (m *Model) BuildGraph(p *isa.Program, x *mem.Execution) *uhb.Graph {
+	C, K := m.layout(p)
+	b := &builder{m: m, p: p, x: x, ev: p.Mem().Events(), C: C, K: K, mode: tierBoth}
 	b.g = uhb.NewGraph(len(b.ev) * K)
 	b.label()
+	b.run()
+	return b.g
+}
+
+// run executes the axiom passes in the historical single-graph order; each
+// pass emits only the edges belonging to the builder's tier.
+func (b *builder) run() {
 	b.pipeline()
 	b.ppo()
 	b.deps()
@@ -53,7 +102,39 @@ func (m *Model) BuildGraph(p *isa.Program, x *mem.Execution) *uhb.Graph {
 	b.values()
 	b.fences()
 	b.amoBits()
-	return b.g
+}
+
+// dyn reports whether this run may consult the execution candidate.
+func (b *builder) dyn() bool { return b.mode != tierStatic }
+
+// addS emits an execution-independent edge.
+func (b *builder) addS(from, to int, r Reason) {
+	switch b.mode {
+	case tierBoth:
+		b.g.AddEdge(from, to, r.String())
+	case tierStatic:
+		b.skel.AddEdge(from, to, uint32(r))
+	}
+}
+
+// addD emits an execution-dependent edge.
+func (b *builder) addD(from, to int, r Reason) {
+	switch b.mode {
+	case tierBoth:
+		b.g.AddEdge(from, to, r.String())
+	case tierDynamic:
+		b.ov.AddEdge(from, to, uint32(r))
+	}
+}
+
+// add dispatches on the static flag — for shared loops whose elements mix
+// tiers (a fence's own-thread vs cumulative predecessor writes).
+func (b *builder) add(from, to int, r Reason, static bool) {
+	if static {
+		b.addS(from, to, r)
+	} else {
+		b.addD(from, to, r)
+	}
 }
 
 // Node accessors.
@@ -90,14 +171,30 @@ func (b *builder) visTo(w, c int) int {
 	return b.node(w, slotVis0+c)
 }
 
-// visAll returns the distinct visibility nodes of write w.
-func (b *builder) visAll(w int) []int {
+// numVis returns the number of distinct visibility nodes of write w;
+// visN(w, i) for i < numVis(w) enumerates them. The pair replaces the
+// slice-returning visAll on the allocation-free paths.
+func (b *builder) numVis(w int) int {
 	if b.atomicWrite(w) {
-		return []int{b.node(w, slotVis0)}
+		return 1
 	}
-	out := make([]int, b.C)
-	for c := 0; c < b.C; c++ {
-		out[c] = b.node(w, slotVis0+c)
+	return b.C
+}
+
+// visN returns write w's i-th visibility node.
+func (b *builder) visN(w, i int) int {
+	if b.atomicWrite(w) {
+		return b.node(w, slotVis0)
+	}
+	return b.node(w, slotVis0+i)
+}
+
+// visAll returns the distinct visibility nodes of write w (allocates; use
+// numVis/visN on hot paths).
+func (b *builder) visAll(w int) []int {
+	out := make([]int, b.numVis(w))
+	for i := range out {
+		out[i] = b.visN(w, i)
 	}
 	return out
 }
@@ -115,8 +212,11 @@ func (b *builder) scAMO(ins *isa.Instr) bool {
 	return ins.SCBit
 }
 
+// label names every node for diagnostics (tierBoth only; the skeleton and
+// overlay never carry labels).
 func (b *builder) label() {
 	for _, e := range b.ev {
+		diagFormats.Add(1)
 		base := fmt.Sprintf("T%d.i%d", e.Thread, e.Index)
 		b.g.SetLabel(b.fetch(e.GID), base+".Fetch")
 		b.g.SetLabel(b.exec(e.GID), base+".Execute")
@@ -129,6 +229,7 @@ func (b *builder) label() {
 				if b.atomicWrite(e.GID) {
 					b.g.SetLabel(v, base+".VisibleAll")
 				} else if b.m.NMCA {
+					diagFormats.Add(1)
 					b.g.SetLabel(v, fmt.Sprintf("%s.Visible@C%d", base, i))
 				} else {
 					b.g.SetLabel(v, base+".Visible")
@@ -139,54 +240,60 @@ func (b *builder) label() {
 }
 
 // pipeline adds the in-order front-end chains and per-instruction paths.
+// Entirely static: it consults only the program and model configuration.
 func (b *builder) pipeline() {
+	if b.mode == tierDynamic {
+		return
+	}
 	for _, th := range b.p.Mem().Threads {
 		for i, e := range th {
 			if i+1 < len(th) {
 				nxt := th[i+1]
-				b.g.AddEdge(b.fetch(e.GID), b.fetch(nxt.GID), "po-fetch")
-				b.g.AddEdge(b.exec(e.GID), b.exec(nxt.GID), "in-order-execute")
-				b.g.AddEdge(b.complete(e.GID), b.complete(nxt.GID), "in-order-commit")
+				b.addS(b.fetch(e.GID), b.fetch(nxt.GID), rPoFetch)
+				b.addS(b.exec(e.GID), b.exec(nxt.GID), rInOrderExecute)
+				b.addS(b.complete(e.GID), b.complete(nxt.GID), rInOrderCommit)
 			}
 			g := e.GID
-			b.g.AddEdge(b.fetch(g), b.exec(g), "path")
+			b.addS(b.fetch(g), b.exec(g), rPath)
 			if e.IsRead() {
-				b.g.AddEdge(b.exec(g), b.perform(g), "path")
-				b.g.AddEdge(b.perform(g), b.complete(g), "path")
+				b.addS(b.exec(g), b.perform(g), rPath)
+				b.addS(b.perform(g), b.complete(g), rPath)
 			}
 			if e.IsWrite() {
 				if e.IsRead() { // AMO: read before write
-					b.g.AddEdge(b.perform(g), b.sbEnter(g), "amo-read-before-write")
+					b.addS(b.perform(g), b.sbEnter(g), rAmoReadBeforeWrite)
 				} else {
-					b.g.AddEdge(b.exec(g), b.sbEnter(g), "path")
+					b.addS(b.exec(g), b.sbEnter(g), rPath)
 				}
-				b.g.AddEdge(b.sbEnter(g), b.complete(g), "path")
+				b.addS(b.sbEnter(g), b.complete(g), rPath)
 				if b.m.CacheProtocol {
 					// A9like: the store requests write permission (GetM)
 					// and then invalidations/forwards reach each core
 					// independently (non-stalling directory).
-					b.g.AddEdge(b.sbEnter(g), b.getM(g), "cache-getM")
-					for _, v := range b.visAll(g) {
-						b.g.AddEdge(b.getM(g), v, "cache-inv-or-forward")
+					b.addS(b.sbEnter(g), b.getM(g), rCacheGetM)
+					for i := 0; i < b.numVis(g); i++ {
+						b.addS(b.getM(g), b.visN(g, i), rCacheInvOrForward)
 					}
 				} else {
-					for _, v := range b.visAll(g) {
-						b.g.AddEdge(b.sbEnter(g), v, "sb-drain")
+					for i := 0; i < b.numVis(g); i++ {
+						b.addS(b.sbEnter(g), b.visN(g, i), rSbDrain)
 					}
 				}
 			}
 			if e.Kind == mem.Fence {
-				b.g.AddEdge(b.exec(g), b.complete(g), "path")
+				b.addS(b.exec(g), b.complete(g), rPath)
 			}
 		}
 	}
 }
 
-// sameAddr reports whether two events resolved to the same location.
+// sameAddr reports whether two events resolved to the same location
+// (dynamic: resolved locations can depend on register-carried addresses).
 func (b *builder) sameAddr(a, bb int) bool { return b.x.SameLoc(a, bb) }
 
 // ppo adds preserved-program-order edges according to the relaxation
-// profile.
+// profile. Mixed tier: unconditional orders are static, same-address
+// refinements consult the execution's resolved locations.
 func (b *builder) ppo() {
 	for _, th := range b.p.Mem().Threads {
 		for i := 0; i < len(th); i++ {
@@ -196,59 +303,63 @@ func (b *builder) ppo() {
 				// R → R
 				if a.IsRead() && c.IsRead() {
 					if !b.m.RelaxRR {
-						b.g.AddEdge(b.perform(ag), b.perform(cg), "ppo-RR")
-					} else if b.m.OrderSameAddrRR && b.sameAddr(ag, cg) {
-						b.g.AddEdge(b.perform(ag), b.perform(cg), "ppo-RR-same-addr")
+						b.addS(b.perform(ag), b.perform(cg), rPpoRR)
+					} else if b.m.OrderSameAddrRR && b.dyn() && b.sameAddr(ag, cg) {
+						b.addD(b.perform(ag), b.perform(cg), rPpoRRSameAddr)
 					}
 				}
 				// R → W: maintained unless RelaxRR, always for same address.
 				if a.IsRead() && c.IsWrite() {
-					if !b.m.RelaxRR || b.sameAddr(ag, cg) {
-						for _, v := range b.visAll(cg) {
-							b.g.AddEdge(b.perform(ag), v, "ppo-RW")
+					if !b.m.RelaxRR {
+						for v := 0; v < b.numVis(cg); v++ {
+							b.addS(b.perform(ag), b.visN(cg, v), rPpoRW)
+						}
+					} else if b.dyn() && b.sameAddr(ag, cg) {
+						for v := 0; v < b.numVis(cg); v++ {
+							b.addD(b.perform(ag), b.visN(cg, v), rPpoRW)
 						}
 					}
 				}
 				// W → R: relaxed on every Table 7 model (store buffer);
 				// enforced only on the SC ablation. Same-address W→R with
 				// no forwarding: the load stalls until the store drains.
-				if a.IsWrite() && c.IsRead() {
-					switch {
-					case !b.m.RelaxWR:
-						for _, v := range b.visAll(ag) {
-							b.g.AddEdge(v, b.perform(cg), "ppo-WR")
-						}
-					case b.p.InstrOf(ag).Op.IsAMO() && !b.m.NMCA:
-						// AMO writes execute at the memory system (they
-						// need the old value), so they are never buffered:
-						// on MCA/rMCA substrates — where at-memory means
-						// visible — later loads perform after the AMO's
-						// write. On nMCA substrates per-core visibility
-						// may still lag (non-stalling directory), so no
-						// such edge exists there.
-						for _, v := range b.visAll(ag) {
-							b.g.AddEdge(v, b.perform(cg), "amo-not-buffered")
-						}
-					case b.sameAddr(ag, cg) && b.x.RF[cg] != ag:
-						// The load reads something other than the newest
-						// same-address SB entry, so that entry must have
-						// drained first.
-						for _, v := range b.visAll(ag) {
-							b.g.AddEdge(v, b.perform(cg), "sb-same-addr-drain")
-						}
-					case b.sameAddr(ag, cg) && !b.m.Forwarding:
-						// Reading the own store without forwarding means
-						// waiting for it to reach memory (rf adds the
-						// visibility edge; nothing extra needed here).
+				switch {
+				case !a.IsWrite() || !c.IsRead():
+				case !b.m.RelaxWR:
+					for v := 0; v < b.numVis(ag); v++ {
+						b.addS(b.visN(ag, v), b.perform(cg), rPpoWR)
 					}
+				case b.p.InstrOf(ag).Op.IsAMO() && !b.m.NMCA:
+					// AMO writes execute at the memory system (they
+					// need the old value), so they are never buffered:
+					// on MCA/rMCA substrates — where at-memory means
+					// visible — later loads perform after the AMO's
+					// write. On nMCA substrates per-core visibility
+					// may still lag (non-stalling directory), so no
+					// such edge exists there.
+					for v := 0; v < b.numVis(ag); v++ {
+						b.addS(b.visN(ag, v), b.perform(cg), rAmoNotBuffered)
+					}
+				case b.dyn() && b.sameAddr(ag, cg) && b.x.RF[cg] != ag:
+					// The load reads something other than the newest
+					// same-address SB entry, so that entry must have
+					// drained first.
+					for v := 0; v < b.numVis(ag); v++ {
+						b.addD(b.visN(ag, v), b.perform(cg), rSbSameAddrDrain)
+					}
+					// Reading the own store without forwarding means
+					// waiting for it to reach memory (rf adds the
+					// visibility edge; nothing extra needed there).
 				}
 				// W → W: FIFO drain unless RelaxWW; same address always.
 				if a.IsWrite() && c.IsWrite() {
-					if !b.m.RelaxWW || b.sameAddr(ag, cg) {
-						b.pointwiseVis(ag, cg, "ppo-WW")
-						if b.sameAddr(ag, cg) {
-							b.g.AddEdge(b.sbEnter(ag), b.sbEnter(cg), "sb-fifo-same-addr")
-						}
+					if !b.m.RelaxWW {
+						b.pointwiseVis(ag, cg, rPpoWW, true)
+					} else if b.dyn() && b.sameAddr(ag, cg) {
+						b.pointwiseVis(ag, cg, rPpoWW, false)
+					}
+					if b.dyn() && b.sameAddr(ag, cg) {
+						b.addD(b.sbEnter(ag), b.sbEnter(cg), rSbFifoSameAddr)
 					}
 				}
 			}
@@ -257,38 +368,39 @@ func (b *builder) ppo() {
 }
 
 // pointwiseVis orders write a's visibility before write c's, per core.
-func (b *builder) pointwiseVis(ag, cg int, reason string) {
+func (b *builder) pointwiseVis(ag, cg int, r Reason, static bool) {
 	for c := 0; c < b.C; c++ {
-		b.g.AddEdge(b.visTo(ag, c), b.visTo(cg, c), reason)
+		b.add(b.visTo(ag, c), b.visTo(cg, c), r, static)
 	}
 }
 
 // deps adds syntactic address/data/control dependency edges: the dependee
-// cannot begin executing until the source load has performed.
+// cannot begin executing until the source load has performed. Static: the
+// dependency structure is syntactic, not value-dependent.
 func (b *builder) deps() {
-	if !b.m.RespectDeps {
+	if !b.m.RespectDeps || b.mode == tierDynamic {
 		return
 	}
 	for _, th := range b.p.Mem().Threads {
 		for _, e := range th {
-			add := func(srcIdx int, reason string) {
+			add := func(srcIdx int, r Reason) {
 				src := th[srcIdx]
-				b.g.AddEdge(b.perform(src.GID), b.exec(e.GID), reason)
+				b.addS(b.perform(src.GID), b.exec(e.GID), r)
 			}
 			if e.Kind != mem.Fence {
 				if e.Addr.Kind == mem.OpReg {
 					if s := b.sourceLoad(th, e.Index, e.Addr.Reg); s >= 0 {
-						add(s, "dep-addr")
+						add(s, rDepAddr)
 					}
 				}
 				if e.IsWrite() && e.Data.Kind == mem.OpReg {
 					if s := b.sourceLoad(th, e.Index, e.Data.Reg); s >= 0 {
-						add(s, "dep-data")
+						add(s, rDepData)
 					}
 				}
 			}
 			for _, d := range e.CtrlDepOn {
-				add(d, "dep-ctrl")
+				add(d, rDepCtrl)
 			}
 		}
 	}
@@ -306,18 +418,26 @@ func (b *builder) sourceLoad(th []*mem.Event, idx, reg int) int {
 
 // coherence adds per-core pointwise visibility edges along mo (the ws
 // relation): all cores agree on the order of same-location stores.
+// Dynamic: mo is the execution's coherence choice.
 func (b *builder) coherence() {
+	if !b.dyn() {
+		return
+	}
 	for _, ws := range b.x.MO {
 		for i := 0; i < len(ws); i++ {
 			for j := i + 1; j < len(ws); j++ {
-				b.pointwiseVis(ws[i], ws[j], "ws")
+				b.pointwiseVis(ws[i], ws[j], rWs, false)
 			}
 		}
 	}
 }
 
-// values adds reads-from and from-reads edges.
+// values adds reads-from and from-reads edges. Dynamic: rf/fr are the
+// execution's value choices.
 func (b *builder) values() {
+	if !b.dyn() {
+		return
+	}
 	for _, e := range b.ev {
 		if !e.IsRead() {
 			continue
@@ -330,15 +450,16 @@ func (b *builder) values() {
 			forwardable := b.p.InstrOf(src).Op == isa.OpStore // AMOs execute at memory
 			if w.Thread == e.Thread && b.m.Forwarding && forwardable && plainLoad {
 				// Plain load forwarding from the local store buffer.
-				b.g.AddEdge(b.sbEnter(src), b.perform(r), "rf-forward")
+				b.addD(b.sbEnter(src), b.perform(r), rRfForward)
 			} else {
 				// Reads observe the write once visible to their core
 				// (AMO reads always go to the memory system).
-				b.g.AddEdge(b.visTo(src, e.Thread), b.perform(r), "rf")
+				b.addD(b.visTo(src, e.Thread), b.perform(r), rRf)
 			}
 		}
-		for _, w2 := range b.x.FRSuccessors(r) {
-			b.g.AddEdge(b.perform(r), b.visTo(w2, e.Thread), "fr")
+		b.frBuf = b.x.AppendFRSuccessors(r, b.frBuf[:0])
+		for _, w2 := range b.frBuf {
+			b.addD(b.perform(r), b.visTo(w2, e.Thread), rFr)
 		}
 	}
 }
@@ -350,7 +471,9 @@ func accessParts(e *mem.Event) (rd, wr bool) {
 }
 
 // fences adds fence-ordering edges for every fence instruction, including
-// cumulativity for the lwf/hwf proposals (and Power lwsync/sync).
+// cumulativity for the lwf/hwf proposals (and Power lwsync/sync). Mixed
+// tier: same-thread predecessor/successor sets are static, the
+// A-cumulative closure consults rf.
 func (b *builder) fences() {
 	for _, th := range b.p.Mem().Threads {
 		for _, f := range th {
@@ -367,7 +490,12 @@ func (b *builder) fences() {
 }
 
 func (b *builder) fenceEdges(th []*mem.Event, f *mem.Event, ins *isa.Instr) {
-	var predR, predW, succR, succW []int // event GIDs by part
+	if b.mode == tierDynamic && ins.Cum == isa.CumNone {
+		return // a non-cumulative fence contributes no dynamic edges
+	}
+	// Same-thread predecessor/successor event GIDs by access part (static).
+	b.predR, b.predW = b.predR[:0], b.predW[:0]
+	b.succR, b.succW = b.succR[:0], b.succW[:0]
 	for _, e := range th {
 		if e.Kind == mem.Fence || e.GID == f.GID {
 			continue
@@ -375,84 +503,88 @@ func (b *builder) fenceEdges(th []*mem.Event, f *mem.Event, ins *isa.Instr) {
 		rd, wr := accessParts(e)
 		if e.Index < f.Index {
 			if rd && ins.Pred.HasR() {
-				predR = append(predR, e.GID)
+				b.predR = append(b.predR, e.GID)
 			}
 			if wr && ins.Pred.HasW() {
-				predW = append(predW, e.GID)
+				b.predW = append(b.predW, e.GID)
 			}
 		} else {
 			if rd && ins.Succ.HasR() {
-				succR = append(succR, e.GID)
+				b.succR = append(b.succR, e.GID)
 			}
 			if wr && ins.Succ.HasW() {
-				succW = append(succW, e.GID)
+				b.succW = append(b.succW, e.GID)
 			}
 		}
 	}
-	// Cumulativity: writes observed by the fencing thread before the fence
-	// join the predecessor set (recursively through reads-from).
-	if ins.Cum != isa.CumNone {
-		for w := range b.acumWrites(th, f.Index) {
-			predW = append(predW, w)
-		}
+	// Cumulativity (dynamic): writes observed by the fencing thread before
+	// the fence join the predecessor set (recursively through reads-from).
+	nStatic := len(b.predW)
+	if ins.Cum != isa.CumNone && b.dyn() {
+		b.predW = b.acumAppend(th, f.Index, b.predW)
 	}
-	reason := fmt.Sprintf("fence[%s,%s;%s]", ins.Pred, ins.Succ, ins.Cum)
+	base := fenceReason(ins)
 	// (R, R) and (R, W)
-	for _, a := range predR {
-		for _, c := range succR {
-			b.g.AddEdge(b.perform(a), b.perform(c), reason+"-RR")
+	for _, a := range b.predR {
+		for _, c := range b.succR {
+			b.addS(b.perform(a), b.perform(c), base|fenceRR)
 		}
-		for _, c := range succW {
-			for _, v := range b.visAll(c) {
-				b.g.AddEdge(b.perform(a), v, reason+"-RW")
+		for _, c := range b.succW {
+			for v := 0; v < b.numVis(c); v++ {
+				b.addS(b.perform(a), b.visN(c, v), base|fenceRW)
 			}
 		}
 	}
-	for _, a := range predW {
+	for i, a := range b.predW {
+		static := i < nStatic
 		// (W, W): per-core pointwise visibility order.
-		for _, c := range succW {
+		for _, c := range b.succW {
 			if a == c {
 				continue
 			}
-			b.pointwiseVis(a, c, reason+"-WW")
+			b.pointwiseVis(a, c, base|fenceWW, static)
 		}
 		// (W, R): full flush — the write must be visible to every core
 		// before the successor load performs. Plain and heavyweight fences
 		// order W→R; lightweight fences never do (Section 2.3.3).
 		if ins.Cum != isa.CumLW {
-			for _, c := range succR {
+			for _, c := range b.succR {
 				if a == c {
 					continue
 				}
-				for _, v := range b.visAll(a) {
-					b.g.AddEdge(v, b.perform(c), reason+"-WR")
+				for v := 0; v < b.numVis(a); v++ {
+					b.add(b.visN(a, v), b.perform(c), base|fenceWR, static)
 				}
 			}
 		}
 	}
 }
 
-// acumWrites computes the A-cumulative predecessor writes of a fence (or of
-// a release, under Ours semantics) at position idx of thread th: writes
-// read by the thread's earlier loads, closed recursively over writes that
-// performed before those writes on their own threads.
-func (b *builder) acumWrites(th []*mem.Event, idx int) map[int]bool {
-	out := map[int]bool{}
+// acumAppend appends the A-cumulative predecessor writes of a fence (or of
+// a release, under Ours semantics) at position idx of thread th to dst:
+// writes read by the thread's earlier loads, closed recursively over writes
+// that performed before those writes on their own threads. Allocation-free
+// in steady state: dedup marks and the worklist live in builder scratch.
+func (b *builder) acumAppend(th []*mem.Event, idx int, dst []int) []int {
+	if len(b.cumMark) < len(b.ev) {
+		b.cumMark = make([]bool, len(b.ev))
+	}
+	mark := b.cumMark
+	start := len(dst)
 	ownThread := -1
 	if len(th) > 0 {
 		ownThread = th[0].Thread
 	}
+	frontier := b.cumFront[:0]
 	// Seed: sources of own pre-fence reads.
-	var frontier []int
 	for _, e := range th {
 		if e.Index >= idx || !e.IsRead() {
 			continue
 		}
-		if src := b.x.RF[e.GID]; src != mem.InitWrite && b.ev[src].Thread != ownThread {
-			if !out[src] {
-				out[src] = true
-				frontier = append(frontier, src)
-			}
+		if src := b.x.RF[e.GID]; src != mem.InitWrite && b.ev[src].Thread != ownThread && !mark[src] {
+			mark[src] = true
+			dst = append(dst, src)
+			frontier = append(frontier, src)
 		}
 	}
 	// Close over: reads program-order-before a member on the member's
@@ -467,17 +599,22 @@ func (b *builder) acumWrites(th []*mem.Event, idx int) map[int]bool {
 			if e.Index > we.Index || !e.IsRead() {
 				continue
 			}
-			if src := b.x.RF[e.GID]; src != mem.InitWrite && !out[src] && b.ev[src].Thread != ownThread {
-				out[src] = true
+			if src := b.x.RF[e.GID]; src != mem.InitWrite && !mark[src] && b.ev[src].Thread != ownThread {
+				mark[src] = true
+				dst = append(dst, src)
 				frontier = append(frontier, src)
 			}
 		}
 	}
-	return out
+	b.cumFront = frontier[:0]
+	for _, w := range dst[start:] {
+		mark[w] = false
+	}
+	return dst
 }
 
-// releaseOf walks an ISA-level release sequence backwards: starting from a
-// write w, follow AMO write-backs to their read sources until a
+// releaseChain walks an ISA-level release sequence backwards: starting from
+// a write w, follow AMO write-backs to their read sources until a
 // non-AMO write (or init) is reached; returns the chain of writes visited.
 // An acquire reading any element of the chain synchronizes with releases
 // earlier in the chain, mirroring C11 release sequences through RMWs.
@@ -494,7 +631,26 @@ func (b *builder) releaseChain(w int) []int {
 	return chain
 }
 
+// releaseChainContains reports whether target is on the release chain
+// ending at write w — the allocation-free membership test the lazy-release
+// pass uses instead of materializing releaseChain.
+func (b *builder) releaseChainContains(w, target int) bool {
+	for w != mem.InitWrite {
+		if w == target {
+			return true
+		}
+		e := b.ev[w]
+		if e.Kind != mem.RMW {
+			return false
+		}
+		w = b.x.RF[w]
+	}
+	return false
+}
+
 // amoBits adds the acquire/release/SC-annotation semantics of AMOs.
+// Mixed tier: acquire, eager-release and SC-pair edges are static; lazy
+// (cumulative) release synchronization consults rf.
 func (b *builder) amoBits() {
 	for _, th := range b.p.Mem().Threads {
 		for _, e := range th {
@@ -502,17 +658,19 @@ func (b *builder) amoBits() {
 			if !ins.Op.IsAMO() {
 				continue
 			}
-			if ins.Aq {
+			if ins.Aq && b.mode != tierDynamic {
 				b.acquireEdges(th, e)
 			}
 			if ins.Rl {
 				if b.m.Variant == Curr {
-					b.eagerReleaseEdges(th, e)
-				} else {
+					if b.mode != tierDynamic {
+						b.eagerReleaseEdges(th, e)
+					}
+				} else if b.dyn() {
 					b.lazyReleaseEdges(th, e)
 				}
 			}
-			if b.scAMO(ins) {
+			if b.scAMO(ins) && b.mode != tierDynamic {
 				b.scPairEdges(th, e)
 			}
 		}
@@ -528,14 +686,14 @@ func (b *builder) acquireEdges(th []*mem.Event, a *mem.Event) {
 			continue
 		}
 		if c.IsRead() {
-			b.g.AddEdge(b.perform(a.GID), b.perform(c.GID), "amo-aq-R")
+			b.addS(b.perform(a.GID), b.perform(c.GID), rAmoAqR)
 		}
 		if c.IsWrite() {
-			for _, v := range b.visAll(c.GID) {
-				b.g.AddEdge(b.perform(a.GID), v, "amo-aq-W")
+			for v := 0; v < b.numVis(c.GID); v++ {
+				b.addS(b.perform(a.GID), b.visN(c.GID, v), rAmoAqW)
 			}
 			if a.IsWrite() {
-				b.pointwiseVis(a.GID, c.GID, "amo-aq-vis")
+				b.pointwiseVis(a.GID, c.GID, rAmoAqVis, true)
 			}
 		}
 	}
@@ -559,11 +717,11 @@ func (b *builder) eagerReleaseEdges(th []*mem.Event, a *mem.Event) {
 				continue
 			}
 			if p.IsRead() {
-				b.g.AddEdge(b.perform(p.GID), b.perform(a.GID), "amo-rl-load-R")
+				b.addS(b.perform(p.GID), b.perform(a.GID), rAmoRlLoadR)
 			}
 			if p.IsWrite() {
-				for _, v := range b.visAll(p.GID) {
-					b.g.AddEdge(v, b.perform(a.GID), "amo-rl-load-W")
+				for v := 0; v < b.numVis(p.GID); v++ {
+					b.addS(b.visN(p.GID, v), b.perform(a.GID), rAmoRlLoadW)
 				}
 			}
 		}
@@ -574,12 +732,12 @@ func (b *builder) eagerReleaseEdges(th []*mem.Event, a *mem.Event) {
 			continue
 		}
 		if p.IsRead() {
-			for _, v := range b.visAll(a.GID) {
-				b.g.AddEdge(b.perform(p.GID), v, "amo-rl-R")
+			for v := 0; v < b.numVis(a.GID); v++ {
+				b.addS(b.perform(p.GID), b.visN(a.GID, v), rAmoRlR)
 			}
 		}
 		if p.IsWrite() {
-			b.pointwiseVis(p.GID, a.GID, "amo-rl-W")
+			b.pointwiseVis(p.GID, a.GID, rAmoRlW, true)
 		}
 	}
 }
@@ -599,14 +757,7 @@ func (b *builder) lazyReleaseEdges(th []*mem.Event, a *mem.Event) {
 		}
 		// The acquire must read the release's write, possibly through a
 		// chain of intervening AMO write-backs (a release sequence).
-		inChain := false
-		for _, w := range b.releaseChain(b.x.RF[r.GID]) {
-			if w == a.GID {
-				inChain = true
-				break
-			}
-		}
-		if !inChain {
+		if !b.releaseChainContains(b.x.RF[r.GID], a.GID) {
 			continue
 		}
 		// Predecessor set: own earlier accesses plus A-cumulative writes.
@@ -615,14 +766,15 @@ func (b *builder) lazyReleaseEdges(th []*mem.Event, a *mem.Event) {
 				continue
 			}
 			if p.IsRead() {
-				b.g.AddEdge(b.perform(p.GID), b.perform(r.GID), "rel-sync-R")
+				b.addD(b.perform(p.GID), b.perform(r.GID), rRelSyncR)
 			}
 			if p.IsWrite() {
-				b.g.AddEdge(b.visTo(p.GID, r.Thread), b.perform(r.GID), "rel-sync-W")
+				b.addD(b.visTo(p.GID, r.Thread), b.perform(r.GID), rRelSyncW)
 			}
 		}
-		for w := range b.acumWrites(th, a.Index) {
-			b.g.AddEdge(b.visTo(w, r.Thread), b.perform(r.GID), "rel-sync-cum")
+		b.cumBuf = b.acumAppend(th, a.Index, b.cumBuf[:0])
+		for _, w := range b.cumBuf {
+			b.addD(b.visTo(w, r.Thread), b.perform(r.GID), rRelSyncCum)
 		}
 	}
 }
@@ -640,20 +792,21 @@ func (b *builder) scPairEdges(th []*mem.Event, a *mem.Event) {
 		if !b.scAMO(cIns) {
 			continue
 		}
-		b.g.AddEdge(b.perform(a.GID), b.perform(c.GID), "sc-order")
+		b.addS(b.perform(a.GID), b.perform(c.GID), rScOrder)
 		if a.IsWrite() {
-			for _, va := range b.visAll(a.GID) {
-				b.g.AddEdge(va, b.perform(c.GID), "sc-order")
+			for i := 0; i < b.numVis(a.GID); i++ {
+				va := b.visN(a.GID, i)
+				b.addS(va, b.perform(c.GID), rScOrder)
 				if c.IsWrite() {
-					for _, vc := range b.visAll(c.GID) {
-						b.g.AddEdge(va, vc, "sc-order")
+					for j := 0; j < b.numVis(c.GID); j++ {
+						b.addS(va, b.visN(c.GID, j), rScOrder)
 					}
 				}
 			}
 		}
 		if c.IsWrite() {
-			for _, vc := range b.visAll(c.GID) {
-				b.g.AddEdge(b.perform(a.GID), vc, "sc-order")
+			for j := 0; j < b.numVis(c.GID); j++ {
+				b.addS(b.perform(a.GID), b.visN(c.GID, j), rScOrder)
 			}
 		}
 	}

@@ -189,7 +189,10 @@ func TestAcumWritesComputation(t *testing.T) {
 	g := m.BuildGraph(p, x)
 	K := g.NumNodes() / len(p.Mem().Events())
 	b := &builder{m: m, p: p, x: x, ev: p.Mem().Events(), C: 3, K: K, g: g}
-	acum := b.acumWrites(p.Mem().Threads[2], 1)
+	acum := map[int]bool{}
+	for _, w := range b.acumAppend(p.Mem().Threads[2], 1, nil) {
+		acum[w] = true
+	}
 	if !acum[2] {
 		t.Error("A-cum must contain the directly observed write Wy")
 	}

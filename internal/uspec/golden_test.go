@@ -1,0 +1,192 @@
+package uspec
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+)
+
+// The golden file pins the pre-refactor evaluation core: it was generated
+// from the original single-graph builder (one uhb.Graph rebuilt per
+// execution candidate) before the skeleton/overlay split, with
+//
+//	go test ./internal/uspec -run TestGoldenEvaluation -update-golden
+//
+// and must never be regenerated casually — matching it is the proof that
+// the two-tier core computes bit-identical observable sets, candidate and
+// graph counts, and Explain strings.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_eval.json from the current evaluator")
+
+type goldenRecord struct {
+	Test       string   `json:"test"`
+	Mapping    string   `json:"mapping"`
+	Model      string   `json:"model"`
+	Observable []string `json:"observable"`
+	Candidates int      `json:"candidates"`
+	Graphs     int      `json:"graphs"`
+	SpecObs    bool     `json:"specObs"`
+	Explain    string   `json:"explain"`
+}
+
+// goldenWorkload samples the paper suite (every 97th test of the 1,701)
+// and pairs each sample with a spread of Table 7 models on both MCM
+// variants — strong in-order, the CoRR-relaxing rMM, the nMCA nMM, and
+// the cache-protocol A9like topology.
+func goldenWorkload() (tests []*litmus.Test, stacks []struct {
+	mapping *compile.Mapping
+	model   *Model
+}) {
+	suite := litmus.PaperSuite()
+	for i := 0; i < len(suite); i += 97 {
+		tests = append(tests, suite[i])
+	}
+	add := func(m *compile.Mapping, mod *Model) {
+		stacks = append(stacks, struct {
+			mapping *compile.Mapping
+			model   *Model
+		}{m, mod})
+	}
+	add(compile.RISCVBaseIntuitive, WR(Curr))
+	add(compile.RISCVBaseIntuitive, RMM(Curr))
+	add(compile.RISCVBaseIntuitive, NMM(Curr))
+	add(compile.RISCVBaseIntuitive, A9like(Curr))
+	add(compile.RISCVAtomicsIntuitive, NMM(Curr))
+	add(compile.RISCVAtomicsRefined, NMM(Ours))
+	return tests, stacks
+}
+
+func computeGolden(t *testing.T) []goldenRecord {
+	t.Helper()
+	tests, stacks := goldenWorkload()
+	var out []goldenRecord
+	for _, tst := range tests {
+		for _, s := range stacks {
+			prog, err := compile.Compile(s.mapping, tst.Prog)
+			if err != nil {
+				t.Fatalf("compile %s with %s: %v", tst.Name, s.mapping.Name, err)
+			}
+			res, err := s.model.Evaluate(prog)
+			if err != nil {
+				t.Fatalf("evaluate %s on %s: %v", tst.Name, s.model.FullName(), err)
+			}
+			var obs []string
+			for o := range res.Observable {
+				obs = append(obs, string(o))
+			}
+			sort.Strings(obs)
+			specObs, why, err := s.model.Explain(prog, tst.Specified)
+			if err != nil {
+				t.Fatalf("explain %s on %s: %v", tst.Name, s.model.FullName(), err)
+			}
+			out = append(out, goldenRecord{
+				Test:       tst.Name,
+				Mapping:    s.mapping.Name,
+				Model:      s.model.FullName(),
+				Observable: obs,
+				Candidates: res.Candidates,
+				Graphs:     res.Graphs,
+				SpecObs:    specObs,
+				Explain:    why,
+			})
+		}
+	}
+	return out
+}
+
+// TestGoldenEvaluation compares the evaluation core against the retained
+// pre-refactor golden results: observable outcome sets, enumeration
+// counters, the specified outcome's observability and its Explain string
+// must all be bit-identical.
+func TestGoldenEvaluation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is not short")
+	}
+	path := filepath.Join("testdata", "golden_eval.json")
+	got := computeGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d records to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden once): %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden has %d records, evaluator produced %d", len(want), len(got))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Test != g.Test || w.Mapping != g.Mapping || w.Model != g.Model {
+			t.Fatalf("record %d identity mismatch: want %s/%s/%s got %s/%s/%s",
+				i, w.Test, w.Mapping, w.Model, g.Test, g.Mapping, g.Model)
+		}
+		id := w.Test + " on " + w.Mapping + "+" + w.Model
+		if len(w.Observable) != len(g.Observable) {
+			t.Errorf("%s: observable set size %d, want %d", id, len(g.Observable), len(w.Observable))
+			continue
+		}
+		for j := range w.Observable {
+			if w.Observable[j] != g.Observable[j] {
+				t.Errorf("%s: observable[%d] = %q, want %q", id, j, g.Observable[j], w.Observable[j])
+			}
+		}
+		if w.Candidates != g.Candidates || w.Graphs != g.Graphs {
+			t.Errorf("%s: counters (%d cand, %d graphs), want (%d, %d)",
+				id, g.Candidates, g.Graphs, w.Candidates, w.Graphs)
+		}
+		if w.SpecObs != g.SpecObs {
+			t.Errorf("%s: specified observable = %v, want %v", id, g.SpecObs, w.SpecObs)
+		}
+		if w.Explain != g.Explain {
+			t.Errorf("%s: explain =\n  %q\nwant\n  %q", id, g.Explain, w.Explain)
+		}
+	}
+}
+
+// TestGoldenSpecifiedOutcomeIsMeaningful sanity-checks the sample: at
+// least one record must be forbidden (exercising the cycle/Explain path)
+// and one observable (exercising the witness path).
+func TestGoldenSpecifiedOutcomeIsMeaningful(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep is not short")
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_eval.json"))
+	if err != nil {
+		t.Skipf("no golden file yet: %v", err)
+	}
+	var recs []goldenRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	var obs, forb int
+	for _, r := range recs {
+		if r.SpecObs {
+			obs++
+		} else {
+			forb++
+		}
+	}
+	if obs == 0 || forb == 0 {
+		t.Fatalf("degenerate golden sample: %d observable, %d forbidden", obs, forb)
+	}
+}

@@ -1,0 +1,121 @@
+package uspec
+
+import (
+	"tricheck/internal/isa"
+	"tricheck/internal/mem"
+	"tricheck/internal/uhb"
+)
+
+// Prepared is a model × program pair compiled for repeated evaluation: the
+// static µhb skeleton (node layout, pipeline/path order, execution-
+// independent preserved program order, dependency and non-cumulative fence
+// and AMO-annotation edges) is built exactly once, and every execution
+// candidate is then checked by layering its dynamic edges (coherence,
+// reads-from/from-reads, same-address refinements, cumulative closures)
+// onto the skeleton through a pooled, resettable overlay.
+//
+// This is the verdict path: no uhb.Graph is materialized, no reason or
+// label string is ever formatted, and steady-state evaluation performs no
+// per-execution graph allocation. Diagnostics (Explain, witness graphs,
+// DOT) still materialize a full Graph via Model.BuildGraph.
+//
+// A Prepared is NOT safe for concurrent use: the overlay and the dynamic
+// builder's scratch buffers are shared across calls. Each worker of a
+// sweep prepares (or borrows) its own.
+type Prepared struct {
+	m    *Model
+	p    *isa.Program
+	skel *uhb.Skeleton
+	ov   *uhb.Overlay
+	dyn  builder // tierDynamic template; x/ov bound per execution
+}
+
+// Prepare builds the static skeleton of p under the model's axioms and
+// returns an evaluator that streams executions through it. Release the
+// result with Close when the sweep is done so its overlay returns to the
+// shared pool.
+func (m *Model) Prepare(p *isa.Program) *Prepared {
+	C, K := m.layout(p)
+	ev := p.Mem().Events()
+	sb := builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierStatic}
+	sb.skel = uhb.NewSkeleton(len(ev) * K)
+	sb.run()
+	sb.skel.Freeze()
+	return &Prepared{
+		m:    m,
+		p:    p,
+		skel: sb.skel,
+		ov:   uhb.AcquireOverlay(sb.skel),
+		dyn:  builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierDynamic},
+	}
+}
+
+// Skeleton exposes the static tier (frozen; safe to share read-only).
+func (pr *Prepared) Skeleton() *uhb.Skeleton { return pr.skel }
+
+// ExecutionObservable reports whether execution x is observable on the
+// model: whether skeleton + x's overlay is acyclic.
+func (pr *Prepared) ExecutionObservable(x *mem.Execution) bool {
+	pr.ov.Reset(pr.skel)
+	b := &pr.dyn
+	b.x = x
+	b.ov = pr.ov
+	b.run()
+	b.x, b.ov = nil, nil
+	return !pr.ov.HasCycle()
+}
+
+// Close returns the pooled overlay. The Prepared must not be used after.
+func (pr *Prepared) Close() {
+	if pr.ov != nil {
+		uhb.ReleaseOverlay(pr.ov)
+		pr.ov = nil
+	}
+}
+
+// Evaluate computes the observable outcome set of the prepared program —
+// the Figure 6 step 3 body, sharing one skeleton and one overlay across
+// the whole candidate enumeration.
+func (pr *Prepared) Evaluate() (*Result, error) {
+	res := &Result{
+		Observable: map[mem.Outcome]bool{},
+		All:        map[mem.Outcome]bool{},
+	}
+	err := mem.Enumerate(pr.p.Mem(), func(x *mem.Execution) bool {
+		res.Candidates++
+		o := x.OutcomeOf()
+		res.All[o] = true
+		if res.Observable[o] {
+			return true // this outcome is already known observable
+		}
+		res.Graphs++
+		if pr.ExecutionObservable(x) {
+			res.Observable[o] = true
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Observable reports whether a specific outcome is observable, stopping at
+// the first acyclic witness.
+func (pr *Prepared) Observable(want mem.Outcome) (bool, error) {
+	found := false
+	err := mem.Enumerate(pr.p.Mem(), func(x *mem.Execution) bool {
+		if x.OutcomeOf() != want {
+			return true
+		}
+		if pr.ExecutionObservable(x) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil && err != mem.ErrStopped {
+		return false, err
+	}
+	return found, nil
+}

@@ -1,0 +1,187 @@
+package uspec
+
+import (
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+)
+
+// sampledSuite returns every stride-th test of the paper suite.
+func sampledSuite(stride int) []*litmus.Test {
+	suite := litmus.PaperSuite()
+	var out []*litmus.Test
+	for i := 0; i < len(suite); i += stride {
+		out = append(out, suite[i])
+	}
+	return out
+}
+
+// oracleModels is the model spread the equivalence tests sweep: every
+// relaxation axis and both MCM variants, including the cache-protocol
+// topology and the cumulative-fence/lazy-release (Ours) semantics.
+func oracleModels() []*Model {
+	return []*Model{
+		WR(Curr), RWR(Curr), RWM(Curr), RMM(Curr), NWR(Curr), NMM(Curr), A9like(Curr),
+		RMM(Ours), NMM(Ours), A9like(Ours),
+		SCProof(), AlphaLike(), PowerA9(),
+	}
+}
+
+// TestTwoTierMatchesMaterializedGraph is the skeleton/overlay equivalence
+// property: for every candidate execution of a sampled paper-suite slice,
+// on every model, the two-tier verdict (static skeleton + pooled dynamic
+// overlay) must equal the single-graph oracle — the fully materialized
+// uhb.Graph built by the historical one-pass path, whose edge set is the
+// union of both tiers by construction.
+func TestTwoTierMatchesMaterializedGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive execution sweep is not short")
+	}
+	tests := sampledSuite(131)
+	mappings := []*compile.Mapping{compile.RISCVBaseIntuitive, compile.RISCVAtomicsRefined}
+	for _, tst := range tests {
+		for _, mp := range mappings {
+			prog, err := compile.Compile(mp, tst.Prog)
+			if err != nil {
+				t.Fatalf("compile %s: %v", tst.Name, err)
+			}
+			for _, m := range oracleModels() {
+				pr := m.Prepare(prog)
+				execs := 0
+				err := mem.Enumerate(prog.Mem(), func(x *mem.Execution) bool {
+					execs++
+					fast := pr.ExecutionObservable(x)
+					slow := m.BuildGraph(prog, x).Acyclic()
+					if fast != slow {
+						t.Errorf("%s on %s+%s, execution %s: two-tier=%v oracle=%v",
+							tst.Name, mp.Name, m.FullName(), x, fast, slow)
+						return false
+					}
+					return true
+				})
+				pr.Close()
+				if err != nil && err != mem.ErrStopped {
+					t.Fatalf("%s on %s: %v", tst.Name, m.FullName(), err)
+				}
+				if execs == 0 {
+					t.Fatalf("%s on %s: no executions enumerated", tst.Name, m.FullName())
+				}
+			}
+		}
+	}
+}
+
+// TestTwoTierEdgeUnionMatchesGraph checks the stronger structural
+// property on a dependency-carrying test under cumulative-fence
+// semantics: the skeleton's edges plus an execution's overlay edges are
+// exactly the materialized graph's edges, and reason codes resolve to the
+// graph's reason strings.
+func TestTwoTierEdgeUnionMatchesGraph(t *testing.T) {
+	tst := litmus.MPAddrDep.Instantiate([]c11.Order{c11.Rel, c11.Rel, c11.Rlx, c11.Acq})
+	prog, err := compile.Compile(compile.RISCVAtomicsRefined, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Model{NMM(Ours), A9like(Curr), WR(Curr)} {
+		pr := m.Prepare(prog)
+		checked := 0
+		err := mem.Enumerate(prog.Mem(), func(x *mem.Execution) bool {
+			checked++
+			_ = pr.ExecutionObservable(x) // leaves the overlay populated for x
+			g := m.BuildGraph(prog, x)
+			type edge struct{ from, to int }
+			union := map[edge]string{}
+			pr.Skeleton().ForEachEdge(func(from, to int, reason uint32) {
+				if _, dup := union[edge{from, to}]; !dup {
+					union[edge{from, to}] = Reason(reason).String()
+				}
+			})
+			dynEdges := 0
+			pr.ov.ForEachDynamicEdge(func(from, to int, reason uint32) {
+				dynEdges++
+				if _, dup := union[edge{from, to}]; !dup {
+					union[edge{from, to}] = Reason(reason).String()
+				}
+			})
+			if dynEdges == 0 {
+				t.Errorf("%s: execution produced no dynamic edges", m.FullName())
+			}
+			if len(union) != g.NumEdges() {
+				t.Errorf("%s: union has %d distinct edges, graph %d", m.FullName(), len(union), g.NumEdges())
+				return false
+			}
+			for e := range union {
+				if !g.HasEdge(e.from, e.to) {
+					t.Errorf("%s: tiered edge (%d,%d) missing from graph", m.FullName(), e.from, e.to)
+					return false
+				}
+			}
+			return checked < 40 // bound the exhaustive sweep
+		})
+		pr.Close()
+		if err != nil && err != mem.ErrStopped {
+			t.Fatal(err)
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no executions", m.FullName())
+		}
+	}
+}
+
+// TestVerdictPathFormatsNoDiagnostics pins the lazy-diagnostics contract:
+// a full Evaluate — skeleton construction included — must not format a
+// single reason or label string. Explain, by contrast, must.
+func TestVerdictPathFormatsNoDiagnostics(t *testing.T) {
+	// Cover cumulative fences, AMO annotations and nMCA visibility: the
+	// refined atomics mapping on NMM(Ours) exercises every dynamic pass.
+	tst := litmus.WRC.Instantiate([]c11.Order{c11.SC, c11.SC, c11.Rel, c11.Acq, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVAtomicsRefined, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Model{NMM(Ours), A9like(Curr), WR(Curr)} {
+		before := DiagnosticFormats()
+		if _, err := m.Evaluate(prog); err != nil {
+			t.Fatal(err)
+		}
+		if got := DiagnosticFormats() - before; got != 0 {
+			t.Errorf("%s: verdict path formatted %d diagnostic strings, want 0", m.FullName(), got)
+		}
+	}
+	// Sanity: the diagnostics path does format.
+	before := DiagnosticFormats()
+	if _, _, err := NMM(Ours).Explain(prog, tst.Specified); err != nil {
+		t.Fatal(err)
+	}
+	if DiagnosticFormats() == before {
+		t.Error("Explain formatted no diagnostics — counter not wired")
+	}
+}
+
+// TestExplainPinnedCycle pins the deterministic cycle FindCycle reports
+// for a known forbidden execution: mp with all-relaxed orders is forbidden
+// on the strong WR pipeline, and the explanation must name exactly the
+// rf → ppo-RR → fr → ppo-WW cycle.
+func TestExplainPinnedCycle(t *testing.T) {
+	tst := litmus.MP.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, why, err := WR(Curr).Explain(prog, tst.Specified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs {
+		t.Fatal("mp must be forbidden on WR")
+	}
+	const want = "forbidden on WR/riscv-curr: cycle " +
+		"T0.i1.VisibleAll --[rf]--> T1.i0.Perform --[ppo-RR]--> " +
+		"T1.i1.Perform --[fr]--> T0.i0.VisibleAll --[ppo-WW]--> T0.i1.VisibleAll"
+	if why != want {
+		t.Errorf("explanation drifted:\n got %q\nwant %q", why, want)
+	}
+}

@@ -24,6 +24,16 @@
 // fences, lazy cumulative releases that synchronize only with acquires,
 // the .sc store-atomicity bit, and mandatory same-address load→load
 // ordering).
+//
+// Evaluation runs on a two-tier µhb core: the execution-independent part
+// of a model's obligations (pipeline/path order, unconditional preserved
+// program order, dependencies, non-cumulative fence and AMO-annotation
+// edges) is compiled once per (program, model) into a uhb.Skeleton, and
+// each candidate execution only layers its dynamic edges (coherence,
+// reads-from/from-reads, same-address refinements, cumulative closures)
+// onto it through a pooled uhb.Overlay — see Prepared. Diagnostics
+// (Explain, witness graphs, DOT) materialize a full uhb.Graph with string
+// reasons and labels via BuildGraph; the verdict path never formats any.
 package uspec
 
 import (
@@ -311,55 +321,28 @@ type Result struct {
 	Observable map[mem.Outcome]bool
 	// All is the full candidate outcome universe.
 	All map[mem.Outcome]bool
-	// Candidates counts enumerated executions; Graphs counts graphs built
-	// (early-exit per outcome keeps this below Candidates).
+	// Candidates counts enumerated executions; Graphs counts µhb
+	// acyclicity checks actually run — overlay evaluations on the
+	// two-tier core (early-exit per outcome keeps this below Candidates).
 	Candidates, Graphs int
 }
 
 // Evaluate computes the observable outcome set of program p on the model.
+// It runs on the two-tier verdict path: the static skeleton is built once
+// and every candidate execution streams through a pooled overlay (see
+// Prepared).
 func (m *Model) Evaluate(p *isa.Program) (*Result, error) {
-	res := &Result{
-		Observable: map[mem.Outcome]bool{},
-		All:        map[mem.Outcome]bool{},
-	}
-	err := mem.Enumerate(p.Mem(), func(x *mem.Execution) bool {
-		res.Candidates++
-		o := x.OutcomeOf()
-		res.All[o] = true
-		if res.Observable[o] {
-			return true // this outcome is already known observable
-		}
-		res.Graphs++
-		g := m.BuildGraph(p, x)
-		if g.Acyclic() {
-			res.Observable[o] = true
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	pr := m.Prepare(p)
+	defer pr.Close()
+	return pr.Evaluate()
 }
 
 // Observable reports whether a specific outcome is observable on the model,
 // stopping at the first acyclic witness.
 func (m *Model) Observable(p *isa.Program, want mem.Outcome) (bool, error) {
-	found := false
-	err := mem.Enumerate(p.Mem(), func(x *mem.Execution) bool {
-		if x.OutcomeOf() != want {
-			return true
-		}
-		if m.BuildGraph(p, x).Acyclic() {
-			found = true
-			return false
-		}
-		return true
-	})
-	if err != nil && err != mem.ErrStopped {
-		return false, err
-	}
-	return found, nil
+	pr := m.Prepare(p)
+	defer pr.Close()
+	return pr.Observable(want)
 }
 
 // Explain returns a human-readable verdict for an outcome: either an

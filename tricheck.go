@@ -263,7 +263,19 @@ type (
 	Model = uspec.Model
 	// Variant selects riscv-curr or riscv-ours semantics.
 	Variant = uspec.Variant
+	// PreparedModel is a (model, compiled program) pair with its static
+	// µhb skeleton prebuilt — the two-tier evaluation core's verdict-path
+	// handle. Evaluate/Observable stream every execution candidate
+	// through a pooled overlay without materializing a graph or
+	// formatting a single diagnostic; call Close when done.
+	PreparedModel = uspec.Prepared
 )
+
+// PrepareModel builds the static µhb skeleton of a compiled program under
+// a model exactly once and returns the reusable evaluator. Engine sweeps
+// do this per (test, stack) job automatically; use it directly when
+// evaluating one program many times (custom enumeration, ablations).
+func PrepareModel(m *Model, prog *ISAProgram) *PreparedModel { return m.Prepare(prog) }
 
 // MCM variants.
 const (
