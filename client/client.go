@@ -1,0 +1,150 @@
+// Package client is the Go client of tricheckd, the TriCheck streaming
+// verification service. It speaks the NDJSON protocol of POST
+// /v1/verify — per-(test, stack) verdict records in farm completion
+// order, terminated by a summary record — and the /v1/stats counters.
+//
+// The wire types are shared with the server (internal/server), so the
+// client cannot drift from the service schema:
+//
+//	c := client.New("http://127.0.0.1:8321")
+//	sum, err := c.Verify(ctx, client.Request{Family: "mp"}, func(v client.Verdict) error {
+//		fmt.Printf("%s on %s: %s\n", v.Test, v.Stack, v.Verdict)
+//		return nil
+//	})
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"tricheck/internal/server"
+)
+
+// Wire types, aliased from the server so both ends always agree.
+type (
+	// Request is the /v1/verify request body.
+	Request = server.VerifyRequest
+	// Verdict is one streamed (test, stack) verdict record.
+	Verdict = server.VerdictRecord
+	// Summary is the stream's terminal summary record.
+	Summary = server.SummaryRecord
+	// Stats is the /v1/stats response.
+	Stats = server.StatsRecord
+)
+
+// Client talks to one tricheckd instance.
+type Client struct {
+	// BaseURL is the service root, e.g. "http://127.0.0.1:8321".
+	BaseURL string
+	// HTTPClient overrides http.DefaultClient when non-nil.
+	HTTPClient *http.Client
+}
+
+// New returns a Client for the service at baseURL.
+func New(baseURL string) *Client { return &Client{BaseURL: baseURL} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Verify streams a verification sweep. Every verdict record is passed
+// to onVerdict (which may be nil) as it arrives; a non-nil error from
+// onVerdict aborts the stream — the server sees the disconnect and
+// stops scheduling the sweep's remaining jobs. The terminal summary is
+// returned; a server-side error record or a truncated stream is an
+// error.
+func (c *Client) Verify(ctx context.Context, req Request, onVerdict func(Verdict) error) (*Summary, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/verify", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20) // summary records can be large
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("client: bad stream record: %w", err)
+		}
+		switch probe.Type {
+		case "verdict":
+			if onVerdict == nil {
+				continue
+			}
+			var v Verdict
+			if err := json.Unmarshal(line, &v); err != nil {
+				return nil, fmt.Errorf("client: bad verdict record: %w", err)
+			}
+			if err := onVerdict(v); err != nil {
+				return nil, err
+			}
+		case "summary":
+			var sum Summary
+			if err := json.Unmarshal(line, &sum); err != nil {
+				return nil, fmt.Errorf("client: bad summary record: %w", err)
+			}
+			return &sum, nil
+		case "error":
+			var rec server.ErrorRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				return nil, fmt.Errorf("client: bad error record: %w", err)
+			}
+			return nil, fmt.Errorf("client: server aborted sweep: %s", rec.Error)
+		default:
+			return nil, fmt.Errorf("client: unknown stream record type %q", probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading stream: %w", err)
+	}
+	return nil, fmt.Errorf("client: stream ended without a summary record")
+}
+
+// Stats fetches the service counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("client: decoding stats: %w", err)
+	}
+	return &st, nil
+}

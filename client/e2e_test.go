@@ -1,0 +1,178 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"tricheck"
+	"tricheck/internal/server"
+)
+
+// newService boots a tricheckd handler on a loopback httptest port and
+// returns the server plus a client pointed at it.
+func newService(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, New(ts.URL)
+}
+
+// TestStreamedSweepMatchesInProcessSweep is the end-to-end acceptance
+// test: a family sweep through HTTP yields exactly the verdicts,
+// tallies and memo fingerprints of an in-process Engine.Sweep — and
+// after a cache-flushing restart, a repeat request is served with zero
+// verifier executions.
+func TestStreamedSweepMatchesInProcessSweep(t *testing.T) {
+	tests := tricheck.MP.Generate()
+	stacks, err := tricheck.SelectStacks("base", "both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(tests) * len(stacks)
+
+	// In-process reference sweep.
+	ref, err := tricheck.NewEngine().Sweep(tests, stacks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdict := map[string]string{}
+	wantKeys := map[string]bool{}
+	for _, sr := range ref {
+		for _, r := range sr.Results {
+			wantVerdict[r.Test.Name+"|"+r.Stack.Name()] = r.Verdict.String()
+		}
+	}
+	for _, s := range stacks {
+		for _, tst := range tests {
+			wantKeys[tricheck.JobKey(tst, s)] = true
+		}
+	}
+
+	cachePath := filepath.Join(t.TempDir(), "memo.json")
+	srv, c := newService(t, server.Config{CachePath: cachePath})
+
+	req := Request{Family: "mp", ISA: "base", Variant: "both"}
+	var verdicts []Verdict
+	sum, err := c.Verify(context.Background(), req, func(v Verdict) error {
+		verdicts = append(verdicts, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same verdicts, delivered exactly once each.
+	if len(verdicts) != total {
+		t.Fatalf("streamed %d verdicts, want %d", len(verdicts), total)
+	}
+	seen := map[string]bool{}
+	for _, v := range verdicts {
+		k := v.Test + "|" + v.Stack
+		if seen[k] {
+			t.Fatalf("verdict for %s delivered twice", k)
+		}
+		seen[k] = true
+		if want, ok := wantVerdict[k]; !ok || v.Verdict != want {
+			t.Fatalf("%s: verdict %q over HTTP, want %q", k, v.Verdict, want)
+		}
+		if !wantKeys[v.Key] {
+			t.Fatalf("%s: streamed memo fingerprint %q is not a JobKey of the sweep", k, v.Key)
+		}
+	}
+
+	// Same tallies, stack for stack and family for family.
+	if sum.Done != total || sum.Total != total || len(sum.Stacks) != len(ref) {
+		t.Fatalf("summary %+v, want done=total=%d over %d stacks", sum, total, len(ref))
+	}
+	for i, sr := range ref {
+		got := sum.Stacks[i]
+		if got.Stack != sr.Stack.Name() {
+			t.Fatalf("summary stack %d = %q, want %q (order must match SelectStacks)", i, got.Stack, sr.Stack.Name())
+		}
+		want := fmt.Sprintf("%d/%d/%d/%d/%d", sr.Tally.Bugs, sr.Tally.Strict, sr.Tally.Equivalent, sr.Tally.Total, sr.Tally.SpecifiedBugs)
+		if have := fmt.Sprintf("%d/%d/%d/%d/%d", got.Tally.Bugs, got.Tally.Strict, got.Tally.Equivalent, got.Tally.Total, got.Tally.SpecifiedBugs); have != want {
+			t.Fatalf("stack %s tally %s over HTTP, want %s", got.Stack, have, want)
+		}
+	}
+	if sum.Bugs+sum.Strict+sum.Equivalent != total {
+		t.Fatalf("summary verdict tallies %d+%d+%d don't cover %d", sum.Bugs, sum.Strict, sum.Equivalent, total)
+	}
+
+	// Warm restart: flush the snapshot, boot a fresh server on it, and
+	// repeat the request — every verdict served from the cache, zero
+	// verifier executions.
+	if err := srv.SaveSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, c2 := newService(t, server.Config{CachePath: cachePath})
+	var cached, uncached int
+	sum2, err := c2.Verify(context.Background(), req, func(v Verdict) error {
+		if v.Cached {
+			cached++
+		} else {
+			uncached++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv2.Engine().Executions() != 0 {
+		t.Fatalf("warm restart executed %d verifier jobs, want 0", srv2.Engine().Executions())
+	}
+	if cached != total || uncached != 0 {
+		t.Fatalf("warm restart: %d cached + %d uncached verdicts, want all %d cached", cached, uncached, total)
+	}
+	if sum2.Done != total || sum2.Cached != total {
+		t.Fatalf("warm summary %+v, want done=cached=%d", sum2, total)
+	}
+	for i := range ref {
+		if sum2.Stacks[i].Tally != sum.Stacks[i].Tally {
+			t.Fatalf("warm tallies differ on stack %s", sum2.Stacks[i].Stack)
+		}
+	}
+
+	// The service's own counters agree.
+	st, err := c2.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsExecuted != 0 || st.VerdictsStreamed != int64(total) || st.Memo == nil || st.Memo.Hits == 0 {
+		t.Fatalf("warm server stats %+v", st)
+	}
+}
+
+// TestVerifyCallbackAbort pins the client-side cancellation path: a
+// callback error tears the stream down and surfaces as the Verify
+// error.
+func TestVerifyCallbackAbort(t *testing.T) {
+	_, c := newService(t, server.Config{})
+	boom := fmt.Errorf("enough")
+	n := 0
+	_, err := c.Verify(context.Background(), Request{Family: "corr", ISA: "base", Variant: "curr"}, func(Verdict) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the callback's", err)
+	}
+}
+
+// TestVerifyServerError surfaces a 400 as a useful error.
+func TestVerifyServerError(t *testing.T) {
+	_, c := newService(t, server.Config{})
+	_, err := c.Verify(context.Background(), Request{Family: "nope"}, nil)
+	if err == nil {
+		t.Fatal("want error for unknown family")
+	}
+}

@@ -1,0 +1,204 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `go test -bench -benchmem -json` (the BENCH_N.json artifacts the CI
+// bench job emits) and writes a per-benchmark ns/op and allocs/op delta
+// table as GitHub-flavoured markdown — the CI appends it to
+// $GITHUB_STEP_SUMMARY.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_3.json -new BENCH_4.json
+//
+// benchdiff is report-only by design: single-iteration CI timings are
+// noisy, so it never fails the job on a regression, and a missing
+// snapshot (first run on a branch) degrades to a note instead of an
+// error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	NsPerOp     float64
+	AllocsPerOp float64
+	BytesPerOp  float64
+	HasAllocs   bool
+}
+
+// event is the `go test -json` envelope; only output lines matter here.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line after reassembly, e.g.
+//
+//	BenchmarkFarmColdSweep-8   1   4418221 ns/op   101 B/op   7 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional (absent on single-CPU runners).
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+	bytesPart  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsPart = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseSnapshot reads a `go test -json` stream and returns the
+// benchmark results keyed by name (GOMAXPROCS suffix stripped). Test
+// JSON splits one logical line across several Output events, so the
+// events are concatenated before scanning.
+func parseSnapshot(r io.Reader) (map[string]result, error) {
+	var text strings.Builder
+	dec := json.NewDecoder(r)
+	for {
+		var ev event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("decoding test JSON: %w", err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	out := map[string]result{}
+	sc := bufio.NewScanner(strings.NewReader(text.String()))
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := result{NsPerOp: ns}
+		if b := bytesPart.FindStringSubmatch(m[4]); b != nil {
+			res.BytesPerOp, _ = strconv.ParseFloat(b[1], 64)
+		}
+		if a := allocsPart.FindStringSubmatch(m[4]); a != nil {
+			res.AllocsPerOp, _ = strconv.ParseFloat(a[1], 64)
+			res.HasAllocs = true
+		}
+		out[m[1]] = res
+	}
+	return out, sc.Err()
+}
+
+func loadSnapshot(path string) (map[string]result, bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	m, err := parseSnapshot(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+		return nil, false
+	}
+	return m, true
+}
+
+// delta renders a relative change; single-iteration noise means the
+// sign matters more than the digits.
+func delta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	d := (new - old) / old * 100
+	if math.Abs(d) < 0.005 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%+.2f%%", d)
+}
+
+// human renders a ns/op value with a readable unit.
+func human(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func writeDiff(w io.Writer, oldName, newName string, old, new map[string]result) {
+	fmt.Fprintf(w, "### Benchmark delta: %s → %s\n\n", oldName, newName)
+	fmt.Fprintf(w, "Single-iteration CI timings — directional only, never a gate.\n\n")
+	fmt.Fprintf(w, "| benchmark | ns/op (old → new) | Δ ns/op | allocs/op (old → new) | Δ allocs |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|\n")
+	names := make([]string, 0, len(new))
+	for name := range new {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := new[name]
+		o, ok := old[name]
+		short := strings.TrimPrefix(name, "Benchmark")
+		if !ok {
+			allocs := "—"
+			if n.HasAllocs {
+				allocs = fmt.Sprintf("— → %.0f", n.AllocsPerOp)
+			}
+			fmt.Fprintf(w, "| %s | — → %s | new | %s | new |\n", short, human(n.NsPerOp), allocs)
+			continue
+		}
+		allocsCell, allocsDelta := "—", "—"
+		if n.HasAllocs && o.HasAllocs {
+			allocsCell = fmt.Sprintf("%.0f → %.0f", o.AllocsPerOp, n.AllocsPerOp)
+			allocsDelta = delta(o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Fprintf(w, "| %s | %s → %s | %s | %s | %s |\n",
+			short, human(o.NsPerOp), human(n.NsPerOp), delta(o.NsPerOp, n.NsPerOp), allocsCell, allocsDelta)
+	}
+	var gone []string
+	for name := range old {
+		if _, ok := new[name]; !ok {
+			gone = append(gone, strings.TrimPrefix(name, "Benchmark"))
+		}
+	}
+	if len(gone) > 0 {
+		sort.Strings(gone)
+		fmt.Fprintf(w, "\nNo longer present: %s\n", strings.Join(gone, ", "))
+	}
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline snapshot (go test -json)")
+	newPath := flag.String("new", "", "candidate snapshot (go test -json)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old BENCH_A.json -new BENCH_B.json")
+		os.Exit(2)
+	}
+	// Report-only: a missing or unreadable snapshot is a note, not a
+	// failure — the bench job must never go red on the diff step.
+	newRes, ok := loadSnapshot(*newPath)
+	if !ok {
+		fmt.Printf("### Benchmark delta\n\nNo candidate snapshot at `%s` — nothing to compare.\n", *newPath)
+		return
+	}
+	oldRes, ok := loadSnapshot(*oldPath)
+	if !ok {
+		fmt.Printf("### Benchmark delta\n\nNo baseline snapshot at `%s` — skipping the comparison (first run?).\n", *oldPath)
+		return
+	}
+	writeDiff(os.Stdout, *oldPath, *newPath, oldRes, newRes)
+}

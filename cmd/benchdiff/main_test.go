@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// snap builds a `go test -json` stream the way the real tool emits
+// benchmark lines: the name and the numbers split across Output events.
+func snap(t *testing.T, lines ...string) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"Action":"start","Package":"tricheck"}` + "\n")
+	emit := func(out string) {
+		enc, err := json.Marshal(event{Action: "output", Output: out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(enc)
+		b.WriteByte('\n')
+	}
+	for _, l := range lines {
+		parts := strings.SplitN(l, "\t", 2)
+		emit(parts[0] + "\t")
+		rest := ""
+		if len(parts) == 2 {
+			rest = parts[1]
+		}
+		emit(rest + "\n")
+	}
+	return b.String()
+}
+
+func TestParseSnapshotReassemblesSplitLines(t *testing.T) {
+	src := snap(t,
+		"BenchmarkFarmColdSweep-8    \t       1\t  4418221 ns/op\t 8208 tests/sec\t  101 B/op\t       7 allocs/op",
+		"BenchmarkStep3              \t       1\t   100000 ns/op\t  419 allocs/op",
+		"BenchmarkNoAllocStats       \t       2\t      500 ns/op",
+	)
+	got, err := parseSnapshot(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, ok := got["BenchmarkFarmColdSweep"]
+	if !ok || cold.NsPerOp != 4418221 || cold.AllocsPerOp != 7 || cold.BytesPerOp != 101 || !cold.HasAllocs {
+		t.Fatalf("FarmColdSweep = %+v, %v (GOMAXPROCS suffix must be stripped)", cold, ok)
+	}
+	step3, ok := got["BenchmarkStep3"]
+	if !ok || step3.NsPerOp != 100000 || step3.AllocsPerOp != 419 {
+		t.Fatalf("Step3 = %+v, %v", step3, ok)
+	}
+	plain, ok := got["BenchmarkNoAllocStats"]
+	if !ok || plain.NsPerOp != 500 || plain.HasAllocs {
+		t.Fatalf("NoAllocStats = %+v, %v", plain, ok)
+	}
+}
+
+func TestParseSnapshotOnCommittedBaseline(t *testing.T) {
+	// The committed BENCH_3.json must stay parseable — it is the diff
+	// baseline the CI bench job reads.
+	res, ok := loadSnapshot("../../BENCH_3.json")
+	if !ok {
+		t.Fatal("cannot load ../../BENCH_3.json")
+	}
+	if len(res) < 10 {
+		t.Fatalf("parsed only %d benchmarks from the committed baseline", len(res))
+	}
+	for name, r := range res {
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s: ns/op = %v", name, r.NsPerOp)
+		}
+	}
+}
+
+func TestWriteDiffTable(t *testing.T) {
+	old := map[string]result{
+		"BenchmarkA":    {NsPerOp: 1000, AllocsPerOp: 100, HasAllocs: true},
+		"BenchmarkB":    {NsPerOp: 2e6, AllocsPerOp: 50, HasAllocs: true},
+		"BenchmarkGone": {NsPerOp: 1},
+	}
+	new := map[string]result{
+		"BenchmarkA":   {NsPerOp: 900, AllocsPerOp: 100, HasAllocs: true},
+		"BenchmarkB":   {NsPerOp: 3e6, AllocsPerOp: 75, HasAllocs: true},
+		"BenchmarkNew": {NsPerOp: 42, HasAllocs: false},
+	}
+	var b strings.Builder
+	writeDiff(&b, "OLD.json", "NEW.json", old, new)
+	out := b.String()
+	for _, want := range []string{
+		"| A | 1.00µs → 900ns | -10.00% | 100 → 100 | 0.00% |",
+		"| B | 2.00ms → 3.00ms | +50.00% | 50 → 75 | +50.00% |",
+		"| New | — → 42ns | new | — | new |",
+		"No longer present: Gone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	for _, tc := range []struct {
+		old, new float64
+		want     string
+	}{
+		{100, 150, "+50.00%"},
+		{100, 50, "-50.00%"},
+		{100, 100, "0.00%"},
+		{0, 10, "n/a"},
+	} {
+		if got := delta(tc.old, tc.new); got != tc.want {
+			t.Fatalf("delta(%v, %v) = %q, want %q", tc.old, tc.new, got, tc.want)
+		}
+	}
+}

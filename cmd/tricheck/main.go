@@ -8,6 +8,7 @@
 //	tricheck [-family wrc] [-isa base|base+a|both] [-variant curr|ours|both]
 //	         [-models] [-mappings] [-csv] [-diagnose] [-workers N]
 //	         [-cache file] [-corpus dir] [-export dir] [-progress]
+//	         [-fail-on-bug]
 //
 // With no flags it runs the full 1,701-test suite over all 28 stacks on
 // the verification farm and prints the Figure 15 tables plus the headline
@@ -48,6 +49,7 @@ func main() {
 	corpusDir := flag.String("corpus", "", "load litmus tests from this corpus directory instead of the generator")
 	export := flag.String("export", "", "export the selected tests to this corpus directory and exit")
 	progress := flag.Bool("progress", false, "stream farm progress to stderr")
+	failOnBug := flag.Bool("fail-on-bug", false, "exit non-zero (3) when any Bug verdict appears — lets CI gate on regressions")
 	flag.Parse()
 
 	if *models {
@@ -102,23 +104,9 @@ func main() {
 		return
 	}
 
-	var stacks []tricheck.Stack
-	addISA := func(base bool) {
-		if *variant == "curr" || *variant == "both" {
-			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Curr)...)
-		}
-		if *variant == "ours" || *variant == "both" {
-			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Ours)...)
-		}
-	}
-	if *isaFlag == "base" || *isaFlag == "both" {
-		addISA(true)
-	}
-	if *isaFlag == "base+a" || *isaFlag == "both" {
-		addISA(false)
-	}
-	if len(stacks) == 0 {
-		fmt.Fprintln(os.Stderr, "tricheck: no stacks selected")
+	stacks, err := tricheck.SelectStacks(*isaFlag, *variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -179,6 +167,17 @@ func main() {
 					break
 				}
 			}
+		}
+	}
+
+	if *failOnBug {
+		bugs := 0
+		for _, res := range results {
+			bugs += res.Tally.Bugs
+		}
+		if bugs > 0 {
+			fmt.Fprintf(os.Stderr, "tricheck: -fail-on-bug: %d Bug verdicts\n", bugs)
+			os.Exit(3)
 		}
 	}
 }

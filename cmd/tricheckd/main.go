@@ -1,0 +1,89 @@
+// Command tricheckd serves the TriCheck toolflow as a long-running HTTP
+// verification service: one shared engine (warm memo cache, pooled µhb
+// overlays, singleflighted C11 evaluation) behind a streaming NDJSON
+// API.
+//
+// Usage:
+//
+//	tricheckd [-addr HOST:PORT] [-cache FILE] [-max-inflight N] [-max-workers N]
+//
+// Endpoints:
+//
+//	POST /v1/verify  {"family":"mp","isa":"both","variant":"both"} →
+//	                 NDJSON verdict records + terminal summary
+//	GET  /v1/stats   service + engine + cache counters
+//	GET  /debug/vars expvar
+//	GET  /healthz    liveness
+//
+// On SIGINT/SIGTERM the server shuts down gracefully — in-flight
+// streams finish — and, when -cache is set, flushes the memo cache
+// snapshot so the next boot serves repeat sweeps with zero verifier
+// executions.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tricheck/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8321", "listen address")
+	cache := flag.String("cache", "", "memo-cache snapshot (JSON): loaded at boot, flushed on shutdown")
+	maxInflight := flag.Int("max-inflight", 4, "maximum concurrently-sweeping requests (further requests queue)")
+	maxWorkers := flag.Int("max-workers", 0, "per-request farm worker budget (0 = GOMAXPROCS)")
+	memoCap := flag.Int("memo-cap", 0, "memo-cache LRU capacity in (test, stack) entries (0 = default, several full paper sweeps)")
+	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown deadline for in-flight streams")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "tricheckd: ", log.LstdFlags)
+	srv, err := server.New(server.Config{
+		CachePath:    *cache,
+		MaxInFlight:  *maxInflight,
+		MaxWorkers:   *maxWorkers,
+		MemoCapacity: *memoCap,
+		Log:          logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// No WriteTimeout: verify streams are long-lived by design, and the
+	// handler applies its own per-record write deadlines; the header
+	// timeout covers slowloris-style stalls before a request starts.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (max-inflight=%d, cache=%q)", *addr, *maxInflight, *cache)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("signal received, shutting down")
+	case err := <-errc:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("shutdown: %v (closing)", err)
+		httpSrv.Close()
+	}
+	if err := srv.SaveSnapshot(); err != nil {
+		logger.Fatalf("flushing cache: %v", err)
+	}
+	logger.Printf("bye")
+}

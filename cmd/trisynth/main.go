@@ -10,6 +10,7 @@
 //	trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both]
 //	                   [-variant curr|ours|both] [-workers N] [-cache file]
 //	                   [-progress] [-csv] [-bugs] [-profile PREFIX]
+//	                   [-fail-on-bug]
 //
 // enumerate lists the synthesized shapes (cycle word, threads,
 // locations, variant count, novelty). export writes their memory-order
@@ -58,7 +59,7 @@ func usage() {
   trisynth enumerate [-max-len N] [-min-len N] [-max-threads N] [-max-locs N] [-deps] [-novel-only] [-v]
   trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
   trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both] [-variant curr|ours|both]
-                     [-workers N] [-cache file] [-progress] [-csv] [-bugs] [-profile PREFIX]`)
+                     [-workers N] [-cache file] [-progress] [-csv] [-bugs] [-profile PREFIX] [-fail-on-bug]`)
 	os.Exit(2)
 }
 
@@ -166,6 +167,7 @@ func cmdSweep(args []string) {
 	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
 	bugs := fs.Bool("bugs", false, "list buggy (test, stack) pairs on novel shapes")
 	profile := fs.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
+	failOnBug := fs.Bool("fail-on-bug", false, "exit non-zero (3) when any Bug verdict appears — lets CI gate on regressions")
 	fs.Parse(args)
 
 	stopProf, err := prof.Start(*profile)
@@ -192,23 +194,9 @@ func cmdSweep(args []string) {
 		tests = append(tests, s.Shape.Generate()...)
 	}
 
-	var stacks []tricheck.Stack
-	addISA := func(base bool) {
-		if *variant == "curr" || *variant == "both" {
-			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Curr)...)
-		}
-		if *variant == "ours" || *variant == "both" {
-			stacks = append(stacks, tricheck.RISCVStacks(base, tricheck.Ours)...)
-		}
-	}
-	if *isaFlag == "base" || *isaFlag == "both" {
-		addISA(true)
-	}
-	if *isaFlag == "base+a" || *isaFlag == "both" {
-		addISA(false)
-	}
-	if len(stacks) == 0 {
-		fatal(fmt.Errorf("no stacks selected (isa=%q variant=%q)", *isaFlag, *variant))
+	stacks, err := tricheck.SelectStacks(*isaFlag, *variant)
+	if err != nil {
+		fatal(err)
 	}
 
 	eng := tricheck.NewEngine()
@@ -295,6 +283,17 @@ func cmdSweep(args []string) {
 		})
 		for _, f := range findings {
 			fmt.Fprintf(out, "BUG %s on %s\n", f.test, f.stack)
+		}
+	}
+
+	if *failOnBug {
+		totalBugs := 0
+		for _, sr := range results {
+			totalBugs += sr.Tally.Bugs
+		}
+		if totalBugs > 0 {
+			fmt.Fprintf(os.Stderr, "trisynth: -fail-on-bug: %d Bug verdicts\n", totalBugs)
+			os.Exit(3)
 		}
 	}
 }

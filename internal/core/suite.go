@@ -1,15 +1,20 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 
 	"tricheck/internal/compile"
 	"tricheck/internal/farm"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
+	"tricheck/internal/uspec"
 )
 
 // This file is the engine's verification-farm frontend: it turns suites
@@ -112,6 +117,16 @@ func (e *Engine) EnableMemo(capacity int) {
 	e.memo = farm.NewCache[string, *Memo](capacity)
 }
 
+// EnableMemoIfAbsent attaches a memo cache of the given capacity
+// (0 = default) unless one is already enabled — for services that
+// require memoization but must not clobber an embedder's configured
+// cache.
+func (e *Engine) EnableMemoIfAbsent(capacity int) {
+	if e.memo == nil {
+		e.EnableMemo(capacity)
+	}
+}
+
 // MemoStats returns the memo-cache counters; ok is false when no memo
 // cache is enabled.
 func (e *Engine) MemoStats() (stats farm.CacheStats, ok bool) {
@@ -139,6 +154,22 @@ func (e *Engine) SaveMemoSnapshot(path string) error {
 	return farm.SaveSnapshot(path, e.memo)
 }
 
+// LoadMemoSnapshotLenient loads a memo-cache snapshot, tolerating the
+// recoverable cases: a missing file is a silent cold start, and an
+// incompatible-version snapshot warns on w and cold-starts (the next
+// SaveMemoSnapshot overwrites it). Any other error is returned.
+func LoadMemoSnapshotLenient(eng *Engine, path string, w io.Writer) error {
+	switch err := eng.LoadMemoSnapshot(path); {
+	case err == nil, os.IsNotExist(err):
+		return nil
+	case errors.Is(err, farm.ErrSnapshotVersion):
+		fmt.Fprintf(w, "ignoring stale cache (will be rewritten): %v\n", err)
+		return nil
+	default:
+		return err
+	}
+}
+
 // LastFarmStats returns the scheduler statistics of the most recent
 // RunSuite/Sweep/SweepStream call.
 func (e *Engine) LastFarmStats() farm.Stats {
@@ -155,6 +186,9 @@ type Progress struct {
 	// Stack and Test identify the job; Verdict is its outcome.
 	Stack, Test string
 	Verdict     Verdict
+	// Key is the job's memo fingerprint (JobKey): the canonical identity
+	// a remote consumer can compare against its own JobKey computation.
+	Key string
 	// Cached reports that the result came from the memo cache or from
 	// deduplication rather than an execution.
 	Cached bool
@@ -167,6 +201,15 @@ type Progress struct {
 // closed before SweepStream returns. A slow consumer backpressures the
 // farm, so buffer the channel or drain it promptly.
 func (e *Engine) SweepStream(tests []*litmus.Test, stacks []Stack, workers int, events chan<- Progress) ([]*SuiteResult, error) {
+	return e.SweepStreamContext(context.Background(), tests, stacks, workers, events)
+}
+
+// SweepStreamContext is SweepStream under a context: cancelling ctx
+// stops scheduling the sweep's remaining farm jobs (in-flight jobs
+// finish, are streamed, and stay in the memo cache — an aborted sweep
+// never poisons it) and returns ctx's error. The events channel, when
+// non-nil, is closed before returning in every case.
+func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, stacks []Stack, workers int, events chan<- Progress) ([]*SuiteResult, error) {
 	if events != nil {
 		defer close(events)
 	}
@@ -191,6 +234,7 @@ func (e *Engine) SweepStream(tests []*litmus.Test, stacks []Stack, workers int, 
 	opts := farm.Options[string, *Memo]{
 		Workers: workers,
 		Cache:   e.memo,
+		Context: ctx,
 		OnResult: func(i int, m *Memo, cached bool) {
 			if events == nil {
 				return
@@ -202,6 +246,7 @@ func (e *Engine) SweepStream(tests []*litmus.Test, stacks []Stack, workers int, 
 				Stack:   stacks[i/len(tests)].Name(),
 				Test:    tests[i%len(tests)].Name,
 				Verdict: m.Verdict,
+				Key:     jobs[i].Key,
 				Cached:  cached,
 			}
 		},
@@ -228,6 +273,53 @@ func (e *Engine) SweepStream(tests []*litmus.Test, stacks []Stack, workers int, 
 			fam.Add(r)
 		}
 		out[si] = sr
+	}
+	return out, nil
+}
+
+// SelectStacks resolves the stack selectors shared by every frontend
+// (tricheck, trisynth, tricheckd): an ISA flavour ("base", "base+a" or
+// "both") and an MCM version ("curr", "ours" or "both") expand to the
+// corresponding rows of the Figure 15 matrix, in the fixed order
+// base-curr, base-ours, base+a-curr, base+a-ours so that every frontend
+// reports the same sweep in the same order.
+func SelectStacks(isaFlavour, variant string) ([]Stack, error) {
+	var base, atomics bool
+	switch isaFlavour {
+	case "base":
+		base = true
+	case "base+a":
+		atomics = true
+	case "both":
+		base, atomics = true, true
+	default:
+		return nil, fmt.Errorf("core: unknown ISA flavour %q (want base, base+a or both)", isaFlavour)
+	}
+	var curr, ours bool
+	switch variant {
+	case "curr":
+		curr = true
+	case "ours":
+		ours = true
+	case "both":
+		curr, ours = true, true
+	default:
+		return nil, fmt.Errorf("core: unknown MCM version %q (want curr, ours or both)", variant)
+	}
+	var out []Stack
+	add := func(isBase bool) {
+		if curr {
+			out = append(out, RISCVStacks(isBase, uspec.Curr)...)
+		}
+		if ours {
+			out = append(out, RISCVStacks(isBase, uspec.Ours)...)
+		}
+	}
+	if base {
+		add(true)
+	}
+	if atomics {
+		add(false)
 	}
 	return out, nil
 }

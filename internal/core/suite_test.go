@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -213,4 +216,139 @@ func TestStackFingerprintSensitivity(t *testing.T) {
 	if StackFingerprint(remapped) == base {
 		t.Error("editing a mapping recipe did not change the stack fingerprint")
 	}
+}
+
+func TestSweepStreamContextCancellationStopsScheduling(t *testing.T) {
+	eng := NewEngine()
+	eng.EnableMemo(0)
+	tests := testSuite()
+	stacks := testStacks()
+	total := len(tests) * len(stacks)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	events := make(chan Progress, 1)
+	var got []Progress
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			got = append(got, ev)
+			if len(got) == 3 {
+				cancel()
+			}
+		}
+	}()
+	// Single worker + unbuffered-ish channel: the farm cannot race far
+	// ahead of the consumer, so cancelling after 3 events leaves most of
+	// the sweep unscheduled.
+	results, err := eng.SweepStreamContext(ctx, tests, stacks, 1, events)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Fatal("aborted sweep returned results")
+	}
+	if int(eng.Executions()) >= total {
+		t.Fatalf("aborted sweep executed all %d jobs", total)
+	}
+	if stats := eng.LastFarmStats(); stats.Skipped == 0 {
+		t.Fatalf("no jobs skipped after cancellation: %+v", stats)
+	}
+	for _, ev := range got {
+		if ev.Key == "" {
+			t.Fatal("streamed event missing job key")
+		}
+	}
+
+	// The cache was not poisoned: a fresh full sweep on the same engine
+	// reuses the aborted run's memos and its results are identical to an
+	// untouched engine's.
+	warm, err := eng.Sweep(tests, stacks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewEngine()
+	want, err := ref.Sweep(tests, stacks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderSuites(warm) != renderSuites(want) {
+		t.Fatal("post-abort sweep differs from a fresh engine's")
+	}
+	if int(eng.Executions()) != len(canonKeys(tests, stacks)) {
+		t.Fatalf("executions = %d, want %d unique jobs across abort + completion",
+			eng.Executions(), len(canonKeys(tests, stacks)))
+	}
+}
+
+// canonKeys returns the distinct job keys of a sweep.
+func canonKeys(tests []*litmus.Test, stacks []Stack) map[string]bool {
+	keys := map[string]bool{}
+	for _, s := range stacks {
+		for _, tst := range tests {
+			keys[JobKey(tst, s)] = true
+		}
+	}
+	return keys
+}
+
+func TestSweepStreamEventKeysMatchJobKeys(t *testing.T) {
+	eng := NewEngine()
+	tests := testSuite()[:6]
+	stacks := testStacks()[:2]
+	events := make(chan Progress, len(tests)*len(stacks))
+	if _, err := eng.SweepStream(tests, stacks, 0, events); err != nil {
+		t.Fatal(err)
+	}
+	want := canonKeys(tests, stacks)
+	n := 0
+	for ev := range events {
+		if !want[ev.Key] {
+			t.Fatalf("event key %q is not a JobKey of the sweep", ev.Key)
+		}
+		n++
+	}
+	if n != len(tests)*len(stacks) {
+		t.Fatalf("streamed %d events, want %d", n, len(tests)*len(stacks))
+	}
+}
+
+func TestSelectStacks(t *testing.T) {
+	both, err := SelectStacks("both", "both")
+	if err != nil || len(both) != 28 {
+		t.Fatalf("both/both: %d stacks, err %v (want 28)", len(both), err)
+	}
+	base, err := SelectStacks("base", "curr")
+	if err != nil || len(base) != 7 {
+		t.Fatalf("base/curr: %d stacks, err %v (want 7)", len(base), err)
+	}
+	// Fixed frontend-shared order: base-curr, base-ours, base+a-curr,
+	// base+a-ours.
+	var names []string
+	for _, s := range both {
+		names = append(names, s.Name())
+	}
+	wantOrder := append(append(append(
+		stackNames(RISCVStacks(true, uspec.Curr)),
+		stackNames(RISCVStacks(true, uspec.Ours))...),
+		stackNames(RISCVStacks(false, uspec.Curr))...),
+		stackNames(RISCVStacks(false, uspec.Ours))...)
+	if !reflect.DeepEqual(names, wantOrder) {
+		t.Fatalf("stack order:\n got %v\nwant %v", names, wantOrder)
+	}
+	if _, err := SelectStacks("bogus", "curr"); err == nil {
+		t.Fatal("bogus ISA flavour accepted")
+	}
+	if _, err := SelectStacks("base", "bogus"); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}
+
+func stackNames(ss []Stack) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s.Name())
+	}
+	return out
 }

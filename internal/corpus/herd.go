@@ -370,6 +370,21 @@ func ParseString(src string) (*litmus.Test, error) {
 	return t, err
 }
 
+// ParseStrings parses a batch of independent herd C litmus sources — a
+// verification request's payload — attributing any error to its index
+// in the batch.
+func ParseStrings(srcs []string) ([]*litmus.Test, error) {
+	tests := make([]*litmus.Test, 0, len(srcs))
+	for i, src := range srcs {
+		t, err := ParseString(src)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: litmus source %d: %w", i, err)
+		}
+		tests = append(tests, t)
+	}
+	return tests, nil
+}
+
 // parseWithMeta additionally reports whether the family came from an
 // explicit tricheck metadata comment (the corpus loader gives an
 // explicit family precedence over the directory layout; a guessed one

@@ -26,6 +26,7 @@
 package farm
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -51,6 +52,9 @@ type Stats struct {
 	CacheHits, Executed int
 	// Stolen counts executions a worker took from a foreign shard.
 	Stolen int
+	// Skipped counts distinct keys that were never scheduled because the
+	// run's context was cancelled first.
+	Skipped int
 	// Workers is the resolved worker count.
 	Workers int
 }
@@ -65,6 +69,12 @@ type Options[K comparable, V any] struct {
 	// (duplicates and cache hits included, with cached=true). Calls are
 	// serialized; index is the job's submission index.
 	OnResult func(index int, v V, cached bool)
+	// Context, when non-nil, aborts the run: once it is cancelled no new
+	// job is scheduled (in-flight jobs finish, land in the cache, and are
+	// streamed to OnResult as usual — a cancelled run never poisons a
+	// shared cache) and Run returns the context's error. Nil means run to
+	// completion.
+	Context context.Context
 }
 
 // shard is one worker's deque. The owner pops newest-first from the
@@ -99,8 +109,13 @@ func (s *shard) popHead() (int, bool) {
 
 // Run executes the jobs and returns their values in submission order.
 // On error the partial results are returned together with the first
-// error in submission order.
+// error in submission order; a cancelled Options.Context wins over job
+// errors.
 func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stats := Stats{Jobs: len(jobs)}
 	results := make([]V, len(jobs))
 	errs := make([]error, len(jobs))
@@ -157,7 +172,7 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 		workers = len(pending)
 	}
 	if workers == 0 {
-		return results, stats, firstError(errs)
+		return results, stats, runError(ctx, errs)
 	}
 	stats.Workers = workers
 
@@ -180,6 +195,9 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i, stolen, ok := take(shards, w)
 				if !ok {
 					return
@@ -205,7 +223,13 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 		}(w)
 	}
 	wg.Wait()
-	return results, stats, firstError(errs)
+	// Whatever is still sitting in the shards was abandoned by the
+	// cancellation above; count it so callers can see how much of the
+	// run never happened.
+	for _, s := range shards {
+		stats.Skipped += len(s.jobs)
+	}
+	return results, stats, runError(ctx, errs)
 }
 
 // take pops work for worker w: its own shard first (tail, LIFO), then a
@@ -223,7 +247,13 @@ func take(shards []*shard, w int) (idx int, stolen, ok bool) {
 	return 0, false, false
 }
 
-func firstError(errs []error) error {
+// runError resolves a run's error: cancellation wins (the job errors of
+// an aborted run are incidental), then the first job error in
+// submission order.
+func runError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

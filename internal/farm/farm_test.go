@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -222,5 +223,79 @@ func TestEmptyRun(t *testing.T) {
 	got, stats, err := Run(nil, Options[string, int]{})
 	if err != nil || len(got) != 0 || stats.Jobs != 0 {
 		t.Fatalf("got %v, %+v, %v", got, stats, err)
+	}
+}
+
+func TestPreCancelledContextSchedulesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var execs atomic.Int64
+	_, stats, err := Run(squareJobs(50, &execs), Options[string, int]{Workers: 4, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("executed %d jobs under a pre-cancelled context, want 0", execs.Load())
+	}
+	if stats.Skipped != 50 {
+		t.Fatalf("stats.Skipped = %d, want 50 (stats %+v)", stats.Skipped, stats)
+	}
+}
+
+func TestCancellationStopsSchedulingButKeepsFinishedResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cache := NewCache[string, int](0)
+	var execs atomic.Int64
+	const n = 200
+	jobs := make([]Job[string, int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[string, int]{Key: fmt.Sprintf("c:%d", i), Run: func() (int, error) {
+			execs.Add(1)
+			return i * i, nil
+		}}
+	}
+	delivered := 0
+	_, stats, err := Run(jobs, Options[string, int]{
+		Workers: 1,
+		Cache:   cache,
+		Context: ctx,
+		OnResult: func(i, v int, cached bool) {
+			delivered++
+			if delivered == 5 {
+				cancel() // abort mid-run, single worker ⇒ plenty pending
+			}
+			if v != i*i {
+				t.Errorf("result[%d] = %d, want %d", i, v, i*i)
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := int(execs.Load()); got >= n || got < 5 {
+		t.Fatalf("executed %d of %d jobs, want a strict partial run ≥ 5", got, n)
+	}
+	if stats.Skipped == 0 || stats.Skipped != stats.Unique-stats.Executed {
+		t.Fatalf("stats.Skipped = %d, want %d (stats %+v)", stats.Skipped, stats.Unique-stats.Executed, stats)
+	}
+	// Everything that finished before the abort is in the cache and
+	// correct: a warm rerun executes only the remainder.
+	if cache.Len() != stats.Executed {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), stats.Executed)
+	}
+	execs.Store(0)
+	got, stats2, err := Run(jobs, Options[string, int]{Workers: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("warm rerun result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+	if stats2.CacheHits != stats.Executed || int(execs.Load()) != n-stats.Executed {
+		t.Fatalf("warm rerun: hits=%d executed=%d, want hits=%d executed=%d",
+			stats2.CacheHits, execs.Load(), stats.Executed, n-stats.Executed)
 	}
 }

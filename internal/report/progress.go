@@ -7,6 +7,36 @@ import (
 	"tricheck/internal/core"
 )
 
+// Tracker accumulates SweepStream progress events into the running
+// tallies that StreamProgress logs and that tricheckd's terminal NDJSON
+// summary record mirrors. The zero value is ready to use; it is not
+// concurrency-safe (feed it from the single goroutine draining the
+// events channel).
+type Tracker struct {
+	// Bugs/Strict/Equivalent count observed verdicts; Cached counts
+	// results served from the memo cache or by deduplication.
+	Bugs, Strict, Equivalent, Cached int
+	// Done is the last event's delivered-result count and Total the
+	// sweep size; Done < Total after draining means the sweep aborted.
+	Done, Total int
+}
+
+// Observe accumulates one event.
+func (t *Tracker) Observe(ev core.Progress) {
+	t.Done, t.Total = ev.Done, ev.Total
+	switch ev.Verdict {
+	case core.Bug:
+		t.Bugs++
+	case core.OverlyStrict:
+		t.Strict++
+	default:
+		t.Equivalent++
+	}
+	if ev.Cached {
+		t.Cached++
+	}
+}
+
 // StreamProgress drains a SweepStream event channel, writing periodic
 // progress lines to w — one every `every` results (0 picks roughly 2%
 // of the total) plus a final summary. It returns when the channel
@@ -22,21 +52,9 @@ import (
 // running verdict tallies and how much of the sweep was served from the
 // memo cache.
 func StreamProgress(w io.Writer, events <-chan core.Progress, every int) {
-	var bugs, strict, equiv, cached, done, total int
+	var t Tracker
 	for ev := range events {
-		done = ev.Done
-		switch ev.Verdict {
-		case core.Bug:
-			bugs++
-		case core.OverlyStrict:
-			strict++
-		default:
-			equiv++
-		}
-		if ev.Cached {
-			cached++
-		}
-		total = ev.Total
+		t.Observe(ev)
 		step := every
 		if step <= 0 {
 			step = ev.Total / 50
@@ -46,12 +64,12 @@ func StreamProgress(w io.Writer, events <-chan core.Progress, every int) {
 		}
 		if ev.Done%step == 0 && ev.Done != ev.Total {
 			fmt.Fprintf(w, "farm: %d/%d (%d%%) bugs=%d strict=%d equiv=%d cached=%d  last=%s on %s\n",
-				ev.Done, ev.Total, 100*ev.Done/ev.Total, bugs, strict, equiv, cached, ev.Test, ev.Stack)
+				ev.Done, ev.Total, 100*ev.Done/ev.Total, t.Bugs, t.Strict, t.Equivalent, t.Cached, ev.Test, ev.Stack)
 		}
 	}
 	// done < total happens when the sweep aborted on an error.
-	if total > 0 {
+	if t.Total > 0 {
 		fmt.Fprintf(w, "farm: %d/%d done — bugs=%d strict=%d equiv=%d cached=%d\n",
-			done, total, bugs, strict, equiv, cached)
+			t.Done, t.Total, t.Bugs, t.Strict, t.Equivalent, t.Cached)
 	}
 }

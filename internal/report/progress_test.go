@@ -1,0 +1,103 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"tricheck/internal/core"
+)
+
+// feed streams the given events and returns StreamProgress's output.
+func feed(every int, evs ...core.Progress) string {
+	var b strings.Builder
+	events := make(chan core.Progress, len(evs))
+	for _, ev := range evs {
+		events <- ev
+	}
+	close(events)
+	StreamProgress(&b, events, every)
+	return b.String()
+}
+
+func ev(done, total int, v core.Verdict, cached bool) core.Progress {
+	return core.Progress{Done: done, Total: total, Verdict: v, Cached: cached, Test: "t", Stack: "s"}
+}
+
+func TestStreamProgressAbortedSweep(t *testing.T) {
+	// The events channel closes with done < total (the sweep errored or
+	// was cancelled): the final line must report the partial count, not
+	// pretend completion.
+	out := feed(1,
+		ev(1, 10, core.Bug, false),
+		ev(2, 10, core.Equivalent, true),
+	)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "2/10 done") {
+		t.Fatalf("final line %q does not report the aborted 2/10 state", last)
+	}
+	if !strings.Contains(last, "bugs=1") || !strings.Contains(last, "equiv=1") || !strings.Contains(last, "cached=1") {
+		t.Fatalf("final line %q lost the partial tallies", last)
+	}
+}
+
+func TestStreamProgressEveryZeroPicksAStep(t *testing.T) {
+	// every=0 derives a step from the total (~2%); with a tiny total the
+	// derived step must clamp to 1 instead of dividing by zero or never
+	// printing.
+	out := feed(0,
+		ev(1, 3, core.Equivalent, false),
+		ev(2, 3, core.OverlyStrict, false),
+		ev(3, 3, core.Equivalent, false),
+	)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Progress lines for 1 and 2 (3 == total is left to the summary).
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 progress + 1 summary:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[len(lines)-1], "3/3 done") {
+		t.Fatalf("missing completion summary:\n%s", out)
+	}
+}
+
+func TestStreamProgressEveryZeroLargeTotal(t *testing.T) {
+	// With a large total, every=0 prints roughly every 2% — so 3 events
+	// into a 1000-job sweep print nothing but the summary.
+	out := feed(0,
+		ev(1, 1000, core.Equivalent, false),
+		ev(2, 1000, core.Equivalent, false),
+		ev(3, 1000, core.Equivalent, false),
+	)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "3/1000 done") {
+		t.Fatalf("want only the aborted summary line, got:\n%s", out)
+	}
+}
+
+func TestStreamProgressNoEvents(t *testing.T) {
+	// A sweep that dies before producing anything: no output at all
+	// (total is unknown, a "0/0" line would be noise).
+	if out := feed(0); out != "" {
+		t.Fatalf("empty stream produced output %q", out)
+	}
+	if out := feed(5); out != "" {
+		t.Fatalf("empty stream with every=5 produced output %q", out)
+	}
+}
+
+func TestStreamProgressCompletedSweepSummary(t *testing.T) {
+	out := feed(2,
+		ev(1, 4, core.Bug, false),
+		ev(2, 4, core.Bug, true),
+		ev(3, 4, core.OverlyStrict, false),
+		ev(4, 4, core.Equivalent, true),
+	)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// every=2: a line at done=2 only (done=4 == total), plus the summary.
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "4/4 done — bugs=2 strict=1 equiv=1 cached=2") {
+		t.Fatalf("summary line %q", lines[1])
+	}
+}

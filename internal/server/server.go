@@ -1,0 +1,404 @@
+// Package server implements tricheckd: a long-running HTTP verification
+// service over the TriCheck farm. One shared core.Engine stays warm
+// across requests — its memo cache is loaded from and snapshotted to
+// disk, its HLL evaluations are singleflighted, and its two-tier µhb
+// overlays are pooled — so a request pays only for jobs nobody has
+// verified before.
+//
+// Endpoints:
+//
+//	POST /v1/verify  stream per-(test, stack) verdicts as NDJSON in farm
+//	                 completion order, terminated by a summary record
+//	GET  /v1/stats   service + engine + memo-cache counters as JSON
+//	GET  /debug/vars expvar (process globals plus the tricheckd map)
+//	GET  /healthz    liveness probe
+//
+// A disconnected or cancelled client aborts its sweep via request
+// context: remaining farm jobs are never scheduled, finished jobs stay
+// in the shared memo cache (an abort cannot poison it), and concurrent
+// requests are unaffected. A buffered-channel limiter bounds concurrent
+// sweeps for backpressure, and each sweep's farm worker count is clamped
+// to a per-request budget.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"tricheck/internal/core"
+	"tricheck/internal/report"
+)
+
+// maxRequestBytes bounds a /v1/verify body (inline litmus sources).
+const maxRequestBytes = 16 << 20
+
+// writeTimeout is the per-record deadline for streaming writes. A
+// client that stops reading mid-stream (connection open, kernel buffer
+// full) would otherwise block enc.Encode forever with the request
+// context never cancelled — pinning a limiter slot and the sweep's farm
+// workers until restart. A missed deadline fails the write, which
+// cancels the sweep like a disconnect.
+const writeTimeout = 30 * time.Second
+
+// Config configures a Server.
+type Config struct {
+	// Engine, when non-nil, is used (and kept warm) instead of a fresh
+	// one — embedders can share it with in-process sweeps.
+	Engine *core.Engine
+	// CachePath, when non-empty, warm-starts the engine's memo cache
+	// from this JSON snapshot at construction and is where SaveSnapshot
+	// flushes it (tricheckd does so on graceful shutdown).
+	CachePath string
+	// MaxInFlight bounds concurrently-sweeping verify requests; further
+	// requests queue on the limiter until a slot frees or their context
+	// is cancelled (0 = 4).
+	MaxInFlight int
+	// MaxWorkers is the per-request farm worker budget; a request asking
+	// for more (or not asking) gets exactly this many (0 = GOMAXPROCS).
+	MaxWorkers int
+	// MemoCapacity bounds the engine's memo cache when this server
+	// enables it (0 = the engine default, which comfortably holds
+	// several full paper sweeps). A long-lived service fed arbitrary
+	// inline litmus sources needs the LRU bound; without it the cache —
+	// and every shutdown snapshot — grows without limit. Ignored when
+	// Config.Engine already has a memo cache.
+	MemoCapacity int
+	// Log, when non-nil, receives request/shutdown notes.
+	Log *log.Logger
+}
+
+// Server is the tricheckd HTTP service. Create it with New and mount
+// Handler.
+type Server struct {
+	eng        *core.Engine
+	cachePath  string
+	maxWorkers int
+	sem        chan struct{}
+	log        *log.Logger
+	start      time.Time
+
+	// Counters are expvar values so /debug/vars exposes them; they are
+	// per-server (not globally registered), keeping tests and multiple
+	// instances independent.
+	vars      *expvar.Map
+	requests  *expvar.Int
+	inflight  *expvar.Int
+	errors    *expvar.Int
+	cancels   *expvar.Int
+	verdicts  *expvar.Int
+	busyNanos *expvar.Int
+
+	// sweepStarts tracks in-flight sweeps' start times so Stats can
+	// include their elapsed time in the throughput denominator —
+	// otherwise tests/sec reads 0 for the whole duration of a long cold
+	// sweep and jumps only on completion.
+	mu          sync.Mutex
+	sweepStarts map[uint64]time.Time
+	nextSweepID uint64
+}
+
+// New builds a Server, warm-starting the memo cache from
+// Config.CachePath when set (a missing or version-stale snapshot is a
+// cold start, not an error).
+func New(cfg Config) (*Server, error) {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = core.NewEngine()
+	}
+	eng.EnableMemoIfAbsent(cfg.MemoCapacity)
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4
+	}
+	maxWorkers := cfg.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		eng:         eng,
+		cachePath:   cfg.CachePath,
+		maxWorkers:  maxWorkers,
+		sem:         make(chan struct{}, maxInFlight),
+		log:         logger,
+		start:       time.Now(),
+		vars:        new(expvar.Map).Init(),
+		requests:    new(expvar.Int),
+		inflight:    new(expvar.Int),
+		errors:      new(expvar.Int),
+		cancels:     new(expvar.Int),
+		verdicts:    new(expvar.Int),
+		busyNanos:   new(expvar.Int),
+		sweepStarts: map[uint64]time.Time{},
+	}
+	s.vars.Set("requests_total", s.requests)
+	s.vars.Set("requests_inflight", s.inflight)
+	s.vars.Set("request_errors", s.errors)
+	s.vars.Set("requests_cancelled", s.cancels)
+	s.vars.Set("verdicts_streamed", s.verdicts)
+	s.vars.Set("busy_nanos", s.busyNanos)
+	if s.cachePath != "" {
+		if err := core.LoadMemoSnapshotLenient(eng, s.cachePath, logWriter{logger}); err != nil {
+			return nil, fmt.Errorf("server: loading cache %s: %w", s.cachePath, err)
+		}
+		if st, ok := eng.MemoStats(); ok {
+			logger.Printf("cache %s: %d warm entries", s.cachePath, st.Len)
+		}
+	}
+	return s, nil
+}
+
+// Engine returns the server's (shared) verification engine.
+func (s *Server) Engine() *core.Engine { return s.eng }
+
+// SaveSnapshot flushes the memo cache to Config.CachePath; it is a
+// no-op without one. tricheckd calls it after graceful HTTP shutdown so
+// the next boot starts warm.
+func (s *Server) SaveSnapshot() error {
+	if s.cachePath == "" {
+		return nil
+	}
+	if err := s.eng.SaveMemoSnapshot(s.cachePath); err != nil {
+		return err
+	}
+	if st, ok := s.eng.MemoStats(); ok {
+		s.log.Printf("cache %s: flushed %d entries", s.cachePath, st.Len)
+	}
+	return nil
+}
+
+// InFlight reports the number of requests currently sweeping.
+func (s *Server) InFlight() int64 { return s.inflight.Value() }
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req VerifyRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	tests, stacks, err := resolve(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.maxWorkers {
+		workers = s.maxWorkers
+	}
+
+	// Global backpressure: wait for a sweep slot or for the client to
+	// give up. The derived ctx lets a failed stream write abort the
+	// sweep even while the connection is technically still open.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return
+	}
+	s.requests.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	begin := time.Now()
+	s.mu.Lock()
+	s.nextSweepID++
+	sweepID := s.nextSweepID
+	s.sweepStarts[sweepID] = begin
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sweepStarts, sweepID)
+		s.mu.Unlock()
+		s.busyNanos.Add(time.Since(begin).Nanoseconds())
+	}()
+	s.log.Printf("verify: %d tests × %d stacks, %d workers", len(tests), len(stacks), workers)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	events := make(chan core.Progress, 256)
+	type sweepOut struct {
+		results []*core.SuiteResult
+		err     error
+	}
+	outc := make(chan sweepOut, 1)
+	go func() {
+		results, err := s.eng.SweepStreamContext(ctx, tests, stacks, workers, events)
+		outc <- sweepOut{results, err}
+	}()
+
+	// Stream every event; when the client goes away (or stalls past the
+	// write deadline) the write fails, cancel() aborts the farm, and we
+	// keep draining so the sweep's OnResult sender can finish.
+	enc := json.NewEncoder(w)
+	rc := http.NewResponseController(w)
+	// arm keeps a write deadline recent enough that any connection
+	// write — a coalesced flush or a mid-burst buffer spill — fails
+	// within ~writeTimeout of a client stall, without paying a deadline
+	// update per record. Best-effort: ErrNotSupported is fine.
+	var armedAt time.Time
+	arm := func() {
+		if time.Since(armedAt) > writeTimeout/4 {
+			armedAt = time.Now()
+			rc.SetWriteDeadline(armedAt.Add(writeTimeout))
+		}
+	}
+	var tr report.Tracker
+	clientOK := true
+	pending := 0
+	for ev := range events {
+		tr.Observe(ev)
+		if !clientOK {
+			continue
+		}
+		arm()
+		rec := VerdictRecord{
+			Type:    "verdict",
+			Done:    ev.Done,
+			Total:   ev.Total,
+			Test:    ev.Test,
+			Stack:   ev.Stack,
+			Verdict: ev.Verdict.String(),
+			Key:     ev.Key,
+			Cached:  ev.Cached,
+		}
+		if err := enc.Encode(rec); err != nil {
+			clientOK = false
+			cancel()
+			continue
+		}
+		s.verdicts.Add(1)
+		// Coalesce flushes: one chunk per burst (channel momentarily
+		// drained) or per 256 records, not one TCP packet per ~150-byte
+		// verdict — warm sweeps stream tens of thousands of records.
+		if pending++; len(events) == 0 || pending >= 256 {
+			pending = 0
+			flush()
+		}
+	}
+	out := <-outc
+	if out.err != nil {
+		// A cancelled request context is the client exercising the
+		// documented disconnect contract, not a service failure — keep
+		// the error counter meaningful for alerting.
+		if errors.Is(out.err, context.Canceled) || errors.Is(out.err, context.DeadlineExceeded) {
+			s.cancels.Add(1)
+		} else {
+			s.errors.Add(1)
+		}
+		s.log.Printf("verify: aborted after %d/%d: %v", tr.Done, tr.Total, out.err)
+		if clientOK {
+			rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+			enc.Encode(ErrorRecord{Type: "error", Error: out.err.Error()})
+			flush()
+		}
+		return
+	}
+	if !clientOK {
+		return
+	}
+	rc.SetWriteDeadline(time.Now().Add(writeTimeout))
+	enc.Encode(summarize(out.results, &tr))
+	flush()
+	s.log.Printf("verify: %d/%d done in %s (bugs=%d strict=%d equiv=%d cached=%d)",
+		tr.Done, tr.Total, time.Since(begin).Round(time.Millisecond), tr.Bugs, tr.Strict, tr.Equivalent, tr.Cached)
+}
+
+// Stats returns the service counter snapshot /v1/stats serves.
+func (s *Server) Stats() StatsRecord {
+	st := StatsRecord{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		RequestsTotal:    s.requests.Value(),
+		RequestsInFlight: s.inflight.Value(),
+		RequestErrors:    s.errors.Value(),
+		RequestCancels:   s.cancels.Value(),
+		VerdictsStreamed: s.verdicts.Value(),
+		JobsExecuted:     s.eng.Executions(),
+	}
+	// Busy time includes in-flight sweeps' elapsed time so the rate is
+	// live during a long sweep instead of jumping on completion.
+	busy := time.Duration(s.busyNanos.Value())
+	s.mu.Lock()
+	for _, begin := range s.sweepStarts {
+		busy += time.Since(begin)
+	}
+	s.mu.Unlock()
+	if sec := busy.Seconds(); sec > 0 {
+		st.TestsPerSecond = float64(st.VerdictsStreamed) / sec
+	}
+	if ms, ok := s.eng.MemoStats(); ok {
+		m := &MemoStatsJSON{Hits: ms.Hits, Misses: ms.Misses, Len: ms.Len, Cap: ms.Cap}
+		if lookups := ms.Hits + ms.Misses; lookups > 0 {
+			m.HitRate = float64(ms.Hits) / float64(lookups)
+		}
+		st.Memo = m
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// handleDebugVars serves the standard expvar globals (memstats,
+// cmdline, anything else the process published) plus this server's
+// counters under the "tricheckd" key. The stock expvar.Handler only
+// serves the global registry, and registering per-server vars there
+// would panic on the second Server in a process.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value.String())
+	})
+	fmt.Fprintf(w, "%q: %s\n}\n", "tricheckd", s.vars.String())
+}
+
+// logWriter adapts a *log.Logger to io.Writer for the lenient cache
+// loader's warning output.
+type logWriter struct{ l *log.Logger }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.l.Printf("%s", p)
+	return len(p), nil
+}

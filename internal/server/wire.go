@@ -1,0 +1,215 @@
+package server
+
+import (
+	"fmt"
+
+	"tricheck/internal/core"
+	"tricheck/internal/corpus"
+	"tricheck/internal/litmus"
+	"tricheck/internal/report"
+)
+
+// This file is the service's wire format: the /v1/verify request body,
+// the NDJSON records it streams back, and the /v1/stats snapshot. The
+// client package aliases these types, so the Go client and the server
+// can never disagree about the schema.
+
+// VerifyRequest is the JSON body of POST /v1/verify. Exactly one of
+// Litmus, Suite or Family selects the tests; ISA and Variant select the
+// stacks (empty = "both").
+type VerifyRequest struct {
+	// Litmus holds inline herd C litmus sources to verify.
+	Litmus []string `json:"litmus,omitempty"`
+	// Suite selects a built-in suite: "paper" (the 1,701-test Figure 15
+	// suite) or "all" (every shipped shape, fully expanded).
+	Suite string `json:"suite,omitempty"`
+	// Family selects one built-in litmus family by shape name (mp, sb,
+	// wrc, ...), fully expanded over the memory orders.
+	Family string `json:"family,omitempty"`
+	// ISA is the stack selector's ISA flavour: base, base+a or both
+	// (default both).
+	ISA string `json:"isa,omitempty"`
+	// Variant is the MCM version: curr, ours or both (default both).
+	Variant string `json:"variant,omitempty"`
+	// Workers requests a farm worker count; the server clamps it to its
+	// per-request budget (0 = the budget itself).
+	Workers int `json:"workers,omitempty"`
+}
+
+// VerdictRecord is one streamed (test, stack) verdict, emitted in farm
+// completion order.
+type VerdictRecord struct {
+	Type  string `json:"type"` // "verdict"
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Test  string `json:"test"`
+	Stack string `json:"stack"`
+	// Verdict is Bug, OverlyStrict or Equivalent.
+	Verdict string `json:"verdict"`
+	// Key is the job's memo fingerprint (core.JobKey): test content hash
+	// + stack content hash, comparable across processes.
+	Key string `json:"key"`
+	// Cached reports a memo-cache hit or deduplicated job (no verifier
+	// execution).
+	Cached bool `json:"cached"`
+}
+
+// TallyJSON is a verdict tally in wire form.
+type TallyJSON struct {
+	Bugs          int `json:"bugs"`
+	Strict        int `json:"strict"`
+	Equivalent    int `json:"equivalent"`
+	Total         int `json:"total"`
+	SpecifiedBugs int `json:"specified_bugs"`
+}
+
+func tallyJSON(t core.Tally) TallyJSON {
+	return TallyJSON{
+		Bugs:          t.Bugs,
+		Strict:        t.Strict,
+		Equivalent:    t.Equivalent,
+		Total:         t.Total,
+		SpecifiedBugs: t.SpecifiedBugs,
+	}
+}
+
+// FamilyTally is one litmus family's tally within a stack.
+type FamilyTally struct {
+	Family string `json:"family"`
+	TallyJSON
+}
+
+// StackSummary is one stack's aggregated result, mirroring
+// core.SuiteResult: the overall tally plus per-family tallies in sorted
+// family order (the same order the CSV reporter emits).
+type StackSummary struct {
+	Stack    string        `json:"stack"`
+	Tally    TallyJSON     `json:"tally"`
+	Families []FamilyTally `json:"families"`
+}
+
+// SummaryRecord is the stream's terminal record: the running tallies of
+// report.StreamProgress (done/total/bugs/strict/equivalent/cached) plus
+// the per-stack aggregation. On an aborted sweep Done < Total and
+// Stacks is empty.
+type SummaryRecord struct {
+	Type       string         `json:"type"` // "summary"
+	Done       int            `json:"done"`
+	Total      int            `json:"total"`
+	Bugs       int            `json:"bugs"`
+	Strict     int            `json:"strict"`
+	Equivalent int            `json:"equivalent"`
+	Cached     int            `json:"cached"`
+	Stacks     []StackSummary `json:"stacks"`
+}
+
+// ErrorRecord is the stream's terminal record when the sweep failed.
+type ErrorRecord struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}
+
+// MemoStatsJSON is the engine memo cache's counter snapshot.
+type MemoStatsJSON struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Len     int     `json:"len"`
+	Cap     int     `json:"cap"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// StatsRecord is the GET /v1/stats response.
+type StatsRecord struct {
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	RequestsTotal    int64   `json:"requests_total"`
+	RequestsInFlight int64   `json:"requests_inflight"`
+	RequestErrors    int64   `json:"request_errors"`
+	// RequestCancels counts requests aborted by client disconnect or
+	// context cancellation — the supported abort flow, kept separate
+	// from RequestErrors so the error counter stays alertable.
+	RequestCancels   int64 `json:"requests_cancelled"`
+	VerdictsStreamed int64 `json:"verdicts_streamed"`
+	// TestsPerSecond is the cumulative streaming rate: verdicts streamed
+	// over the wall-clock seconds requests spent sweeping.
+	TestsPerSecond float64 `json:"tests_per_sec"`
+	// JobsExecuted counts actual verifier executions (neither memoized
+	// nor deduplicated) over the server's lifetime.
+	JobsExecuted uint64         `json:"jobs_executed"`
+	Memo         *MemoStatsJSON `json:"memo,omitempty"`
+}
+
+// summarize builds the terminal summary record from the sweep's results
+// and the tracker that observed its stream.
+func summarize(results []*core.SuiteResult, tr *report.Tracker) *SummaryRecord {
+	sum := &SummaryRecord{
+		Type:       "summary",
+		Done:       tr.Done,
+		Total:      tr.Total,
+		Bugs:       tr.Bugs,
+		Strict:     tr.Strict,
+		Equivalent: tr.Equivalent,
+		Cached:     tr.Cached,
+	}
+	for _, sr := range results {
+		ss := StackSummary{Stack: sr.Stack.Name(), Tally: tallyJSON(sr.Tally)}
+		for _, fam := range sr.FamilyNames() {
+			ss.Families = append(ss.Families, FamilyTally{Family: fam, TallyJSON: tallyJSON(*sr.ByFamily[fam])})
+		}
+		sum.Stacks = append(sum.Stacks, ss)
+	}
+	return sum
+}
+
+// resolve turns a request into the sweep's tests and stacks.
+func resolve(req *VerifyRequest) ([]*litmus.Test, []core.Stack, error) {
+	selectors := 0
+	if len(req.Litmus) > 0 {
+		selectors++
+	}
+	if req.Suite != "" {
+		selectors++
+	}
+	if req.Family != "" {
+		selectors++
+	}
+	if selectors != 1 {
+		return nil, nil, fmt.Errorf("exactly one of litmus, suite or family must be set")
+	}
+	var tests []*litmus.Test
+	switch {
+	case len(req.Litmus) > 0:
+		var err error
+		if tests, err = corpus.ParseStrings(req.Litmus); err != nil {
+			return nil, nil, err
+		}
+	case req.Suite != "":
+		switch req.Suite {
+		case "paper":
+			tests = litmus.PaperSuite()
+		case "all":
+			for _, shape := range litmus.AllShapes() {
+				tests = append(tests, shape.Generate()...)
+			}
+		default:
+			return nil, nil, fmt.Errorf("unknown suite %q (want paper or all)", req.Suite)
+		}
+	default:
+		shape := litmus.ShapeByName(req.Family)
+		if shape == nil {
+			return nil, nil, fmt.Errorf("unknown family %q", req.Family)
+		}
+		tests = shape.Generate()
+	}
+	isa, variant := req.ISA, req.Variant
+	if isa == "" {
+		isa = "both"
+	}
+	if variant == "" {
+		variant = "both"
+	}
+	stacks, err := core.SelectStacks(isa, variant)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tests, stacks, nil
+}

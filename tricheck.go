@@ -26,10 +26,7 @@
 package tricheck
 
 import (
-	"errors"
-	"fmt"
 	"io"
-	"os"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/compile"
@@ -105,15 +102,14 @@ var ErrSnapshotVersion = farm.ErrSnapshotVersion
 // incompatible-version snapshot warns on w and cold-starts (the next
 // SaveMemoSnapshot overwrites it). Any other error is returned.
 func LoadMemoSnapshotLenient(eng *Engine, path string, w io.Writer) error {
-	switch err := eng.LoadMemoSnapshot(path); {
-	case err == nil, os.IsNotExist(err):
-		return nil
-	case errors.Is(err, ErrSnapshotVersion):
-		fmt.Fprintf(w, "ignoring stale cache (will be rewritten): %v\n", err)
-		return nil
-	default:
-		return err
-	}
+	return core.LoadMemoSnapshotLenient(eng, path, w)
+}
+
+// SelectStacks resolves the stack selectors shared by every frontend
+// (tricheck, trisynth, tricheckd): isa is "base", "base+a" or "both";
+// variant is "curr", "ours" or "both".
+func SelectStacks(isa, variant string) ([]Stack, error) {
+	return core.SelectStacks(isa, variant)
 }
 
 // JobKey returns the farm/cache key of one (test, stack) job.
