@@ -13,9 +13,10 @@
 // The two-tier evaluation-core refactor (static µhb skeletons + pooled
 // per-execution overlays) changes only ns/op and allocs/op here; every
 // reported metric (bugs, strict, tests, headline counts) is bit-identical
-// to the single-graph evaluator it replaced. CI runs the Figure-15, farm
-// and synth benchmarks with -benchmem and archives the raw JSON as the
-// BENCH_3.json artifact, accumulating the perf trajectory across PRs.
+// to the single-graph evaluator it replaced. CI runs the Figure-15, farm,
+// synth and stack-resolution benchmarks with -benchmem and archives the
+// raw JSON as the BENCH_5.json artifact (deltas rendered against the
+// committed BENCH_4.json), accumulating the perf trajectory across PRs.
 package tricheck_test
 
 import (

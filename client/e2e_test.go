@@ -149,6 +149,88 @@ func TestStreamedSweepMatchesInProcessSweep(t *testing.T) {
 	}
 }
 
+// TestInlineModelSpecMatchesInProcessSweep: posting a custom µspec
+// model through the wire yields exactly the verdicts and memo
+// fingerprints of an in-process sweep over the same spec — and the
+// fingerprints are keyed by config, so the same request hits the warm
+// cache no matter what the model is called.
+func TestInlineModelSpecMatchesInProcessSweep(t *testing.T) {
+	spec, err := tricheck.ParseModelSpec("uspec custom-rWM\nvariant ours\nrelax WR\nrelax WW\nforwarding\norder-same-addr-rr\nrespect-deps\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := tricheck.NewModel(*spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stacks, err := tricheck.SelectStacksModels("base", []*tricheck.Model{model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := tricheck.CoRR.Generate()
+	ref, err := tricheck.NewEngine().Sweep(tests, stacks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVerdict := map[string]string{}
+	for _, sr := range ref {
+		for _, r := range sr.Results {
+			wantVerdict[r.Test.Name+"|"+r.Stack.Name()] = r.Verdict.String()
+		}
+	}
+
+	srv, c := newService(t, server.Config{})
+	req := Request{Family: "corr", ISA: "base", Models: []string{spec.EmitSpec()}}
+	got := 0
+	sum, err := c.Verify(context.Background(), req, func(v Verdict) error {
+		got++
+		k := v.Test + "|" + v.Stack
+		if want, ok := wantVerdict[k]; !ok || v.Verdict != want {
+			return fmt.Errorf("%s: verdict %q over HTTP, want %q", k, v.Verdict, want)
+		}
+		if want := tricheck.JobKey(findTest(tests, v.Test), stacks[0]); v.Key != want {
+			return fmt.Errorf("%s: memo fingerprint %q, want %q", k, v.Key, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != len(tests) || sum.Done != len(tests) {
+		t.Fatalf("streamed %d verdicts, summary %+v; want %d", got, sum, len(tests))
+	}
+
+	// Renaming the model changes nothing semantic: the repeat request is
+	// served entirely from the warm memo cache.
+	renamed := *spec
+	renamed.Name = "same-machine-other-name"
+	execs := srv.Engine().Executions()
+	cached := 0
+	if _, err := c.Verify(context.Background(), Request{Family: "corr", ISA: "base", Models: []string{renamed.EmitSpec()}}, func(v Verdict) error {
+		if v.Cached {
+			cached++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Engine().Executions() != execs {
+		t.Fatalf("renamed model re-executed %d jobs, want 0", srv.Engine().Executions()-execs)
+	}
+	if cached != len(tests) {
+		t.Fatalf("renamed model: %d cached verdicts, want %d", cached, len(tests))
+	}
+}
+
+func findTest(tests []*tricheck.Test, name string) *tricheck.Test {
+	for _, t := range tests {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
 // TestVerifyCallbackAbort pins the client-side cancellation path: a
 // callback error tears the stream down and surfaces as the Verify
 // error.

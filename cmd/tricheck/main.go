@@ -6,13 +6,32 @@
 // Usage:
 //
 //	tricheck [-family wrc] [-isa base|base+a|both] [-variant curr|ours|both]
+//	         [-model-file spec.uspec ...] [-lattice]
 //	         [-models] [-mappings] [-csv] [-diagnose] [-workers N]
 //	         [-cache file] [-corpus dir] [-export dir] [-progress]
 //	         [-fail-on-bug]
+//	tricheck models ls [-variant curr|ours|both]
+//	tricheck models show <name|file.uspec> [-variant curr|ours]
+//	tricheck models lattice [-v]
 //
 // With no flags it runs the full 1,701-test suite over all 28 stacks on
 // the verification farm and prints the Figure 15 tables plus the headline
 // per-model totals.
+//
+// Microarchitecture model flags (a model is data — a µspec spec):
+//
+//	-model-file f.uspec   verify custom microarchitecture models loaded
+//	                      from spec files instead of the Table 7 matrix
+//	                      (repeatable; each model pairs with the Figure 15
+//	                      mapping of its declared variant)
+//	-lattice              sweep every legal microarchitecture of the
+//	                      selected variant(s) — the full 50-point (per
+//	                      variant) relaxation lattice, not just Table 7
+//
+// The models subcommand lists the builtin registry (ls), renders one
+// model — builtin or spec file — in the spec text format (show), and
+// summarizes the legal config lattice with its builtin aliases
+// (lattice).
 //
 // Farm and corpus flags:
 //
@@ -36,10 +55,26 @@ import (
 	"tricheck"
 )
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "models" {
+		cmdModels(os.Args[2:])
+		return
+	}
 	family := flag.String("family", "", "restrict to one litmus family (mp, sb, wrc, rwc, iriw, corr, co-rsdwi, ...)")
 	isaFlag := flag.String("isa", "both", "ISA flavour: base, base+a or both")
 	variant := flag.String("variant", "both", "MCM version: curr, ours or both")
+	var modelFiles multiFlag
+	flag.Var(&modelFiles, "model-file", "µspec model spec file to verify instead of the Table 7 matrix (repeatable)")
+	lattice := flag.Bool("lattice", false, "sweep every legal microarchitecture config of the selected variant(s), not just Table 7")
 	models := flag.Bool("models", false, "print the Table 7 µspec model matrix and exit")
 	mappings := flag.Bool("mappings", false, "print the compiler mapping tables (Tables 1-3) and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
@@ -104,7 +139,13 @@ func main() {
 		return
 	}
 
-	stacks, err := tricheck.SelectStacks(*isaFlag, *variant)
+	variantSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "variant" {
+			variantSet = true
+		}
+	})
+	stacks, err := selectStacks(*isaFlag, *variant, variantSet, modelFiles, *lattice)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
 		os.Exit(2)
@@ -180,4 +221,163 @@ func main() {
 			os.Exit(3)
 		}
 	}
+}
+
+// selectStacks resolves the sweep's stacks from the three model
+// sources: -model-file specs, the -lattice enumeration, or (default)
+// the builtin Table 7 matrix via the variant selector.
+func selectStacks(isa, variant string, variantSet bool, modelFiles []string, lattice bool) ([]tricheck.Stack, error) {
+	switch {
+	case len(modelFiles) > 0 && lattice:
+		return nil, fmt.Errorf("-model-file and -lattice are mutually exclusive")
+	case len(modelFiles) > 0:
+		return tricheck.SelectStacksFiles(isa, modelFiles, variantSet)
+	case lattice:
+		var models []*tricheck.Model
+		for _, v := range selectedVariants(variant) {
+			for _, c := range tricheck.EnumerateModelConfigs(v) {
+				m, err := tricheck.NewModel(c)
+				if err != nil {
+					return nil, err
+				}
+				models = append(models, m)
+			}
+		}
+		if models == nil {
+			return nil, fmt.Errorf("unknown MCM version %q (want curr, ours or both)", variant)
+		}
+		return tricheck.SelectStacksModels(isa, models)
+	default:
+		return tricheck.SelectStacks(isa, variant)
+	}
+}
+
+// selectedVariants expands a variant selector; unknown selectors yield
+// nil (the caller reports the error).
+func selectedVariants(variant string) []tricheck.Variant {
+	switch variant {
+	case "curr":
+		return []tricheck.Variant{tricheck.Curr}
+	case "ours":
+		return []tricheck.Variant{tricheck.Ours}
+	case "both":
+		return []tricheck.Variant{tricheck.Curr, tricheck.Ours}
+	}
+	return nil
+}
+
+// cmdModels implements the models subcommand: the registry and lattice
+// as a user-facing catalog.
+func cmdModels(args []string) {
+	if len(args) == 0 {
+		modelsUsage()
+	}
+	switch args[0] {
+	case "ls":
+		fs := flag.NewFlagSet("models ls", flag.ExitOnError)
+		variant := fs.String("variant", "both", "MCM version: curr, ours or both")
+		fs.Parse(args[1:])
+		vs := selectedVariants(*variant)
+		if vs == nil {
+			fatalModels(fmt.Errorf("unknown MCM version %q", *variant))
+		}
+		want := map[tricheck.Variant]bool{}
+		for _, v := range vs {
+			want[v] = true
+		}
+		fmt.Printf("%-20s %-11s %-32s %s\n", "NAME", "VARIANT", "FINGERPRINT", "DESCRIPTION")
+		for _, m := range tricheck.BuiltinModels() {
+			if !want[m.Variant] {
+				continue
+			}
+			fmt.Printf("%-20s %-11s %-32s %s\n", m.Name, m.Variant, tricheck.ModelFingerprint(m), m.Description)
+		}
+	case "show":
+		fs := flag.NewFlagSet("models show", flag.ExitOnError)
+		variant := fs.String("variant", "curr", "MCM version: curr or ours")
+		fs.Parse(args[1:])
+		if fs.NArg() < 1 {
+			modelsUsage()
+		}
+		arg := fs.Arg(0)
+		// Allow flags after the name too ("show rMM -variant ours").
+		fs.Parse(fs.Args()[1:])
+		if fs.NArg() != 0 {
+			modelsUsage()
+		}
+		// A readable file wins; otherwise resolve a builtin by name.
+		if _, err := os.Stat(arg); err == nil {
+			// A spec file carries its own variant: reject an explicit
+			// -variant like every other -model-file frontend does.
+			fs.Visit(func(f *flag.Flag) {
+				if f.Name == "variant" {
+					fatalModels(fmt.Errorf("-variant selects builtin models; the spec file %s carries its own variant — drop one of the two", arg))
+				}
+			})
+			models, err := tricheck.LoadModelFiles([]string{arg})
+			if err != nil {
+				fatalModels(err)
+			}
+			printSpec(models[0])
+			return
+		}
+		m, err := tricheck.ResolveModel(arg, *variant)
+		if err != nil {
+			fatalModels(err)
+		}
+		printSpec(m)
+	case "lattice":
+		fs := flag.NewFlagSet("models lattice", flag.ExitOnError)
+		verbose := fs.Bool("v", false, "list every lattice config with its fingerprint and builtin alias")
+		fs.Parse(args[1:])
+		builtinBy := map[string]*tricheck.Model{}
+		for _, m := range tricheck.BuiltinModels() {
+			if _, ok := builtinBy[tricheck.ModelFingerprint(m)]; !ok {
+				builtinBy[tricheck.ModelFingerprint(m)] = m
+			}
+		}
+		total := 0
+		for _, v := range []tricheck.Variant{tricheck.Curr, tricheck.Ours} {
+			cfgs := tricheck.EnumerateModelConfigs(v)
+			total += len(cfgs)
+			named := 0
+			for _, c := range cfgs {
+				if _, ok := builtinBy[c.Fingerprint()]; ok {
+					named++
+				}
+			}
+			fmt.Printf("%s: %d legal configs (%d shipped as builtins, %d unnamed)\n",
+				v, len(cfgs), named, len(cfgs)-named)
+			if *verbose {
+				for _, c := range cfgs {
+					alias := ""
+					if b, ok := builtinBy[c.Fingerprint()]; ok {
+						alias = "  = " + b.FullName()
+					}
+					fmt.Printf("  %-24s %s%s\n", c.Name, c.Fingerprint(), alias)
+				}
+			}
+		}
+		fmt.Printf("total: %d legal microarchitectures across both variants\n", total)
+	default:
+		modelsUsage()
+	}
+}
+
+func printSpec(m *tricheck.Model) {
+	fmt.Printf("(* fingerprint %s *)\n", tricheck.ModelFingerprint(m))
+	fmt.Print(m.Config.EmitSpec())
+}
+
+func fatalModels(err error) {
+	fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
+	os.Exit(2)
+}
+
+func modelsUsage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  tricheck models ls [-variant curr|ours|both]
+  tricheck models show <name|file.uspec> [-variant curr|ours]
+  tricheck models lattice [-v]`)
+	os.Exit(2)
 }

@@ -8,7 +8,8 @@
 //	                   [-deps] [-novel-only] [-v]
 //	trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
 //	trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both]
-//	                   [-variant curr|ours|both] [-workers N] [-cache file]
+//	                   [-variant curr|ours|both] [-model-file spec.uspec ...]
+//	                   [-workers N] [-cache file]
 //	                   [-progress] [-csv] [-bugs] [-profile PREFIX]
 //	                   [-fail-on-bug]
 //
@@ -59,8 +60,18 @@ func usage() {
   trisynth enumerate [-max-len N] [-min-len N] [-max-threads N] [-max-locs N] [-deps] [-novel-only] [-v]
   trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
   trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both] [-variant curr|ours|both]
-                     [-workers N] [-cache file] [-progress] [-csv] [-bugs] [-profile PREFIX] [-fail-on-bug]`)
+                     [-model-file spec.uspec ...] [-workers N] [-cache file] [-progress] [-csv]
+                     [-bugs] [-profile PREFIX] [-fail-on-bug]`)
 	os.Exit(2)
+}
+
+// stringList collects a repeatable string flag (-model-file).
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
 }
 
 // onFatal runs before a fatal exit; cmdSweep uses it to flush pprof
@@ -161,6 +172,8 @@ func cmdSweep(args []string) {
 	opts, novelOnly := boundsFlags(fs)
 	isaFlag := fs.String("isa", "base", "ISA flavour: base, base+a or both")
 	variant := fs.String("variant", "curr", "MCM version: curr, ours or both")
+	var modelFiles stringList
+	fs.Var(&modelFiles, "model-file", "µspec model spec file to sweep instead of the Table 7 matrix (repeatable)")
 	workers := fs.Int("workers", 0, "parallel farm workers (0 = GOMAXPROCS)")
 	cache := fs.String("cache", "", "memoized result cache snapshot (JSON)")
 	progress := fs.Bool("progress", false, "stream farm progress to stderr")
@@ -194,7 +207,18 @@ func cmdSweep(args []string) {
 		tests = append(tests, s.Shape.Generate()...)
 	}
 
-	stacks, err := tricheck.SelectStacks(*isaFlag, *variant)
+	var stacks []tricheck.Stack
+	if len(modelFiles) > 0 {
+		variantSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "variant" {
+				variantSet = true
+			}
+		})
+		stacks, err = tricheck.SelectStacksFiles(*isaFlag, modelFiles, variantSet)
+	} else {
+		stacks, err = tricheck.SelectStacks(*isaFlag, *variant)
+	}
 	if err != nil {
 		fatal(err)
 	}

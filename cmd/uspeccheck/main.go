@@ -7,7 +7,12 @@
 // Usage:
 //
 //	uspeccheck -test 'wrc[rlx,rlx,rel,acq,rlx]' -mapping riscv-base-intuitive \
-//	           -model nMM -variant curr [-asm] [-explain] [-dot outcome]
+//	           -model nMM -variant curr [-model-file spec.uspec]
+//	           [-asm] [-explain] [-dot outcome]
+//
+// -model resolves any builtin from the registry (Table 7 names plus
+// PowerA9, PowerA9-ldld-fixed, TSO, SC, AlphaLike); -model-file loads a
+// custom declarative model spec instead.
 package main
 
 import (
@@ -15,9 +20,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"tricheck"
 	"tricheck/internal/compile"
+	"tricheck/internal/core"
 	"tricheck/internal/isa"
 	"tricheck/internal/isa/power"
 	"tricheck/internal/isa/riscv"
@@ -30,6 +37,7 @@ func main() {
 	testName := flag.String("test", "wrc[rlx,rlx,rel,acq,rlx]", "variant, e.g. 'wrc[rlx,rlx,rel,acq,rlx]'")
 	mappingName := flag.String("mapping", "riscv-base-intuitive", "compiler mapping name")
 	modelName := flag.String("model", "nMM", "µspec model (WR, rWR, rWM, rMM, nWR, nMM, A9like, PowerA9, ...)")
+	modelFile := flag.String("model-file", "", "load the µspec model from a spec file instead of -model")
 	variantName := flag.String("variant", "curr", "MCM variant: curr or ours")
 	asm := flag.Bool("asm", false, "print the compiled assembly")
 	explain := flag.Bool("explain", false, "explain the interesting outcome (µhb witness or cycle)")
@@ -45,26 +53,38 @@ func main() {
 	if mapping == nil {
 		fail(fmt.Errorf("unknown mapping %q", *mappingName))
 	}
-	variant := uspec.Curr
-	if *variantName == "ours" {
-		variant = uspec.Ours
-	}
-	model := uspec.ModelByName(*modelName, variant)
-	if model == nil {
-		switch *modelName {
-		case "PowerA9":
-			model = uspec.PowerA9()
-		case "PowerA9-fixed":
-			model = uspec.PowerA9Fixed()
-		case "TSO":
-			model = uspec.TSO()
-		case "SC":
-			model = uspec.SCProof()
-		case "AlphaLike":
-			model = uspec.AlphaLike()
-		default:
-			fail(fmt.Errorf("unknown model %q", *modelName))
+	var model *uspec.Model
+	if *modelFile != "" {
+		// Same exclusivity contract as tricheck/trisynth/tricheckd: a
+		// spec file carries its own variant (and name).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "variant" || f.Name == "model" {
+				fail(fmt.Errorf("-%s selects a builtin model; a -model-file spec carries its own — drop one of the two", f.Name))
+			}
+		})
+		models, err := core.LoadModels([]string{*modelFile})
+		if err != nil {
+			fail(err)
 		}
+		model = models[0]
+	} else {
+		name := *modelName
+		if name == "PowerA9-fixed" { // legacy alias
+			name = "PowerA9-ldld-fixed"
+		}
+		m, err := core.ResolveModel(name, *variantName)
+		if err != nil && *variantName == "ours" && strings.Contains(err.Error(), "unknown model") {
+			// The companions (PowerA9, TSO, SC, AlphaLike, ...) exist only
+			// under Curr; like the historical lookup, -variant does not
+			// apply to them. An invalid -variant value still errors.
+			if cm, cerr := core.ResolveModel(name, "curr"); cerr == nil {
+				m, err = cm, nil
+			}
+		}
+		if err != nil {
+			fail(err)
+		}
+		model = m
 	}
 
 	prog, err := compile.Compile(mapping, t.Prog)

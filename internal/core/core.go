@@ -305,18 +305,9 @@ func (e *Engine) Sweep(tests []*litmus.Test, stacks []Stack, workers int) ([]*Su
 // RISCVStacks builds the paper's Figure 15 stack matrix for one ISA flavour
 // (base or Base+A) and MCM version (riscv-curr pairs the intuitive mapping
 // with Curr models; riscv-ours pairs the refined mapping with Ours models).
+// The models are the registry's shared Table 7 instances.
 func RISCVStacks(base bool, variant uspec.Variant) []Stack {
-	var m *compile.Mapping
-	switch {
-	case base && variant == uspec.Curr:
-		m = compile.RISCVBaseIntuitive
-	case base && variant == uspec.Ours:
-		m = compile.RISCVBaseRefined
-	case !base && variant == uspec.Curr:
-		m = compile.RISCVAtomicsIntuitive
-	default:
-		m = compile.RISCVAtomicsRefined
-	}
+	m := riscvMapping(base, variant)
 	var out []Stack
 	for _, model := range uspec.Models(variant) {
 		out = append(out, Stack{Mapping: m, Model: model})

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+	"tricheck/internal/uspec"
+)
+
+// These tests cover the custom-model plumbing: memo keys built from
+// config fingerprints (not display names), the registry-backed stack
+// resolvers and their error paths, and -model-file loading.
+
+// customModel builds a validated custom model for tests.
+func customModel(t *testing.T, c uspec.Config) *uspec.Model {
+	t.Helper()
+	m, err := c.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMemoKeysDistinguishSameNamedConfigs is the memo-key fragility
+// regression: two different configs that share the display name "WR"
+// must never share a memo entry.
+func TestMemoKeysDistinguishSameNamedConfigs(t *testing.T) {
+	builtin := uspec.WR(uspec.Curr)
+	impostor := customModel(t, uspec.Config{
+		Name:        "WR", // same display name, very different machine
+		Description: "an nMM in WR's clothing",
+		RelaxWR:     true, Forwarding: true, RelaxWW: true, RelaxRR: true,
+		NMCA: true, RespectDeps: true, Variant: uspec.Curr,
+	})
+	mapping := compile.RISCVBaseIntuitive
+	sA := Stack{Mapping: mapping, Model: builtin}
+	sB := Stack{Mapping: mapping, Model: impostor}
+	if sA.Name() != sB.Name() {
+		t.Fatalf("test premise broken: stack names differ (%s vs %s)", sA.Name(), sB.Name())
+	}
+	tst := litmus.MP.Generate()[0]
+	if JobKey(tst, sA) == JobKey(tst, sB) {
+		t.Fatal("same-named models with different configs share a memo key")
+	}
+
+	eng := NewEngine()
+	eng.EnableMemo(0)
+	tests := litmus.WRC.Generate()
+	rs, err := eng.Sweep(tests, []Stack{sA, sB}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both stacks executed: nothing was satisfied from the other's memo.
+	if got, want := eng.Executions(), uint64(2*len(tests)); got != want {
+		t.Fatalf("executed %d jobs, want %d (no cross-model memo sharing)", got, want)
+	}
+	// And the verdicts genuinely differ (WR is bug-free on wrc; the
+	// impostor is an nMM, which is not).
+	if rs[0].Tally.Bugs != 0 {
+		t.Fatalf("builtin WR shows %d bugs on wrc", rs[0].Tally.Bugs)
+	}
+	if rs[1].Tally.Bugs == 0 {
+		t.Fatal("impostor nMM config shows no bugs on wrc")
+	}
+}
+
+// TestRenamedIdenticalConfigGetsWarmHit: renaming a model (display-only
+// change) must keep hitting the same memo entries.
+func TestRenamedIdenticalConfigGetsWarmHit(t *testing.T) {
+	eng := NewEngine()
+	eng.EnableMemo(0)
+	tests := litmus.MP.Generate()
+	base := Stack{Mapping: compile.RISCVBaseIntuitive, Model: uspec.NMM(uspec.Curr)}
+	cold, err := eng.RunSuite(tests, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldExecs := eng.Executions()
+
+	cfg := uspec.NMM(uspec.Curr).Config
+	cfg.Name = "totally-renamed"
+	cfg.Description = "same machine, new sticker"
+	renamed := Stack{Mapping: compile.RISCVBaseIntuitive, Model: customModel(t, cfg)}
+	if JobKey(tests[0], base) != JobKey(tests[0], renamed) {
+		t.Fatal("renamed identical config has a different memo key")
+	}
+	warm, err := eng.RunSuite(tests, renamed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Executions() - coldExecs; got != 0 {
+		t.Fatalf("renamed identical config executed %d jobs, want 0 (warm hits)", got)
+	}
+	if cold.Tally != warm.Tally {
+		t.Fatalf("renamed config tally %+v differs from original %+v", warm.Tally, cold.Tally)
+	}
+}
+
+// TestSelectStacksModels checks mapping pairing and ordering for custom
+// model lists.
+func TestSelectStacksModels(t *testing.T) {
+	models := []*uspec.Model{uspec.WR(uspec.Curr), uspec.NMM(uspec.Ours)}
+	stacks, err := SelectStacksModels("both", models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{
+		"riscv-base-intuitive+WR/riscv-curr",
+		"riscv-base-refined+nMM/riscv-ours",
+		"riscv-base+a-intuitive+WR/riscv-curr",
+		"riscv-base+a-refined+nMM/riscv-ours",
+	}
+	if len(stacks) != len(wantNames) {
+		t.Fatalf("got %d stacks, want %d", len(stacks), len(wantNames))
+	}
+	for i, s := range stacks {
+		if s.Name() != wantNames[i] {
+			t.Errorf("stack %d = %s, want %s", i, s.Name(), wantNames[i])
+		}
+	}
+	one, err := SelectStacksModels("base+a", models[:1])
+	if err != nil || len(one) != 1 || one[0].Mapping != compile.RISCVAtomicsIntuitive {
+		t.Fatalf("base+a single model: %v stacks, err %v", len(one), err)
+	}
+}
+
+// TestSelectStacksErrorPaths: unknown ISA flavour, unknown variant,
+// unknown (nil) model and illegal model each fail loudly.
+func TestSelectStacksErrorPaths(t *testing.T) {
+	if _, err := SelectStacks("riscv128", "curr"); err == nil || !strings.Contains(err.Error(), "unknown ISA flavour") {
+		t.Errorf("unknown ISA flavour: err = %v", err)
+	}
+	if _, err := SelectStacks("base", "theirs"); err == nil || !strings.Contains(err.Error(), "unknown MCM version") {
+		t.Errorf("unknown variant: err = %v", err)
+	}
+	// Both bad: the ISA-flavour error wins (historical check order).
+	if _, err := SelectStacks("riscv128", "theirs"); err == nil || !strings.Contains(err.Error(), "unknown ISA flavour") {
+		t.Errorf("both bad: err = %v", err)
+	}
+	if _, err := SelectStacksModels("bogus", []*uspec.Model{uspec.TSO()}); err == nil || !strings.Contains(err.Error(), "unknown ISA flavour") {
+		t.Errorf("models with bad flavour: err = %v", err)
+	}
+	if _, err := SelectStacksModels("base", nil); err == nil || !strings.Contains(err.Error(), "no models") {
+		t.Errorf("empty models: err = %v", err)
+	}
+	if _, err := SelectStacksModels("base", []*uspec.Model{nil}); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("nil model: err = %v", err)
+	}
+	illegal := uspec.New(uspec.Config{Name: "broken", Forwarding: true, OrderSameAddrRR: true, RespectDeps: true})
+	if _, err := SelectStacksModels("base", []*uspec.Model{illegal}); !errors.Is(err, uspec.ErrForwardingWithoutRelaxWR) {
+		t.Errorf("illegal model: err = %v, want ErrForwardingWithoutRelaxWR", err)
+	}
+	if _, err := ResolveModel("Itanium", "curr"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("unknown model name: err = %v", err)
+	}
+	if _, err := ResolveModel("WR", "both"); err == nil || !strings.Contains(err.Error(), "unknown MCM version") {
+		t.Errorf("multi-variant ResolveModel: err = %v", err)
+	}
+	if m, err := ResolveModel("PowerA9", "curr"); err != nil || m != uspec.PowerA9() {
+		t.Errorf("ResolveModel(PowerA9) = %v, %v", m, err)
+	}
+	// Two models sharing a (name, variant) would be indistinguishable in
+	// every report even though their memo keys differ: rejected.
+	dup := customModel(t, uspec.Config{Name: "WR", OrderSameAddrRR: true, RespectDeps: true, Variant: uspec.Curr})
+	if _, err := SelectStacksModels("base", []*uspec.Model{uspec.WR(uspec.Curr), dup}); err == nil || !strings.Contains(err.Error(), "share the display name") {
+		t.Errorf("duplicate display name: err = %v", err)
+	}
+}
+
+// TestLoadModels: -model-file loading surfaces parse and validation
+// errors with the file path, and round-trips a custom spec into a
+// sweepable model.
+func TestLoadModels(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.uspec")
+	custom := uspec.Config{
+		Name: "my-machine", RelaxWR: true, Forwarding: true,
+		OrderSameAddrRR: true, RespectDeps: true, Variant: uspec.Ours,
+	}
+	if err := os.WriteFile(good, []byte(custom.EmitSpec()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	models, err := LoadModels([]string{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Name != "my-machine" || models[0].Variant != uspec.Ours {
+		t.Fatalf("loaded %+v", models)
+	}
+	stacks, err := SelectStacksModels("base", models)
+	if err != nil || len(stacks) != 1 || stacks[0].Mapping != compile.RISCVBaseRefined {
+		t.Fatalf("custom ours model stacks: %v, err %v", stacks, err)
+	}
+
+	bad := filepath.Join(dir, "bad.uspec")
+	if err := os.WriteFile(bad, []byte("uspec bad\nforwarding\norder-same-addr-rr\nrespect-deps\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModels([]string{bad}); !errors.Is(err, uspec.ErrForwardingWithoutRelaxWR) {
+		t.Errorf("illegal spec file: err = %v", err)
+	}
+	if _, err := LoadModels([]string{filepath.Join(dir, "absent.uspec")}); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+// TestSelectStacksReturnsRegistryInstances: stack resolution must not
+// reconstruct models — every resolved model is the shared registry
+// instance (built once, immutable).
+func TestSelectStacksReturnsRegistryInstances(t *testing.T) {
+	a, err := SelectStacks("both", "both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SelectStacks("both", "both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Model != b[i].Model {
+			t.Fatalf("stack %d model reconstructed between calls", i)
+		}
+		if uspec.ModelByName(a[i].Model.Name, a[i].Model.Variant) != a[i].Model {
+			t.Fatalf("stack %d model is not the registry instance", i)
+		}
+	}
+}
+
+// BenchmarkSelectStacks micro-benchmarks the stack-resolution path the
+// frontends hit per request — registry lookups, no reconstruction.
+func BenchmarkSelectStacks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectStacks("both", "both"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStackFingerprint measures the memo-key stack hash (computed
+// once per stack per sweep).
+func BenchmarkStackFingerprint(b *testing.B) {
+	s := Stack{Mapping: compile.RISCVAtomicsIntuitive, Model: uspec.NMM(uspec.Curr)}
+	for i := 0; i < b.N; i++ {
+		StackFingerprint(s)
+	}
+}

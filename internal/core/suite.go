@@ -58,10 +58,13 @@ func (m *Memo) Bind(t *litmus.Test, s Stack) *TestResult {
 }
 
 // StackFingerprint returns a canonical content hash of a stack: the
-// compiler mapping's recipes and the µspec model's configuration bits,
+// compiler mapping's recipes and the µspec model's configuration bits
+// (uspec.Config.ContentKey — the model's config fingerprint input),
 // with display names excluded. Editing a single mapping recipe or model
 // axiom therefore changes the fingerprint — and invalidates exactly the
-// memo entries that depend on it — while renaming does not.
+// memo entries that depend on it — while renaming does not: two
+// different custom models that share a display name never share memo
+// entries, and a renamed identical config still gets warm hits.
 func StackFingerprint(s Stack) string {
 	var b strings.Builder
 	m := s.Mapping
@@ -83,10 +86,7 @@ func StackFingerprint(s Stack) string {
 	recipe("fr", m.FenceRel)
 	recipe("far", m.FenceAcqRel)
 	recipe("fs", m.FenceSC)
-	c := s.Model.Config
-	fmt.Fprintf(&b, "wr=%t;fwd=%t;ww=%t;rr=%t;sarr=%t;nmca=%t;cp=%t;deps=%t;var=%d",
-		c.RelaxWR, c.Forwarding, c.RelaxWW, c.RelaxRR, c.OrderSameAddrRR,
-		c.NMCA, c.CacheProtocol, c.RespectDeps, c.Variant)
+	b.WriteString(s.Model.Config.ContentKey())
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:16])
 }
@@ -277,49 +277,162 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 	return out, nil
 }
 
+// isaFlavours expands an ISA flavour selector into the (base, base+a)
+// pair, base first.
+func isaFlavours(isaFlavour string) (flavours []bool, err error) {
+	switch isaFlavour {
+	case "base":
+		return []bool{true}, nil
+	case "base+a":
+		return []bool{false}, nil
+	case "both":
+		return []bool{true, false}, nil
+	}
+	return nil, fmt.Errorf("core: unknown ISA flavour %q (want base, base+a or both)", isaFlavour)
+}
+
+// riscvMapping returns the Figure 15 RISC-V mapping for an ISA flavour
+// and MCM variant: the intuitive mapping pairs with Curr models, the
+// refined one with Ours.
+func riscvMapping(base bool, v uspec.Variant) *compile.Mapping {
+	switch {
+	case base && v == uspec.Curr:
+		return compile.RISCVBaseIntuitive
+	case base && v == uspec.Ours:
+		return compile.RISCVBaseRefined
+	case !base && v == uspec.Curr:
+		return compile.RISCVAtomicsIntuitive
+	default:
+		return compile.RISCVAtomicsRefined
+	}
+}
+
+// SelectStacksModels pairs an explicit model list — registry builtins,
+// -model-file specs, or enumerated lattice configs — with the Figure 15
+// RISC-V mapping matching each model's variant, over the selected ISA
+// flavours (base first, models in input order within a flavour). Every
+// model must be non-nil and pass µspec validation: a frontend that lets
+// an unknown name or an illegal spec through gets a named error here
+// rather than a meaningless sweep.
+func SelectStacksModels(isaFlavour string, models []*uspec.Model) ([]Stack, error) {
+	flavours, err := isaFlavours(isaFlavour)
+	if err != nil {
+		return nil, err
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("core: no models selected")
+	}
+	seen := map[string]int{}
+	for i, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("core: unknown model at position %d", i)
+		}
+		if m.Name == "" {
+			return nil, fmt.Errorf("core: model at position %d has no name", i)
+		}
+		if err := m.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("core: illegal model %q: %w", m.Name, err)
+		}
+		// Stacks are reported by display name, so two models sharing a
+		// (name, variant) would be indistinguishable in every stream,
+		// summary and CSV row even though their memo keys differ.
+		full := m.FullName()
+		if j, dup := seen[full]; dup {
+			return nil, fmt.Errorf("core: models %d and %d share the display name %s; rename one", j, i, full)
+		}
+		seen[full] = i
+	}
+	out := make([]Stack, 0, len(flavours)*len(models))
+	for _, base := range flavours {
+		for _, m := range models {
+			out = append(out, Stack{Mapping: riscvMapping(base, m.Variant), Model: m})
+		}
+	}
+	return out, nil
+}
+
+// ResolveModels expands an MCM version selector ("curr", "ours" or
+// "both") to the registry's Table 7 models, built once and shared — the
+// model half of SelectStacks.
+func ResolveModels(variant string) ([]*uspec.Model, error) {
+	switch variant {
+	case "curr":
+		return uspec.Models(uspec.Curr), nil
+	case "ours":
+		return uspec.Models(uspec.Ours), nil
+	case "both":
+		return append(uspec.Models(uspec.Curr), uspec.Models(uspec.Ours)...), nil
+	}
+	return nil, fmt.Errorf("core: unknown MCM version %q (want curr, ours or both)", variant)
+}
+
+// ResolveModel finds one builtin model by name under a single-variant
+// selector ("curr" or "ours"), with an error naming the known set when
+// the lookup misses — the frontends' -model flag resolution.
+func ResolveModel(name, variant string) (*uspec.Model, error) {
+	var v uspec.Variant
+	switch variant {
+	case "curr":
+		v = uspec.Curr
+	case "ours":
+		v = uspec.Ours
+	default:
+		return nil, fmt.Errorf("core: unknown MCM version %q (want curr or ours)", variant)
+	}
+	if m := uspec.ModelByName(name, v); m != nil {
+		return m, nil
+	}
+	return nil, fmt.Errorf("core: unknown model %q under %s (known: %s)",
+		name, variant, strings.Join(uspec.Builtins().Names(), ", "))
+}
+
+// LoadModels reads and validates µspec model spec files (the frontends'
+// repeatable -model-file flag).
+func LoadModels(paths []string) ([]*uspec.Model, error) {
+	models := make([]*uspec.Model, 0, len(paths))
+	for _, path := range paths {
+		s, err := uspec.LoadSpecFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("core: model file %w", err)
+		}
+		models = append(models, uspec.New(*s))
+	}
+	return models, nil
+}
+
+// SelectStacksFiles resolves stacks for -model-file frontends: it loads
+// and validates the spec files and pairs each model with its variant's
+// mapping. variantSet reports whether the caller's -variant flag was
+// explicitly given — model specs carry their own variant, so combining
+// the two is rejected here once, with the same contract the service
+// enforces for inline models.
+func SelectStacksFiles(isaFlavour string, modelFiles []string, variantSet bool) ([]Stack, error) {
+	if variantSet {
+		return nil, fmt.Errorf("core: -variant selects builtin models; a -model-file spec carries its own variant — drop one of the two")
+	}
+	models, err := LoadModels(modelFiles)
+	if err != nil {
+		return nil, err
+	}
+	return SelectStacksModels(isaFlavour, models)
+}
+
 // SelectStacks resolves the stack selectors shared by every frontend
 // (tricheck, trisynth, tricheckd): an ISA flavour ("base", "base+a" or
 // "both") and an MCM version ("curr", "ours" or "both") expand to the
 // corresponding rows of the Figure 15 matrix, in the fixed order
 // base-curr, base-ours, base+a-curr, base+a-ours so that every frontend
-// reports the same sweep in the same order.
+// reports the same sweep in the same order. The models come from the
+// builtin registry: built once, shared across every call.
 func SelectStacks(isaFlavour, variant string) ([]Stack, error) {
-	var base, atomics bool
-	switch isaFlavour {
-	case "base":
-		base = true
-	case "base+a":
-		atomics = true
-	case "both":
-		base, atomics = true, true
-	default:
-		return nil, fmt.Errorf("core: unknown ISA flavour %q (want base, base+a or both)", isaFlavour)
-	}
-	var curr, ours bool
-	switch variant {
-	case "curr":
-		curr = true
-	case "ours":
-		ours = true
-	case "both":
-		curr, ours = true, true
-	default:
-		return nil, fmt.Errorf("core: unknown MCM version %q (want curr, ours or both)", variant)
-	}
-	var out []Stack
-	add := func(isBase bool) {
-		if curr {
-			out = append(out, RISCVStacks(isBase, uspec.Curr)...)
+	models, err := ResolveModels(variant)
+	if err != nil {
+		// Surface the ISA-flavour error first when both are bad, matching
+		// the historical check order.
+		if _, ferr := isaFlavours(isaFlavour); ferr != nil {
+			return nil, ferr
 		}
-		if ours {
-			out = append(out, RISCVStacks(isBase, uspec.Ours)...)
-		}
+		return nil, err
 	}
-	if base {
-		add(true)
-	}
-	if atomics {
-		add(false)
-	}
-	return out, nil
+	return SelectStacksModels(isaFlavour, models)
 }

@@ -16,6 +16,7 @@ import (
 	"tricheck/internal/core"
 	"tricheck/internal/corpus"
 	"tricheck/internal/litmus"
+	"tricheck/internal/uspec"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -146,6 +147,68 @@ func TestVerifyInlineLitmusSources(t *testing.T) {
 	for _, v := range verdicts {
 		if v.Key == "" || v.Test == "" || v.Stack == "" {
 			t.Fatalf("incomplete verdict record %+v", v)
+		}
+	}
+}
+
+// TestVerifyInlineModelSpec: a request may carry its own µspec model as
+// data. The custom model sweeps independently of a same-named builtin —
+// different verdicts, disjoint memo fingerprints — and illegal or
+// conflicting specs are 400s.
+func TestVerifyInlineModelSpec(t *testing.T) {
+	// An SC machine wearing the builtin's name: same display name as
+	// Table 7's nMM, completely different ordering semantics.
+	impostor := uspec.Config{
+		Name: "nMM", Description: "SC machine named nMM",
+		OrderSameAddrRR: true, RespectDeps: true, Variant: uspec.Curr,
+	}
+	_, ts := newTestServer(t, Config{})
+	resp := postVerify(t, ts.URL, VerifyRequest{Family: "wrc", ISA: "base", Models: []string{impostor.EmitSpec()}})
+	custom, customSum := drainStream(t, resp)
+	wantStack := "riscv-base-intuitive+nMM/riscv-curr"
+	if len(customSum.Stacks) != 1 || customSum.Stacks[0].Stack != wantStack {
+		t.Fatalf("custom sweep stacks %+v, want one %s", customSum.Stacks, wantStack)
+	}
+	if customSum.Bugs != 0 || customSum.Strict == 0 {
+		t.Fatalf("SC impostor tallies %+v, want bug-free and strict", customSum)
+	}
+
+	resp = postVerify(t, ts.URL, VerifyRequest{Family: "wrc", ISA: "base", Variant: "curr"})
+	builtin, builtinSum := drainStream(t, resp)
+	builtinKeys := map[string]bool{}
+	builtinBugs := 0
+	for _, v := range builtin {
+		if v.Stack == wantStack {
+			builtinKeys[v.Key] = true
+			if v.Verdict == "Bug" {
+				builtinBugs++
+			}
+		}
+	}
+	if len(builtinKeys) != len(custom) {
+		t.Fatalf("builtin nMM streamed %d keys, custom %d", len(builtinKeys), len(custom))
+	}
+	if builtinBugs == 0 {
+		t.Fatal("builtin nMM shows no bugs on wrc (test premise broken)")
+	}
+	for _, v := range custom {
+		if builtinKeys[v.Key] {
+			t.Fatalf("custom model shares memo fingerprint %s with the same-named builtin", v.Key)
+		}
+	}
+	_ = builtinSum
+
+	for name, req := range map[string]VerifyRequest{
+		"bad spec syntax":     {Family: "mp", Models: []string{"uarch nope"}},
+		"illegal spec":        {Family: "mp", Models: []string{"uspec x\nforwarding\norder-same-addr-rr\nrespect-deps\n"}},
+		"models plus variant": {Family: "mp", Variant: "curr", Models: []string{impostor.EmitSpec()}},
+		"models with bad isa": {Family: "mp", ISA: "nope", Models: []string{impostor.EmitSpec()}},
+		"same-named models":   {Family: "mp", Models: []string{impostor.EmitSpec(), impostor.EmitSpec()}},
+	} {
+		resp := postVerify(t, ts.URL, req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s → %d, want 400", name, resp.StatusCode)
 		}
 	}
 }

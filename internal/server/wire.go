@@ -7,6 +7,7 @@ import (
 	"tricheck/internal/corpus"
 	"tricheck/internal/litmus"
 	"tricheck/internal/report"
+	"tricheck/internal/uspec"
 )
 
 // This file is the service's wire format: the /v1/verify request body,
@@ -30,7 +31,16 @@ type VerifyRequest struct {
 	// (default both).
 	ISA string `json:"isa,omitempty"`
 	// Variant is the MCM version: curr, ours or both (default both).
+	// Mutually exclusive with Models (an inline model spec carries its
+	// own variant).
 	Variant string `json:"variant,omitempty"`
+	// Models holds inline µspec model specs (the uspec spec text format)
+	// to verify instead of the builtin Table 7 matrix. Each spec is
+	// validated and paired with the Figure 15 mapping of its declared
+	// variant over the selected ISA flavours; memo-cache identity comes
+	// from the spec's config fingerprint, so a custom model never
+	// collides with a same-named builtin.
+	Models []string `json:"models,omitempty"`
 	// Workers requests a farm worker count; the server clamps it to its
 	// per-request budget (0 = the budget itself).
 	Workers int `json:"workers,omitempty"`
@@ -200,14 +210,32 @@ func resolve(req *VerifyRequest) ([]*litmus.Test, []core.Stack, error) {
 		}
 		tests = shape.Generate()
 	}
-	isa, variant := req.ISA, req.Variant
+	isa := req.ISA
 	if isa == "" {
 		isa = "both"
 	}
-	if variant == "" {
-		variant = "both"
+	var stacks []core.Stack
+	var err error
+	if len(req.Models) > 0 {
+		if req.Variant != "" {
+			return nil, nil, fmt.Errorf("variant selects builtin models; inline model specs carry their own variant — drop one of the two")
+		}
+		models := make([]*uspec.Model, 0, len(req.Models))
+		for i, src := range req.Models {
+			s, perr := uspec.ParseSpec(src)
+			if perr != nil {
+				return nil, nil, fmt.Errorf("model spec %d: %w", i, perr)
+			}
+			models = append(models, uspec.New(*s))
+		}
+		stacks, err = core.SelectStacksModels(isa, models)
+	} else {
+		variant := req.Variant
+		if variant == "" {
+			variant = "both"
+		}
+		stacks, err = core.SelectStacks(isa, variant)
 	}
-	stacks, err := core.SelectStacks(isa, variant)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,98 @@
+package uspec
+
+import "strings"
+
+// EnumerateConfigs walks the full legal relaxation lattice for one MCM
+// variant: every combination of the Config relaxation bits that passes
+// Validate, deduplicated by config fingerprint, in a deterministic
+// order (bit-lexicographic over the field walk below). Each config is
+// given a systematic lattice name derived from its semantics, so the
+// whole lattice can be swept as stacks with distinguishable display
+// names — Table 7 is seven points of this lattice; the rest are the
+// microarchitectures nobody wrote down.
+//
+// The lattice has exactly 50 points per variant (pinned by test):
+// every subset of {W→R, W→W, R→M} program-order relaxations crossed
+// with the legal store-atomicity ladder (MCA → rMCA → nMCA → nMCA via
+// cache protocol, available only once a store buffer exists) and, under
+// R→M relaxation, the same-address-load-order and dependency-order
+// choices.
+func EnumerateConfigs(v Variant) []Config {
+	var out []Config
+	seen := map[string]bool{}
+	// Walk bits most-significant-first so the order is stable and reads
+	// strongest-to-weakest-ish: each bool iterates false then true.
+	for i := 0; i < 1<<8; i++ {
+		bit := func(n int) bool { return i&(1<<n) != 0 }
+		c := Config{
+			RelaxWR:         bit(7),
+			Forwarding:      bit(6),
+			RelaxWW:         bit(5),
+			RelaxRR:         bit(4),
+			NMCA:            bit(3),
+			CacheProtocol:   bit(2),
+			OrderSameAddrRR: !bit(1), // false bit = ordered (the stronger default first)
+			RespectDeps:     !bit(0),
+			Variant:         v,
+		}
+		if c.Validate() != nil {
+			continue
+		}
+		// The legality rules pin every don't-care bit (e.g. same-address
+		// load order when RM isn't relaxed), so distinct legal bit
+		// patterns already have distinct fingerprints; the dedup is an
+		// invariant guard in case a future rule introduces redundancy,
+		// and the spec test asserts lattice-wide uniqueness.
+		fp := c.Fingerprint()
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		c.Name = latticeName(c)
+		c.Description = "lattice: " + c.ContentKey()
+		out = append(out, c)
+	}
+	return out
+}
+
+// latticeName derives a systematic display name from a config's
+// semantics: the relaxed program orders joined with '.', '+' the store
+// atomicity class, '+nodeps' when dependencies are not respected.
+// Examples: "none+mca" (the SC baseline), "WR+rmca" (TSO),
+// "WR.WW.RMsa+nmca" (rMM-with-shared-buffers, same-address loads
+// relaxed). Deterministic in the config bits, so equal-fingerprint
+// configs share a name.
+func latticeName(c Config) string {
+	var po []string
+	if c.RelaxWR {
+		po = append(po, "WR")
+	}
+	if c.RelaxWW {
+		po = append(po, "WW")
+	}
+	if c.RelaxRR {
+		rm := "RM"
+		if !c.OrderSameAddrRR {
+			rm += "sa"
+		}
+		po = append(po, rm)
+	}
+	relaxed := strings.Join(po, ".")
+	if relaxed == "" {
+		relaxed = "none"
+	}
+	atom := "mca"
+	switch {
+	case c.CacheProtocol:
+		atom = "cache"
+	case c.NMCA:
+		atom = "nmca"
+	case c.Forwarding:
+		atom = "rmca"
+	}
+	name := relaxed + "+" + atom
+	if !c.RespectDeps {
+		name += "+nodeps"
+	}
+	return name
+}

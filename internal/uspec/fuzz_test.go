@@ -1,0 +1,53 @@
+package uspec
+
+import (
+	"io/fs"
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec hardens the model-spec parser the same way
+// FuzzParseLitmus hardens the litmus parser: any input may be rejected,
+// but an accepted input must (a) produce a config that passes Validate
+// (ParseSpec's contract), and (b) round-trip — its canonical emission
+// reparses to the identical config and is a byte fixed point. Crashers
+// get committed under testdata/fuzz/FuzzParseSpec.
+//
+//	go test -fuzz=FuzzParseSpec ./internal/uspec
+func FuzzParseSpec(f *testing.F) {
+	paths, err := fs.Glob(specFS, "specs/*.uspec")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range paths {
+		data, err := fs.ReadFile(specFS, path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	// A few shapes the builtins don't cover: comments between directives,
+	// escaped descriptions, whitespace salad.
+	f.Add("uspec x\n(* multi\nline *)\nvariant ours\nrelax RM\nrespect-deps\n")
+	f.Add("uspec a.b+c-d\ndescription \"say \\\"hi\\\"\"\nvariant curr\n  order-same-addr-rr  \nrespect-deps")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSpec(src)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("ParseSpec accepted an invalid config: %v\ninput: %q", verr, src)
+		}
+		out := s.EmitSpec()
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("emitted spec does not reparse: %v\nemitted: %q\ninput: %q", err, out, src)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the config:\n first %+v\nsecond %+v\ninput: %q", s, s2, src)
+		}
+		if out2 := s2.EmitSpec(); out2 != out {
+			t.Fatalf("emission is not a fixed point:\n first %q\nsecond %q", out, out2)
+		}
+	})
+}

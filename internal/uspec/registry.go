@@ -1,0 +1,129 @@
+package uspec
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+)
+
+// The model registry: every shipped microarchitecture model is a spec
+// file under specs/, parsed and validated exactly once at package
+// initialization. The Table 7 constructors (WR, RWR, ..., A9like) and
+// the companions (PowerA9, TSO, SCProof, AlphaLike) are thin lookups
+// into it — a model is data; the Go functions only name entries.
+//
+// Registry models are shared and immutable: callers must never modify a
+// returned *Model. To derive a variation, copy the Config, edit the
+// copy, and wrap it with New (see core's renaming tests for the idiom).
+
+//go:embed specs/*.uspec
+var specFS embed.FS
+
+// table7Names is the paper's strongest-to-weakest presentation order.
+var table7Names = [...]string{"WR", "rWR", "rWM", "rMM", "nWR", "nMM", "A9like"}
+
+// companionNames are the non-Table-7 builtins, registered under Curr.
+var companionNames = [...]string{"PowerA9", "PowerA9-ldld-fixed", "TSO", "SC", "AlphaLike"}
+
+// Registry is an immutable set of prebuilt models, keyed by
+// (name, variant).
+type Registry struct {
+	byKey  map[registryKey]*Model
+	table7 map[Variant][]*Model
+	all    []*Model
+}
+
+type registryKey struct {
+	name    string
+	variant Variant
+}
+
+// builtins is the shipped registry, built once from the embedded spec
+// files. Package init panics on a malformed shipped spec: the files are
+// part of the build, so that is a programming error, not input.
+var builtins = loadBuiltins()
+
+// Builtins returns the shipped model registry.
+func Builtins() *Registry { return builtins }
+
+func loadBuiltins() *Registry {
+	r := &Registry{
+		byKey:  map[registryKey]*Model{},
+		table7: map[Variant][]*Model{},
+	}
+	load := func(name string, v Variant) *Model {
+		path := fmt.Sprintf("specs/%s.%s.uspec", name, variantToken(v))
+		data, err := specFS.ReadFile(path)
+		if err != nil {
+			panic(fmt.Sprintf("uspec: missing builtin spec %s: %v", path, err))
+		}
+		s, err := ParseSpec(string(data))
+		if err != nil {
+			panic(fmt.Sprintf("uspec: builtin spec %s: %v", path, err))
+		}
+		if s.Name != name {
+			panic(fmt.Sprintf("uspec: builtin spec %s declares name %q", path, s.Name))
+		}
+		if s.Variant != v {
+			panic(fmt.Sprintf("uspec: builtin spec %s declares variant %s", path, s.Variant))
+		}
+		m := New(*s)
+		r.byKey[registryKey{name, v}] = m
+		r.all = append(r.all, m)
+		return m
+	}
+	for _, v := range []Variant{Curr, Ours} {
+		for _, name := range table7Names {
+			r.table7[v] = append(r.table7[v], load(name, v))
+		}
+	}
+	for _, name := range companionNames {
+		load(name, Curr)
+	}
+	return r
+}
+
+// Model returns the registered model for (name, variant), or nil. The
+// result is shared and must not be modified.
+func (r *Registry) Model(name string, v Variant) *Model {
+	return r.byKey[registryKey{name, v}]
+}
+
+// Table7 returns the seven Table 7 models for the variant in the
+// paper's presentation order. The slice is fresh; the models are shared.
+func (r *Registry) Table7(v Variant) []*Model {
+	out := make([]*Model, len(r.table7[v]))
+	copy(out, r.table7[v])
+	return out
+}
+
+// All returns every registered model: Table 7 under Curr then Ours,
+// then the companions. The slice is fresh; the models are shared.
+func (r *Registry) All() []*Model {
+	out := make([]*Model, len(r.all))
+	copy(out, r.all)
+	return out
+}
+
+// Names returns the sorted distinct model names in the registry.
+func (r *Registry) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, m := range r.all {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			out = append(out, m.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mustBuiltin backs the legacy constructor functions.
+func mustBuiltin(name string, v Variant) *Model {
+	m := builtins.Model(name, v)
+	if m == nil {
+		panic(fmt.Sprintf("uspec: builtin %s/%s not registered", name, v))
+	}
+	return m
+}

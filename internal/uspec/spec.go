@@ -1,0 +1,358 @@
+package uspec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file makes a µspec model *data, not code*: a Config is a
+// serializable Spec with a herd-style text format (ParseSpec/EmitSpec
+// round-trip to a byte fixed point), semantic validation encoding the
+// legality rules that were previously implicit in the Table 7
+// constructors, and a canonical content fingerprint that identifies a
+// model by its ordering semantics rather than its display name. The
+// shipped builtins live in specs/*.uspec (see registry.go); custom
+// models arrive through -model-file flags and the tricheckd wire format.
+//
+// A spec file looks like:
+//
+//	uspec nMM
+//	(* any comment *)
+//	description "rMM with shared store buffers (nMCA stores)"
+//	variant curr
+//	relax WR
+//	relax WW
+//	relax RM
+//	forwarding
+//	nmca
+//	respect-deps
+//
+// Directives (one per line; `(* ... *)` comments are ignored):
+//
+//	uspec <name>          required header; name matches [A-Za-z0-9_.+-]+
+//	description "<text>"  optional quoted description
+//	variant curr|ours     MCM variant (default curr)
+//	relax WR|WW|RM        relax a program order (RM = the paper's R→M)
+//	forwarding            store-buffer forwarding (rMCA)
+//	nmca                  per-core store visibility (nMCA)
+//	cache-protocol        nMCA via write-back caches + directory (A9like)
+//	order-same-addr-rr    keep same-address loads in program order
+//	respect-deps          enforce syntactic address/data/control deps
+//
+// Each directive may appear at most once; EmitSpec always renders them
+// in the order above, so emit→parse→emit is a byte fixed point.
+
+// Spec is the declarative, serializable form of a µspec model — exactly
+// the Config fields, named for their role as data. Parse one with
+// ParseSpec, render one with Config.EmitSpec.
+type Spec = Config
+
+// Named validation errors: each encodes one legality rule of the
+// relaxation lattice that the Table 7 constructors obeyed implicitly.
+// Validate (and therefore ParseSpec) wraps them with the offending
+// model's name; test with errors.Is.
+var (
+	// ErrForwardingWithoutRelaxWR: store-buffer forwarding presumes a
+	// store buffer, i.e. the W→R order must be relaxed.
+	ErrForwardingWithoutRelaxWR = errors.New("uspec: forwarding requires a store buffer (relax WR)")
+	// ErrNMCAWithoutForwarding: per-core visibility arises from shared
+	// store buffers (or a non-stalling directory), both of which forward
+	// to the writing core early.
+	ErrNMCAWithoutForwarding = errors.New("uspec: nmca requires forwarding (shared store buffers forward to their own cores)")
+	// ErrCacheProtocolWithoutNMCA: routing visibility through coherence-
+	// protocol events is per-core visibility by construction.
+	ErrCacheProtocolWithoutNMCA = errors.New("uspec: cache-protocol requires nmca (per-core invalidations are nMCA by construction)")
+	// ErrSameAddrRRWithoutRelaxRR: when loads perform in program order
+	// (RM not relaxed), same-address loads are trivially ordered — a spec
+	// claiming otherwise is contradictory. Set order-same-addr-rr.
+	ErrSameAddrRRWithoutRelaxRR = errors.New("uspec: order-same-addr-rr must be set when RM is not relaxed (in-order loads are same-address-ordered by construction)")
+	// ErrNoDepsWithoutRelaxRR: dependency order only constrains anything
+	// once loads may perform out of order; an in-order-load spec dropping
+	// respect-deps is contradictory.
+	ErrNoDepsWithoutRelaxRR = errors.New("uspec: respect-deps must be set when RM is not relaxed (in-order loads subsume dependency order)")
+	// ErrInvalidName: a non-empty model name must be a spec identifier —
+	// otherwise EmitSpec's output would not reparse to the same model
+	// (a name containing a newline could even inject directives).
+	ErrInvalidName = errors.New("uspec: model name is not an identifier ([A-Za-z0-9_.+-]+)")
+)
+
+// Validate checks the config's relaxation profile against the legality
+// rules of the lattice, and — for the EmitSpec→ParseSpec round trip —
+// that a non-empty Name is a spec identifier. An empty Name is allowed
+// (EnumerateConfigs validates configs before naming them); Description
+// is unconstrained (EmitSpec quotes it).
+func (c Config) Validate() error {
+	fail := func(err error) error {
+		if c.Name != "" {
+			return fmt.Errorf("uspec: model %q: %w", c.Name, err)
+		}
+		return err
+	}
+	if c.Name != "" && !specNameRe.MatchString(c.Name) {
+		return fmt.Errorf("uspec: model %q: %w", c.Name, ErrInvalidName)
+	}
+	if c.Forwarding && !c.RelaxWR {
+		return fail(ErrForwardingWithoutRelaxWR)
+	}
+	if c.NMCA && !c.Forwarding {
+		return fail(ErrNMCAWithoutForwarding)
+	}
+	if c.CacheProtocol && !c.NMCA {
+		return fail(ErrCacheProtocolWithoutNMCA)
+	}
+	if !c.RelaxRR && !c.OrderSameAddrRR {
+		return fail(ErrSameAddrRRWithoutRelaxRR)
+	}
+	if !c.RelaxRR && !c.RespectDeps {
+		return fail(ErrNoDepsWithoutRelaxRR)
+	}
+	return nil
+}
+
+// ContentKey serializes the config's semantic fields — the relaxation
+// bits and the MCM variant, never the display name or description — in
+// the canonical key format shared with core.StackFingerprint. Two
+// configs with equal ContentKeys are the same microarchitecture.
+func (c Config) ContentKey() string {
+	return fmt.Sprintf("wr=%t;fwd=%t;ww=%t;rr=%t;sarr=%t;nmca=%t;cp=%t;deps=%t;var=%d",
+		c.RelaxWR, c.Forwarding, c.RelaxWW, c.RelaxRR, c.OrderSameAddrRR,
+		c.NMCA, c.CacheProtocol, c.RespectDeps, c.Variant)
+}
+
+// Fingerprint returns the canonical content hash of the config: a hex
+// digest of ContentKey. Renaming a model never changes its fingerprint;
+// flipping any relaxation bit or the variant always does. Memo-cache
+// stack identity is built from this (see core.StackFingerprint).
+func (c Config) Fingerprint() string {
+	sum := sha256.Sum256([]byte(c.ContentKey()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// specNameRe bounds model names to herd-safe identifiers (the same
+// character set corpus metadata values allow), so a spec name can pass
+// through file names, wire records and report tables unescaped.
+var specNameRe = regexp.MustCompile(`^[\w.+-]+$`)
+
+// stripSpecComments removes `(* ... *)` comments (possibly multi-line)
+// outside quoted strings, so a description containing comment delimiters
+// survives the round trip intact.
+func stripSpecComments(src string) (string, error) {
+	var b strings.Builder
+	inStr := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inStr:
+			b.WriteByte(c)
+			if c == '\\' && i+1 < len(src) {
+				i++
+				b.WriteByte(src[i])
+			} else if c == '"' || c == '\n' {
+				// A newline ends the (malformed) string too: quoted values
+				// are single-line, and letting one swallow the rest of the
+				// file would hide every later comment from stripping.
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+			b.WriteByte(c)
+		case c == '(' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*)")
+			if end < 0 {
+				return "", fmt.Errorf("uspec: unterminated (* comment")
+			}
+			i += 2 + end + 1 // resume after "*)"
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String(), nil
+}
+
+// EmitSpec renders the config in the spec text format. The rendering is
+// canonical: parsing it and emitting again yields byte-identical text.
+func (c Config) EmitSpec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uspec %s\n", c.Name)
+	if c.Description != "" {
+		fmt.Fprintf(&b, "description %q\n", c.Description)
+	}
+	fmt.Fprintf(&b, "variant %s\n", variantToken(c.Variant))
+	if c.RelaxWR {
+		b.WriteString("relax WR\n")
+	}
+	if c.RelaxWW {
+		b.WriteString("relax WW\n")
+	}
+	if c.RelaxRR {
+		b.WriteString("relax RM\n")
+	}
+	if c.Forwarding {
+		b.WriteString("forwarding\n")
+	}
+	if c.NMCA {
+		b.WriteString("nmca\n")
+	}
+	if c.CacheProtocol {
+		b.WriteString("cache-protocol\n")
+	}
+	if c.OrderSameAddrRR {
+		b.WriteString("order-same-addr-rr\n")
+	}
+	if c.RespectDeps {
+		b.WriteString("respect-deps\n")
+	}
+	return b.String()
+}
+
+// variantToken renders a variant as its spec-format token.
+func variantToken(v Variant) string {
+	if v == Ours {
+		return "ours"
+	}
+	return "curr"
+}
+
+// ParseSpec parses a model spec from its text format and validates it.
+// The returned Spec is a plain value; wrap it with New (or Model) to
+// evaluate it.
+func ParseSpec(src string) (*Spec, error) {
+	var c Config
+	src, err := stripSpecComments(src)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	once := func(directive string) error {
+		if seen[directive] {
+			return fmt.Errorf("uspec: duplicate %q directive", directive)
+		}
+		seen[directive] = true
+		return nil
+	}
+	sawHeader := false
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		if !sawHeader {
+			if word != "uspec" {
+				return nil, fmt.Errorf("uspec: want header \"uspec <name>\", got %q", line)
+			}
+			if !specNameRe.MatchString(rest) {
+				return nil, fmt.Errorf("uspec: model name %q is not an identifier", rest)
+			}
+			c.Name = rest
+			sawHeader = true
+			continue
+		}
+		switch word {
+		case "uspec":
+			return nil, fmt.Errorf("uspec: duplicate %q directive", "uspec")
+		case "description":
+			if err := once("description"); err != nil {
+				return nil, err
+			}
+			d, err := strconv.Unquote(rest)
+			if err != nil {
+				return nil, fmt.Errorf("uspec: description must be a quoted string, got %q", rest)
+			}
+			if d == "" {
+				return nil, fmt.Errorf("uspec: description must not be empty (omit the directive instead)")
+			}
+			c.Description = d
+		case "variant":
+			if err := once("variant"); err != nil {
+				return nil, err
+			}
+			switch rest {
+			case "curr":
+				c.Variant = Curr
+			case "ours":
+				c.Variant = Ours
+			default:
+				return nil, fmt.Errorf("uspec: unknown variant %q (want curr or ours)", rest)
+			}
+		case "relax":
+			var field *bool
+			switch rest {
+			case "WR":
+				field = &c.RelaxWR
+			case "WW":
+				field = &c.RelaxWW
+			case "RM":
+				field = &c.RelaxRR
+			default:
+				return nil, fmt.Errorf("uspec: unknown program order %q (want WR, WW or RM)", rest)
+			}
+			if err := once("relax " + rest); err != nil {
+				return nil, err
+			}
+			*field = true
+		case "forwarding", "nmca", "cache-protocol", "order-same-addr-rr", "respect-deps":
+			if rest != "" {
+				return nil, fmt.Errorf("uspec: directive %q takes no argument, got %q", word, rest)
+			}
+			if err := once(word); err != nil {
+				return nil, err
+			}
+			switch word {
+			case "forwarding":
+				c.Forwarding = true
+			case "nmca":
+				c.NMCA = true
+			case "cache-protocol":
+				c.CacheProtocol = true
+			case "order-same-addr-rr":
+				c.OrderSameAddrRR = true
+			case "respect-deps":
+				c.RespectDeps = true
+			}
+		default:
+			return nil, fmt.Errorf("uspec: unknown directive %q", line)
+		}
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("uspec: empty spec (want \"uspec <name>\" header)")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadSpecFile reads and parses one model spec file.
+func LoadSpecFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := ParseSpec(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Model wraps the spec as an evaluable model after validating it. Unlike
+// bare Validate (which EnumerateConfigs runs before naming configs), a
+// usable model must be named: stacks report by display name and EmitSpec
+// output must reparse.
+func (c Config) Model() (*Model, error) {
+	if c.Name == "" {
+		return nil, fmt.Errorf("uspec: %w (a model needs a name)", ErrInvalidName)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return New(c), nil
+}

@@ -1,0 +1,399 @@
+package uspec
+
+import (
+	"errors"
+	"io/fs"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// legacyConfigs replicates the pre-refactor Go constructors verbatim (the
+// code the shipped spec files replaced). The equivalence lock below holds
+// the registry to these bit patterns: identical Config bits imply
+// bit-identical verdicts, Explain strings and memo fingerprints, because
+// every downstream consumer reads only the Config.
+func legacyConfigs() map[string]map[Variant]Config {
+	rocket := func(v Variant) Config {
+		return Config{RelaxWR: true, RespectDeps: true, Variant: v}
+	}
+	out := map[string]map[Variant]Config{}
+	add := func(name string, v Variant, c Config) {
+		if out[name] == nil {
+			out[name] = map[Variant]Config{}
+		}
+		c.Name = name
+		out[name][v] = c
+	}
+	for _, v := range []Variant{Curr, Ours} {
+		c := rocket(v)
+		c.Description = "FIFO store buffer, no value forwarding, MCA stores"
+		c.OrderSameAddrRR = true
+		add("WR", v, c)
+
+		c = rocket(v)
+		c.Description = "store buffer with forwarding (read-own-write-early), rMCA"
+		c.Forwarding = true
+		c.OrderSameAddrRR = true
+		add("rWR", v, c)
+
+		c = rocket(v)
+		c.Description = "rWR plus out-of-order store-buffer drain (W→W relaxed)"
+		c.Forwarding = true
+		c.RelaxWW = true
+		c.OrderSameAddrRR = true
+		add("rWM", v, c)
+
+		c = rocket(v)
+		c.Description = "rWM plus out-of-order loads (R→M relaxed)"
+		c.Forwarding = true
+		c.RelaxWW = true
+		c.RelaxRR = true
+		c.OrderSameAddrRR = v == Ours
+		add("rMM", v, c)
+
+		c = rocket(v)
+		c.Description = "rWR with shared store buffers (nMCA stores)"
+		c.Forwarding = true
+		c.NMCA = true
+		c.OrderSameAddrRR = true
+		add("nWR", v, c)
+
+		c = rocket(v)
+		c.Description = "rMM with shared store buffers (nMCA stores)"
+		c.Forwarding = true
+		c.RelaxWW = true
+		c.RelaxRR = true
+		c.NMCA = true
+		c.OrderSameAddrRR = v == Ours
+		add("nMM", v, c)
+
+		c = rocket(v)
+		c.Description = "write-back caches + non-stalling directory (nMCA without shared buffers)"
+		c.Forwarding = true
+		c.RelaxWW = true
+		c.RelaxRR = true
+		c.NMCA = true
+		c.CacheProtocol = true
+		c.OrderSameAddrRR = v == Ours
+		add("A9like", v, c)
+	}
+	add("PowerA9", Curr, Config{
+		Description: "Power/ARMv7 Cortex-A9-like: nMCA, R→R relaxed incl. same address",
+		RelaxWR:     true, Forwarding: true, RelaxWW: true, RelaxRR: true,
+		NMCA: true, RespectDeps: true, Variant: Curr,
+	})
+	pf := out["PowerA9"][Curr]
+	pf.Description = "PowerA9 with same-address load→load order restored"
+	pf.OrderSameAddrRR = true
+	add("PowerA9-ldld-fixed", Curr, pf)
+	tso := rocket(Curr)
+	tso.Description = "x86-TSO-like: forwarding store buffer, all other orders preserved"
+	tso.Forwarding = true
+	tso.OrderSameAddrRR = true
+	add("TSO", Curr, tso)
+	add("SC", Curr, Config{
+		Description:     "no relaxations: sequentially consistent baseline",
+		OrderSameAddrRR: true, RespectDeps: true, Variant: Curr,
+	})
+	alpha := out["nMM"][Curr]
+	alpha.Description = "nMM without syntactic dependency ordering (Alpha-style)"
+	alpha.RespectDeps = false
+	add("AlphaLike", Curr, alpha)
+	return out
+}
+
+// TestBuiltinSpecsMatchLegacyConstructors is the equivalence lock of the
+// data-not-code refactor: every builtin model loaded from its shipped
+// spec file must be bit-identical — every Config field, including name
+// and description — to what the deleted Go constructor built. With the
+// bits equal, verdicts, tallies, Explain output and memo fingerprints
+// are necessarily equal too (golden_test.go additionally pins those
+// end to end).
+func TestBuiltinSpecsMatchLegacyConstructors(t *testing.T) {
+	legacy := legacyConfigs()
+	checked := 0
+	for name, byVariant := range legacy {
+		for v, want := range byVariant {
+			m := ModelByName(name, v)
+			if m == nil {
+				t.Errorf("builtin %s/%s missing from registry", name, v)
+				continue
+			}
+			if !reflect.DeepEqual(m.Config, want) {
+				t.Errorf("builtin %s/%s config drifted from legacy constructor:\n got %+v\nwant %+v", name, v, m.Config, want)
+			}
+			checked++
+		}
+	}
+	if checked != 19 {
+		t.Fatalf("checked %d builtins, want 19", checked)
+	}
+	// The constructor functions must hand out the registry instances.
+	ctors := map[string]*Model{
+		"WR": WR(Curr), "rWR": RWR(Curr), "rWM": RWM(Curr), "rMM": RMM(Curr),
+		"nWR": NWR(Curr), "nMM": NMM(Curr), "A9like": A9like(Curr),
+		"PowerA9": PowerA9(), "PowerA9-ldld-fixed": PowerA9Fixed(),
+		"TSO": TSO(), "SC": SCProof(), "AlphaLike": AlphaLike(),
+	}
+	for name, m := range ctors {
+		if m != ModelByName(name, Curr) {
+			t.Errorf("constructor for %s returns a different instance than the registry", name)
+		}
+	}
+}
+
+// TestBuiltinSpecFilesAreCanonical: every shipped spec file is the byte
+// fixed point of its own parse→emit round trip, and parses to a valid
+// config.
+func TestBuiltinSpecFilesAreCanonical(t *testing.T) {
+	entries, err := fs.Glob(specFS, "specs/*.uspec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 19 {
+		t.Fatalf("shipped %d spec files, want 19", len(entries))
+	}
+	for _, path := range entries {
+		data, err := fs.ReadFile(specFS, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ParseSpec(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if got := s.EmitSpec(); got != string(data) {
+			t.Errorf("%s is not canonical:\n got %q\nwant %q", path, got, string(data))
+		}
+		s2, err := ParseSpec(s.EmitSpec())
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", path, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Errorf("%s: round trip changed the config: %+v vs %+v", path, s, s2)
+		}
+	}
+}
+
+// TestSpecValidationNamedErrors: each illegal field combination is
+// rejected with its named error, through Validate and through the text
+// format alike.
+func TestSpecValidationNamedErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"forwarding without WR", Config{Forwarding: true, OrderSameAddrRR: true, RespectDeps: true}, ErrForwardingWithoutRelaxWR},
+		{"nmca without forwarding", Config{RelaxWR: true, NMCA: true, OrderSameAddrRR: true, RespectDeps: true}, ErrNMCAWithoutForwarding},
+		{"cache-protocol without nmca", Config{RelaxWR: true, Forwarding: true, CacheProtocol: true, OrderSameAddrRR: true, RespectDeps: true}, ErrCacheProtocolWithoutNMCA},
+		{"same-addr-RR unset without RM", Config{RelaxWR: true, RespectDeps: true}, ErrSameAddrRRWithoutRelaxRR},
+		{"no deps without RM", Config{RelaxWR: true, OrderSameAddrRR: true}, ErrNoDepsWithoutRelaxRR},
+	}
+	for _, tc := range cases {
+		tc.cfg.Name = "illegal"
+		if err := tc.cfg.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate = %v, want %v", tc.name, err, tc.want)
+		}
+		if _, err := tc.cfg.Model(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Model() = %v, want %v", tc.name, err, tc.want)
+		}
+		// The same illegality must be caught when it arrives as text.
+		if _, err := ParseSpec(tc.cfg.EmitSpec()); !errors.Is(err, tc.want) {
+			t.Errorf("%s: ParseSpec(emitted) = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	for _, m := range Builtins().All() {
+		if err := m.Config.Validate(); err != nil {
+			t.Errorf("builtin %s fails validation: %v", m.FullName(), err)
+		}
+	}
+}
+
+// TestSpecCommentsStayOutOfQuotedStrings: `(* ... *)` is a comment only
+// outside quotes — a description containing comment delimiters survives
+// the round trip byte-for-byte.
+func TestSpecCommentsStayOutOfQuotedStrings(t *testing.T) {
+	c := Config{
+		Name: "commented", Description: "a (* not a comment *) c",
+		OrderSameAddrRR: true, RespectDeps: true,
+	}
+	s, err := ParseSpec(c.EmitSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Description != c.Description {
+		t.Fatalf("description round-tripped as %q, want %q", s.Description, c.Description)
+	}
+	if got := s.EmitSpec(); got != c.EmitSpec() {
+		t.Fatalf("emission not a fixed point:\n got %q\nwant %q", got, c.EmitSpec())
+	}
+	// Real comments are still stripped, wherever they sit.
+	s2, err := ParseSpec("(* top *)\nuspec x (* trailing\nspans lines *)\nvariant ours\n(* solo *)\norder-same-addr-rr\nrespect-deps\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Name != "x" || s2.Variant != Ours || !s2.OrderSameAddrRR {
+		t.Fatalf("comment-laden spec parsed as %+v", s2)
+	}
+	if _, err := ParseSpec("uspec y\n(* never closed"); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Fatalf("unterminated comment: err = %v", err)
+	}
+}
+
+// TestValidateRejectsNonIdentifierNames: checked construction must not
+// accept names the text format cannot round-trip — a newline in a name
+// would otherwise inject directives into EmitSpec's output.
+func TestValidateRejectsNonIdentifierNames(t *testing.T) {
+	for _, name := range []string{"x\nrelax WR\nforwarding", "has space", "quo\"te"} {
+		c := Config{Name: name, OrderSameAddrRR: true, RespectDeps: true}
+		if err := c.Validate(); !errors.Is(err, ErrInvalidName) {
+			t.Errorf("Validate(name %q) = %v, want ErrInvalidName", name, err)
+		}
+		if _, err := c.Model(); !errors.Is(err, ErrInvalidName) {
+			t.Errorf("Model(name %q) = %v, want ErrInvalidName", name, err)
+		}
+	}
+	// An empty name passes bare Validate (EnumerateConfigs validates
+	// before naming) but not checked model construction: an unnamed
+	// model's EmitSpec output could never reparse.
+	unnamed := Config{OrderSameAddrRR: true, RespectDeps: true}
+	if err := unnamed.Validate(); err != nil {
+		t.Errorf("empty name rejected by Validate: %v", err)
+	}
+	if _, err := unnamed.Model(); !errors.Is(err, ErrInvalidName) {
+		t.Errorf("Model() with empty name = %v, want ErrInvalidName", err)
+	}
+}
+
+// TestParseSpecSyntaxErrors covers the parser's rejection paths.
+func TestParseSpecSyntaxErrors(t *testing.T) {
+	cases := []struct{ name, src, wantSub string }{
+		{"empty", "", "empty spec"},
+		{"comment only", "(* hi *)", "empty spec"},
+		{"no header", "variant curr\n", "want header"},
+		{"bad name", "uspec has space here\n", "not an identifier"},
+		{"dup header", "uspec a\nuspec b\n", "duplicate"},
+		{"bad variant", "uspec a\nvariant tso\n", "unknown variant"},
+		{"dup variant", "uspec a\nvariant curr\nvariant ours\n", "duplicate"},
+		{"bad order", "uspec a\nrelax RW\n", "unknown program order"},
+		{"dup relax", "uspec a\nrelax WR\nrelax WR\n", "duplicate"},
+		{"flag arg", "uspec a\nnmca yes\n", "takes no argument"},
+		{"dup flag", "uspec a\nrespect-deps\nrespect-deps\n", "duplicate"},
+		{"unquoted description", "uspec a\ndescription plain\n", "quoted string"},
+		{"empty description", "uspec a\ndescription \"\"\n", "must not be empty"},
+		{"unknown directive", "uspec a\nstore-buffer 12\n", "unknown directive"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec(tc.src); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: ParseSpec = %v, want error containing %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestConfigFingerprint: the fingerprint tracks semantics, never names.
+func TestConfigFingerprint(t *testing.T) {
+	base := NMM(Curr).Config
+	renamed := base
+	renamed.Name = "totally-different"
+	renamed.Description = "still the same machine"
+	if renamed.Fingerprint() != base.Fingerprint() {
+		t.Error("renaming changed the config fingerprint")
+	}
+	for i, mutate := range []func(*Config){
+		func(c *Config) { c.RelaxWR = !c.RelaxWR },
+		func(c *Config) { c.Forwarding = !c.Forwarding },
+		func(c *Config) { c.RelaxWW = !c.RelaxWW },
+		func(c *Config) { c.RelaxRR = !c.RelaxRR },
+		func(c *Config) { c.OrderSameAddrRR = !c.OrderSameAddrRR },
+		func(c *Config) { c.NMCA = !c.NMCA },
+		func(c *Config) { c.CacheProtocol = !c.CacheProtocol },
+		func(c *Config) { c.RespectDeps = !c.RespectDeps },
+		func(c *Config) { c.Variant = Ours },
+	} {
+		edited := base
+		mutate(&edited)
+		if edited.Fingerprint() == base.Fingerprint() {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}
+
+// TestEnumerateConfigs pins the legal lattice: exactly 50 semantically
+// distinct configs per variant (100 total), all valid, all distinct by
+// fingerprint and by lattice name, containing every Table 7 config and
+// every companion.
+func TestEnumerateConfigs(t *testing.T) {
+	total := 0
+	for _, v := range []Variant{Curr, Ours} {
+		cfgs := EnumerateConfigs(v)
+		if len(cfgs) != 50 {
+			t.Fatalf("EnumerateConfigs(%s) = %d configs, want 50", v, len(cfgs))
+		}
+		total += len(cfgs)
+		fps := map[string]bool{}
+		names := map[string]bool{}
+		for _, c := range cfgs {
+			if err := c.Validate(); err != nil {
+				t.Errorf("enumerated config %s is invalid: %v", c.Name, err)
+			}
+			if c.Variant != v {
+				t.Errorf("enumerated config %s has variant %s, want %s", c.Name, c.Variant, v)
+			}
+			if fps[c.Fingerprint()] {
+				t.Errorf("duplicate fingerprint in lattice: %s", c.Name)
+			}
+			if names[c.Name] {
+				t.Errorf("duplicate lattice name: %s", c.Name)
+			}
+			fps[c.Fingerprint()] = true
+			names[c.Name] = true
+		}
+		for _, m := range Builtins().All() {
+			if m.Variant != v {
+				continue
+			}
+			if !fps[m.Fingerprint()] {
+				t.Errorf("builtin %s missing from the %s lattice", m.FullName(), v)
+			}
+		}
+	}
+	if total != 100 {
+		t.Fatalf("full lattice has %d configs, want 100", total)
+	}
+	// The enumeration order is deterministic.
+	a, b := EnumerateConfigs(Curr), EnumerateConfigs(Curr)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("EnumerateConfigs is not deterministic")
+	}
+}
+
+// TestRegistrySharedAndFresh: models are built exactly once (shared
+// pointers) but returned slices are fresh, so callers cannot corrupt
+// registry state by editing a slice.
+func TestRegistrySharedAndFresh(t *testing.T) {
+	a, b := Models(Curr), Models(Curr)
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("Models(Curr) sizes %d/%d, want 7", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Models(Curr)[%d] rebuilt instead of shared", i)
+		}
+	}
+	a[0] = nil
+	if c := Models(Curr); c[0] == nil {
+		t.Fatal("editing a returned slice mutated the registry")
+	}
+	if got := len(Builtins().All()); got != 19 {
+		t.Fatalf("registry has %d models, want 19", got)
+	}
+	if Builtins().Model("PowerA9", Ours) != nil {
+		t.Fatal("companion PowerA9 unexpectedly registered under Ours")
+	}
+	names := Builtins().Names()
+	if len(names) != 12 {
+		t.Fatalf("registry names = %v, want 12 distinct", names)
+	}
+}

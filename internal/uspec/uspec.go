@@ -101,189 +101,86 @@ type Config struct {
 	Variant Variant
 }
 
-// Model is an evaluable microarchitecture model.
+// Model is an evaluable microarchitecture model. Models returned by the
+// builtin registry (Models, ModelByName, the named constructors) are
+// shared and immutable: to customize one, copy its Config, edit the
+// copy, and wrap it with New.
 type Model struct {
 	Config
 }
 
-// New returns a model for the given configuration.
+// New returns a model for the given configuration. It does not validate;
+// use Config.Model (or ParseSpec) for checked construction.
 func New(cfg Config) *Model { return &Model{Config: cfg} }
 
 // FullName is "<name>/<variant>".
 func (m *Model) FullName() string { return fmt.Sprintf("%s/%s", m.Name, m.Variant) }
 
-// rocket returns the shared Rocket-like baseline configuration.
-func rocket(variant Variant) Config {
-	return Config{
-		RelaxWR:     true,
-		RespectDeps: true,
-		Variant:     variant,
-	}
-}
+// The builtin models are data, not code: each constructor below is a
+// lookup of a shipped spec file (specs/<name>.<variant>.uspec) parsed
+// into the registry once at init. See spec.go for the format and
+// registry.go for the registry.
 
 // WR is Table 7's strongest model: FIFO store buffer, no forwarding, MCA.
-func WR(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "WR"
-	c.Description = "FIFO store buffer, no value forwarding, MCA stores"
-	c.OrderSameAddrRR = true
-	return New(c)
-}
+func WR(v Variant) *Model { return mustBuiltin("WR", v) }
 
 // RWR adds store-buffer forwarding (rMCA).
-func RWR(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "rWR"
-	c.Description = "store buffer with forwarding (read-own-write-early), rMCA"
-	c.Forwarding = true
-	c.OrderSameAddrRR = true
-	return New(c)
-}
+func RWR(v Variant) *Model { return mustBuiltin("rWR", v) }
 
 // RWM additionally drains the store buffer out of order.
-func RWM(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "rWM"
-	c.Description = "rWR plus out-of-order store-buffer drain (W→W relaxed)"
-	c.Forwarding = true
-	c.RelaxWW = true
-	c.OrderSameAddrRR = true
-	return New(c)
-}
+func RWM(v Variant) *Model { return mustBuiltin("rWM", v) }
 
 // RMM additionally lets loads perform out of order; under Curr this
 // includes same-address load pairs (the Section 5.1.3 bug), under Ours
 // same-address pairs stay ordered.
-func RMM(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "rMM"
-	c.Description = "rWM plus out-of-order loads (R→M relaxed)"
-	c.Forwarding = true
-	c.RelaxWW = true
-	c.RelaxRR = true
-	c.OrderSameAddrRR = v == Ours
-	return New(c)
-}
+func RMM(v Variant) *Model { return mustBuiltin("rMM", v) }
 
 // NWR is rWR with shared store buffers: nMCA visibility.
-func NWR(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "nWR"
-	c.Description = "rWR with shared store buffers (nMCA stores)"
-	c.Forwarding = true
-	c.NMCA = true
-	c.OrderSameAddrRR = true
-	return New(c)
-}
+func NWR(v Variant) *Model { return mustBuiltin("nWR", v) }
 
 // NMM is rMM with shared store buffers: nMCA visibility.
-func NMM(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "nMM"
-	c.Description = "rMM with shared store buffers (nMCA stores)"
-	c.Forwarding = true
-	c.RelaxWW = true
-	c.RelaxRR = true
-	c.NMCA = true
-	c.OrderSameAddrRR = v == Ours
-	return New(c)
-}
+func NMM(v Variant) *Model { return mustBuiltin("nMM", v) }
 
 // A9like reaches nMM's ISA-visible relaxations through write-back caches
 // and a non-stalling directory protocol instead of shared store buffers
 // (Section 4.3 point 7).
-func A9like(v Variant) *Model {
-	c := rocket(v)
-	c.Name = "A9like"
-	c.Description = "write-back caches + non-stalling directory (nMCA without shared buffers)"
-	c.Forwarding = true
-	c.RelaxWW = true
-	c.RelaxRR = true
-	c.NMCA = true
-	c.CacheProtocol = true
-	c.OrderSameAddrRR = v == Ours
-	return New(c)
-}
+func A9like(v Variant) *Model { return mustBuiltin("A9like", v) }
 
 // Models returns the seven Table 7 models for the given MCM variant, in the
-// paper's strongest-to-weakest presentation order.
-func Models(v Variant) []*Model {
-	return []*Model{WR(v), RWR(v), RWM(v), RMM(v), NWR(v), NMM(v), A9like(v)}
-}
+// paper's strongest-to-weakest presentation order. The models are the
+// shared registry instances, built once.
+func Models(v Variant) []*Model { return builtins.Table7(v) }
 
-// ModelByName finds a Table 7 model by name for the given variant, or nil.
-func ModelByName(name string, v Variant) *Model {
-	for _, m := range Models(v) {
-		if m.Name == name {
-			return m
-		}
-	}
-	return nil
-}
+// ModelByName finds a builtin model by name for the given variant, or
+// nil. The Table 7 names exist under both variants; the companions
+// (PowerA9, PowerA9-ldld-fixed, TSO, SC, AlphaLike) only under Curr.
+func ModelByName(name string, v Variant) *Model { return builtins.Model(name, v) }
 
 // PowerA9 models a Power/ARMv7 Cortex-A9-like machine for the Section 7
 // compiler-mapping study: nMCA, all program orders relaxed including
 // same-address load pairs (the ARM load→load hazard of Figure 1), with
 // syntactic dependencies respected.
-func PowerA9() *Model {
-	return New(Config{
-		Name:        "PowerA9",
-		Description: "Power/ARMv7 Cortex-A9-like: nMCA, R→R relaxed incl. same address",
-		RelaxWR:     true,
-		Forwarding:  true,
-		RelaxWW:     true,
-		RelaxRR:     true,
-		NMCA:        true,
-		RespectDeps: true,
-		Variant:     Curr,
-	})
-}
+func PowerA9() *Model { return mustBuiltin("PowerA9", Curr) }
 
 // PowerA9Fixed is PowerA9 with the ARM load→load hazard repaired in
 // hardware (same-address loads ordered), for the Figure 1/2 discussion.
-func PowerA9Fixed() *Model {
-	m := PowerA9()
-	m.Name = "PowerA9-ldld-fixed"
-	m.Description = "PowerA9 with same-address load→load order restored"
-	m.OrderSameAddrRR = true
-	return m
-}
+func PowerA9Fixed() *Model { return mustBuiltin("PowerA9-ldld-fixed", Curr) }
 
 // TSO models an x86-TSO-like machine: a forwarding store buffer (W→R
 // relaxed, rMCA) with every other program order preserved. It matches rWR
 // in relaxation profile and exists as a named model for the x86 mapping
 // study; on x86, fences are rare (mfence only after SC stores) because TSO
 // itself provides acquire/release.
-func TSO() *Model {
-	c := rocket(Curr)
-	c.Name = "TSO"
-	c.Description = "x86-TSO-like: forwarding store buffer, all other orders preserved"
-	c.Forwarding = true
-	c.OrderSameAddrRR = true
-	return New(c)
-}
+func TSO() *Model { return mustBuiltin("TSO", Curr) }
 
 // SCProof is an ablation model with no relaxations at all: a sequentially
 // consistent in-order machine. Useful as a sanity baseline (it can never be
 // buggy, only overly strict).
-func SCProof() *Model {
-	return New(Config{
-		Name:            "SC",
-		Description:     "no relaxations: sequentially consistent baseline",
-		OrderSameAddrRR: true,
-		RespectDeps:     true,
-	})
-}
+func SCProof() *Model { return mustBuiltin("SC", Curr) }
 
 // AlphaLike is nMM without dependency ordering — the machine the Linux
 // read_barrier_depends discussion in Section 4.1.3 worries about.
-func AlphaLike() *Model {
-	m := NMM(Curr)
-	m.Name = "AlphaLike"
-	m.Description = "nMM without syntactic dependency ordering (Alpha-style)"
-	m.RespectDeps = false
-	return m
-}
+func AlphaLike() *Model { return mustBuiltin("AlphaLike", Curr) }
 
 // TableRow describes one row of the Table 7 matrix for rendering.
 type TableRow struct {

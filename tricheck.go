@@ -107,10 +107,34 @@ func LoadMemoSnapshotLenient(eng *Engine, path string, w io.Writer) error {
 
 // SelectStacks resolves the stack selectors shared by every frontend
 // (tricheck, trisynth, tricheckd): isa is "base", "base+a" or "both";
-// variant is "curr", "ours" or "both".
+// variant is "curr", "ours" or "both". Models come from the builtin
+// registry, built once and shared.
 func SelectStacks(isa, variant string) ([]Stack, error) {
 	return core.SelectStacks(isa, variant)
 }
+
+// SelectStacksModels pairs explicit models — builtins, parsed spec
+// files, or enumerated lattice configs — with the Figure 15 mapping of
+// each model's variant over the selected ISA flavours.
+func SelectStacksModels(isa string, models []*Model) ([]Stack, error) {
+	return core.SelectStacksModels(isa, models)
+}
+
+// LoadModelFiles reads and validates µspec model spec files (the
+// -model-file flag's loader).
+func LoadModelFiles(paths []string) ([]*Model, error) { return core.LoadModels(paths) }
+
+// SelectStacksFiles resolves stacks for -model-file frontends, loading
+// the specs and enforcing the shared variant-exclusivity contract
+// (variantSet = the -variant flag was explicitly given).
+func SelectStacksFiles(isa string, modelFiles []string, variantSet bool) ([]Stack, error) {
+	return core.SelectStacksFiles(isa, modelFiles, variantSet)
+}
+
+// ResolveModel finds one builtin model by name under a single-variant
+// selector ("curr" or "ours"), erroring with the known model set on a
+// miss.
+func ResolveModel(name, variant string) (*Model, error) { return core.ResolveModel(name, variant) }
 
 // JobKey returns the farm/cache key of one (test, stack) job.
 func JobKey(t *Test, s Stack) string { return core.JobKey(t, s) }
@@ -253,10 +277,19 @@ func Mappings() []*Mapping { return compile.Mappings() }
 // MappingByName finds a mapping by name, or nil.
 func MappingByName(name string) *Mapping { return compile.MappingByName(name) }
 
-// Microarchitecture models (Table 7 and companions).
+// Microarchitecture models (Table 7 and companions). A model is data: a
+// declarative ModelSpec with a herd-style text format, semantic
+// validation and a canonical config fingerprint; the builtins ship as
+// spec files parsed once into a registry.
 type (
 	// Model is a µspec microarchitecture model.
 	Model = uspec.Model
+	// ModelConfig is a model's declarative configuration: the relaxation
+	// profile, MCM variant, name and description.
+	ModelConfig = uspec.Config
+	// ModelSpec is the serializable form of a ModelConfig (they are the
+	// same type; the spec name emphasizes the parse/emit round trip).
+	ModelSpec = uspec.Spec
 	// Variant selects riscv-curr or riscv-ours semantics.
 	Variant = uspec.Variant
 	// PreparedModel is a (model, compiled program) pair with its static
@@ -314,6 +347,30 @@ func SCProofModel() *Model { return uspec.SCProof() }
 
 // AlphaLike returns the dependency-free ablation model (Section 4.1.3).
 func AlphaLike() *Model { return uspec.AlphaLike() }
+
+// Declarative model specs: parse, emit, validate, fingerprint and
+// enumerate microarchitecture configurations as data.
+
+// ParseModelSpec parses and validates a model spec in the uspec text
+// format (see internal/uspec/spec.go for the format reference).
+func ParseModelSpec(src string) (*ModelSpec, error) { return uspec.ParseSpec(src) }
+
+// NewModel wraps a validated configuration as an evaluable model.
+func NewModel(c ModelConfig) (*Model, error) { return c.Model() }
+
+// BuiltinModels returns every registered builtin model (Table 7 under
+// both variants plus the companions), shared and immutable.
+func BuiltinModels() []*Model { return uspec.Builtins().All() }
+
+// EnumerateModelConfigs walks the full legal relaxation lattice for one
+// MCM variant — every semantically distinct, validation-clean Config,
+// deduplicated by config fingerprint (50 per variant).
+func EnumerateModelConfigs(v Variant) []ModelConfig { return uspec.EnumerateConfigs(v) }
+
+// ModelFingerprint returns a model's canonical config fingerprint: a
+// content hash of its relaxation bits and variant, independent of its
+// display name. Memo-cache stack identity builds on it.
+func ModelFingerprint(m *Model) string { return m.Config.Fingerprint() }
 
 // Reporting helpers.
 
