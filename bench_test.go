@@ -15,8 +15,10 @@
 // reported metric (bugs, strict, tests, headline counts) is bit-identical
 // to the single-graph evaluator it replaced. CI runs the Figure-15, farm,
 // synth and stack-resolution benchmarks with -benchmem and archives the
-// raw JSON as the BENCH_5.json artifact (deltas rendered against the
-// committed BENCH_4.json), accumulating the perf trajectory across PRs.
+// raw JSON as the BENCH_6.json artifact (deltas rendered against the
+// committed BENCH_5.json), accumulating the perf trajectory across PRs.
+// BENCH_5 predates the obs instrumentation, so the delta also bounds the
+// telemetry overhead on the sweep paths.
 package tricheck_test
 
 import (

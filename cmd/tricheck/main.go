@@ -9,7 +9,9 @@
 //	         [-model-file spec.uspec ...] [-lattice]
 //	         [-models] [-mappings] [-csv] [-diagnose] [-workers N]
 //	         [-cache file] [-corpus dir] [-export dir] [-progress]
-//	         [-fail-on-bug]
+//	         [-profile prefix] [-metrics-out file] [-fail-on-bug]
+//	tricheck top [-family wrc] [-isa ...] [-variant ...] [-workers N]
+//	         [-k 10] [-cycle-sample 64]
 //	tricheck models ls [-variant curr|ours|both]
 //	tricheck models show <name|file.uspec> [-variant curr|ours]
 //	tricheck models lattice [-v]
@@ -45,6 +47,18 @@
 //	-export dir           write the selected suite to a corpus directory
 //	                      (herd C litmus format) and exit
 //	-progress             stream farm progress lines to stderr
+//
+// Observability flags:
+//
+//	-profile prefix       capture cpu+heap pprof profiles of the sweep to
+//	                      PREFIX.{cpu,mem}.pprof (flushed before any
+//	                      -fail-on-bug exit)
+//	-metrics-out f.json   dump the run's metrics registry — farm, memo
+//	                      and per-phase verdict histograms — as JSON
+//
+// The top subcommand runs the selected sweep on a fresh engine and
+// prints a hot-spot cost report: phase totals plus the most expensive
+// (test, stack) cells, stacks and tests.
 package main
 
 import (
@@ -53,6 +67,7 @@ import (
 	"os"
 
 	"tricheck"
+	"tricheck/internal/prof"
 )
 
 // multiFlag collects a repeatable string flag.
@@ -67,6 +82,10 @@ func (m *multiFlag) Set(v string) error {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "models" {
 		cmdModels(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		cmdTop(os.Args[2:])
 		return
 	}
 	family := flag.String("family", "", "restrict to one litmus family (mp, sb, wrc, rwc, iriw, corr, co-rsdwi, ...)")
@@ -84,6 +103,8 @@ func main() {
 	corpusDir := flag.String("corpus", "", "load litmus tests from this corpus directory instead of the generator")
 	export := flag.String("export", "", "export the selected tests to this corpus directory and exit")
 	progress := flag.Bool("progress", false, "stream farm progress to stderr")
+	profile := flag.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics registry (farm, memo, verdict phases) to this file as JSON")
 	failOnBug := flag.Bool("fail-on-bug", false, "exit non-zero (3) when any Bug verdict appears — lets CI gate on regressions")
 	flag.Parse()
 
@@ -159,6 +180,12 @@ func main() {
 		}
 	}
 
+	psess, err := prof.Begin(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
+		os.Exit(1)
+	}
+
 	var events chan tricheck.Progress
 	done := make(chan struct{})
 	if *progress {
@@ -172,6 +199,12 @@ func main() {
 	}
 	results, err := eng.SweepStream(tests, stacks, *workers, events)
 	<-done
+	// Finalize profiles here, not in a defer: the -fail-on-bug path below
+	// exits via os.Exit(3), which would skip defers and truncate the CPU
+	// profile. The profile window is exactly the sweep.
+	if perr := psess.Stop(); perr != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: finalizing profiles: %v\n", perr)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
 		os.Exit(1)
@@ -208,6 +241,22 @@ func main() {
 					break
 				}
 			}
+		}
+	}
+
+	// Write metrics before the -fail-on-bug exit so a gating CI run still
+	// leaves its telemetry behind for triage.
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = tricheck.WriteMetricsJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tricheck: writing metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
 

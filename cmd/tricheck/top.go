@@ -1,0 +1,157 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"tricheck"
+)
+
+// cmdTop implements `tricheck top`: run a sweep on a fresh engine (no
+// memo cache — every job executes, so every job is costed) and print a
+// hot-spot report from the engine's per-(test, stack) cost matrix:
+// where the verification time went, by phase, stack and test.
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	family := fs.String("family", "", "restrict to one litmus family (mp, sb, wrc, ...)")
+	isaFlag := fs.String("isa", "both", "ISA flavour: base, base+a or both")
+	variant := fs.String("variant", "both", "MCM version: curr, ours or both")
+	workers := fs.Int("workers", 0, "parallel farm workers (0 = GOMAXPROCS)")
+	topK := fs.Int("k", 10, "rows per ranking table")
+	cycleSample := fs.Int("cycle-sample", 64, "time 1-in-N innermost-loop cycle checks (0 = off); top is a diagnostic run, so sampling defaults on")
+	fs.Parse(args)
+
+	var tests []*tricheck.Test
+	if *family == "" {
+		tests = tricheck.PaperSuite()
+	} else {
+		shape := tricheck.ShapeByName(*family)
+		if shape == nil {
+			fmt.Fprintf(os.Stderr, "tricheck top: unknown family %q\n", *family)
+			os.Exit(2)
+		}
+		tests = shape.Generate()
+	}
+	stacks, err := tricheck.SelectStacks(*isaFlag, *variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck top: %v\n", err)
+		os.Exit(2)
+	}
+
+	tricheck.SetCycleSampling(*cycleSample)
+	eng := tricheck.NewEngine()
+	start := time.Now()
+	if _, err := eng.SweepStream(tests, stacks, *workers, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck top: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	costs := eng.CostMatrix()
+	if len(costs) == 0 {
+		fmt.Println("tricheck top: no executed jobs (nothing to rank)")
+		return
+	}
+	var total, hll, compile, skeleton, enumerate time.Duration
+	for _, c := range costs {
+		total += c.Total
+		hll += c.HLL
+		compile += c.Compile
+		skeleton += c.Skeleton
+		enumerate += c.Enumerate
+	}
+
+	fmt.Printf("tricheck top: %d tests × %d stacks, %d costed jobs, %s wall (%s cpu across workers)\n\n",
+		len(tests), len(stacks), len(costs), elapsed.Round(time.Millisecond), total.Round(time.Millisecond))
+
+	fmt.Println("── phase totals ──")
+	phase := func(name string, d time.Duration) {
+		fmt.Printf("  %-10s %10s  %5.1f%%\n", name, d.Round(time.Microsecond), pct(d, total))
+	}
+	phase("hll", hll)
+	phase("compile", compile)
+	phase("skeleton", skeleton)
+	phase("enumerate", enumerate)
+	phase("other", total-hll-compile-skeleton-enumerate)
+
+	fmt.Printf("\n── top %d (test, stack) cells ──\n", *topK)
+	fmt.Printf("  %-28s %-26s %10s %6s %9s %9s %8s %8s\n",
+		"TEST", "STACK", "TOTAL", "%", "HLL", "SKEL", "ENUM", "GRAPHS")
+	for i, c := range costs {
+		if i >= *topK {
+			break
+		}
+		fmt.Printf("  %-28s %-26s %10s %5.1f%% %9s %9s %8s %8d\n",
+			clip(c.Test, 28), clip(c.Stack, 26), c.Total.Round(time.Microsecond), pct(c.Total, total),
+			c.HLL.Round(time.Microsecond), c.Skeleton.Round(time.Microsecond),
+			c.Enumerate.Round(time.Microsecond), c.Graphs)
+	}
+
+	fmt.Printf("\n── top %d stacks ──\n", *topK)
+	printGroup(groupBy(costs, func(c tricheck.JobCost) string { return c.Stack }), *topK, total)
+
+	fmt.Printf("\n── top %d tests ──\n", *topK)
+	printGroup(groupBy(costs, func(c tricheck.JobCost) string { return c.Test }), *topK, total)
+}
+
+// groupCost is one aggregated ranking row.
+type groupCost struct {
+	name   string
+	total  time.Duration
+	jobs   int
+	graphs int
+}
+
+func groupBy(costs []tricheck.JobCost, key func(tricheck.JobCost) string) []groupCost {
+	byKey := map[string]*groupCost{}
+	for _, c := range costs {
+		k := key(c)
+		g := byKey[k]
+		if g == nil {
+			g = &groupCost{name: k}
+			byKey[k] = g
+		}
+		g.total += c.Total
+		g.jobs += c.Count
+		g.graphs += c.Graphs
+	}
+	out := make([]groupCost, 0, len(byKey))
+	for _, g := range byKey {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].total != out[j].total {
+			return out[i].total > out[j].total
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+func printGroup(groups []groupCost, k int, total time.Duration) {
+	fmt.Printf("  %-34s %10s %6s %7s %10s\n", "NAME", "TOTAL", "%", "JOBS", "GRAPHS")
+	for i, g := range groups {
+		if i >= k {
+			break
+		}
+		fmt.Printf("  %-34s %10s %5.1f%% %7d %10d\n",
+			clip(g.name, 34), g.total.Round(time.Microsecond), pct(g.total, total), g.jobs, g.graphs)
+	}
+}
+
+func pct(d, total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(total)
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

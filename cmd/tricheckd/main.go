@@ -6,13 +6,18 @@
 // Usage:
 //
 //	tricheckd [-addr HOST:PORT] [-cache FILE] [-max-inflight N] [-max-workers N]
+//	          [-pprof] [-trace-sample N] [-cycle-sample N]
 //
 // Endpoints:
 //
 //	POST /v1/verify  {"family":"mp","isa":"both","variant":"both"} →
-//	                 NDJSON verdict records + terminal summary
+//	                 NDJSON verdict records + terminal summary; every
+//	                 record carries the request's trace ID
 //	GET  /v1/stats   service + engine + cache counters
+//	GET  /v1/traces  slowest retained spans (requests + sampled jobs)
+//	GET  /metrics    Prometheus text exposition
 //	GET  /debug/vars expvar
+//	GET  /debug/pprof/*  runtime profiles (only with -pprof)
 //	GET  /healthz    liveness
 //
 // On SIGINT/SIGTERM the server shuts down gracefully — in-flight
@@ -31,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"tricheck/internal/obs"
 	"tricheck/internal/server"
 )
 
@@ -41,14 +47,20 @@ func main() {
 	maxWorkers := flag.Int("max-workers", 0, "per-request farm worker budget (0 = GOMAXPROCS)")
 	memoCap := flag.Int("memo-cap", 0, "memo-cache LRU capacity in (test, stack) entries (0 = default, several full paper sweeps)")
 	shutdownGrace := flag.Duration("shutdown-grace", 30*time.Second, "graceful-shutdown deadline for in-flight streams")
+	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/ (exposes process internals; off by default)")
+	traceSample := flag.Int("trace-sample", 16, "retain a span for 1-in-N verdict jobs (0 = requests only)")
+	cycleSample := flag.Int("cycle-sample", 0, "time 1-in-N innermost-loop cycle checks (0 = off, the zero-overhead default)")
 	flag.Parse()
 
+	obs.SetVerdictSampling(*traceSample)
+	obs.SetCycleSampling(*cycleSample)
 	logger := log.New(os.Stderr, "tricheckd: ", log.LstdFlags)
 	srv, err := server.New(server.Config{
 		CachePath:    *cache,
 		MaxInFlight:  *maxInflight,
 		MaxWorkers:   *maxWorkers,
 		MemoCapacity: *memoCap,
+		EnablePprof:  *enablePprof,
 		Log:          logger,
 	})
 	if err != nil {

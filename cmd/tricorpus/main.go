@@ -194,17 +194,15 @@ func cmdVerify(args []string) {
 	dir := fs.String("dir", "", "corpus directory")
 	profile := fs.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
 	fs.Parse(args)
-	stopProf, err := prof.Start(*profile)
+	psess, err := prof.Begin(*profile)
 	if err != nil {
 		fatal(err)
 	}
-	profStopped := false
+	// Session.Stop is idempotent: the fatal hook, the explicit stop after
+	// the loop and any future exit path can all call it safely.
 	stopProfOnce := func() {
-		if !profStopped {
-			profStopped = true
-			if err := stopProf(); err != nil {
-				fmt.Fprintf(os.Stderr, "tricorpus: finalizing profiles: %v\n", err)
-			}
+		if err := psess.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "tricorpus: finalizing profiles: %v\n", err)
 		}
 	}
 	onFatal = stopProfOnce

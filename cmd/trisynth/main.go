@@ -183,17 +183,15 @@ func cmdSweep(args []string) {
 	failOnBug := fs.Bool("fail-on-bug", false, "exit non-zero (3) when any Bug verdict appears — lets CI gate on regressions")
 	fs.Parse(args)
 
-	stopProf, err := prof.Start(*profile)
+	psess, err := prof.Begin(*profile)
 	if err != nil {
 		fatal(err)
 	}
-	profStopped := false
+	// Session.Stop is idempotent: the fatal hook, the explicit stop after
+	// the sweep and any future exit path can all call it safely.
 	stopProfOnce := func() {
-		if !profStopped {
-			profStopped = true
-			if err := stopProf(); err != nil {
-				fmt.Fprintf(os.Stderr, "trisynth: finalizing profiles: %v\n", err)
-			}
+		if err := psess.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "trisynth: finalizing profiles: %v\n", err)
 		}
 	}
 	onFatal = stopProfOnce

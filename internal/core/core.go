@@ -22,12 +22,14 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/compile"
 	"tricheck/internal/farm"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
+	"tricheck/internal/obs"
 	"tricheck/internal/uspec"
 )
 
@@ -107,11 +109,15 @@ type Engine struct {
 	execs atomic.Uint64
 	// lastFarm records the statistics of the most recent farm run.
 	lastFarm farm.Stats
+	// costs is the per-(test, stack) cost matrix, fed by every executed
+	// job (see obs.go); costMu guards it.
+	costMu sync.Mutex
+	costs  map[costKey]*JobCost
 }
 
 // NewEngine returns an Engine with an empty HLL cache and no memo cache.
 func NewEngine() *Engine {
-	return &Engine{hll: map[string]*hllEntry{}}
+	return &Engine{hll: map[string]*hllEntry{}, costs: map[costKey]*JobCost{}}
 }
 
 // hllEntry is one singleflight slot of the HLL cache: the first caller
@@ -156,14 +162,14 @@ func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
 		if m, ok := e.memo.Get(key); ok {
 			return m.Bind(t, s), nil
 		}
-		m, err := e.evaluate(t, s)
+		m, err := e.evaluate(t, s, s.Name(), 0, 0)
 		if err != nil {
 			return nil, err
 		}
 		e.memo.Put(key, m)
 		return m.Bind(t, s), nil
 	}
-	m, err := e.evaluate(t, s)
+	m, err := e.evaluate(t, s, s.Name(), 0, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -178,23 +184,62 @@ func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
 // program's static skeleton exactly once and streams every candidate
 // execution through a pooled overlay, so a sweep's per-execution cost is
 // dynamic edges plus an allocation-free cycle check.
-func (e *Engine) evaluate(t *litmus.Test, s Stack) (*Memo, error) {
+//
+// Telemetry: each phase is wall-timed into the verdict-phase histograms
+// and the engine's per-(test, stack) cost matrix; 1-in-N executed jobs
+// (obs.SetVerdictSampling) additionally carry an obs.Span — tagged with
+// the sweep's trace when one is on the context — that lands in the
+// slow-trace ring. stackName is precomputed by the caller so the
+// uninstrumented job path formats nothing.
+func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName string, trace obs.TraceID, parent obs.SpanID) (*Memo, error) {
+	var sp *obs.Span
+	if obs.SampleVerdict() {
+		sp = obs.DefaultTraces.Start(trace, parent, "verdict")
+		sp.Attr("test", t.Name)
+		sp.Attr("stack", stackName)
+	}
+	jobStart := time.Now()
 	hll, err := e.HLL(t) // step 1
+	dHLL := time.Since(jobStart)
 	if err != nil {
 		return nil, err
 	}
+	t1 := time.Now()
 	prog, err := compile.Compile(s.Mapping, t.Prog) // step 2
+	dCompile := time.Since(t1)
 	if err != nil {
 		return nil, fmt.Errorf("core: compiling %s with %s: %w", t.Name, s.Mapping.Name, err)
 	}
+	t2 := time.Now()
 	pr := s.Model.Prepare(prog) // step 3: skeleton once per job
+	dSkeleton := time.Since(t2)
+	t3 := time.Now()
 	isaRes, err := pr.Evaluate()
+	dEnumerate := time.Since(t3)
 	pr.Close()
 	if err != nil {
 		return nil, fmt.Errorf("core: µspec evaluation of %s on %s: %w", t.Name, s.Model.FullName(), err)
 	}
 	e.execs.Add(1)
-	return compare(hll, isaRes), nil
+	phaseHLL.Observe(dHLL)
+	phaseCompile.Observe(dCompile)
+	m := compare(hll, isaRes)
+	verdictCounters[m.Verdict].Inc()
+	e.recordCost(JobCost{
+		Test: t.Name, Family: t.Shape.Name, Stack: stackName,
+		Count: 1, Total: time.Since(jobStart),
+		HLL: dHLL, Compile: dCompile, Skeleton: dSkeleton, Enumerate: dEnumerate,
+		Candidates: isaRes.Candidates, Graphs: isaRes.Graphs,
+	})
+	if sp != nil {
+		sp.Phase("hll", dHLL)
+		sp.Phase("compile", dCompile)
+		sp.Phase("skeleton", dSkeleton)
+		sp.Phase("enumerate", dEnumerate)
+		sp.Attr("verdict", m.Verdict.String())
+		sp.End()
+	}
+	return m, nil
 }
 
 // Executions returns the number of verifier executions (toolflow steps
@@ -333,7 +378,9 @@ func (e *Engine) Diagnose(r *TestResult) (string, error) {
 	default:
 		return fmt.Sprintf("%s on %s: equivalent", r.Test.Name, r.Stack.Name()), nil
 	}
+	t0 := time.Now()
 	_, why, err := r.Stack.Model.Explain(prog, target)
+	phaseDiagnostics.Observe(time.Since(t0))
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"tricheck/internal/farm"
+	"tricheck/internal/obs"
+)
+
+// Engine-level telemetry: the toolflow phase histograms core owns (µspec
+// owns skeleton/enumerate/cycle_check), the shared farm scheduler
+// metrics, and the per-(test, stack) cost matrix behind `tricheck top`
+// and the fleet coordinator's hedging decisions.
+
+var (
+	// farmMetrics is the scheduler telemetry every engine's sweeps record
+	// into (process-global, like the metrics themselves).
+	farmMetrics = farm.NewMetrics(obs.Default)
+
+	phaseHLL         = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "hll"))
+	phaseCompile     = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "compile"))
+	phaseDiagnostics = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "diagnostics"))
+
+	verdictCounters = [...]*obs.Counter{
+		Equivalent:   obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "Equivalent")),
+		OverlyStrict: obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "OverlyStrict")),
+		Bug:          obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "Bug")),
+	}
+)
+
+// costKey identifies one cost-matrix cell.
+type costKey struct {
+	test, stack string
+}
+
+// JobCost is one cell of the engine's per-(test, stack) cost matrix:
+// cumulative wall time of every executed verification of that pair,
+// split by toolflow phase. Memo hits and deduplicated jobs cost nothing
+// and are not recorded.
+type JobCost struct {
+	Test   string
+	Family string
+	Stack  string
+	// Count is the number of executed evaluations accumulated here
+	// (usually 1 per engine unless the memo cache is disabled).
+	Count int
+	// Total is the end-to-end job wall time; the phase fields split it.
+	Total     time.Duration
+	HLL       time.Duration
+	Compile   time.Duration
+	Skeleton  time.Duration
+	Enumerate time.Duration
+	// Candidates / Graphs are the evaluation's enumeration counters
+	// (executions visited, overlay cycle checks run).
+	Candidates int
+	Graphs     int
+}
+
+// recordCost folds one executed job into the cost matrix.
+func (e *Engine) recordCost(c JobCost) {
+	k := costKey{c.Test, c.Stack}
+	e.costMu.Lock()
+	cell := e.costs[k]
+	if cell == nil {
+		cell = &JobCost{Test: c.Test, Family: c.Family, Stack: c.Stack}
+		e.costs[k] = cell
+	}
+	cell.Count += c.Count
+	cell.Total += c.Total
+	cell.HLL += c.HLL
+	cell.Compile += c.Compile
+	cell.Skeleton += c.Skeleton
+	cell.Enumerate += c.Enumerate
+	cell.Candidates += c.Candidates
+	cell.Graphs += c.Graphs
+	e.costMu.Unlock()
+}
+
+// CostMatrix returns a copy of the per-(test, stack) cost matrix,
+// sorted most expensive first (ties broken by stack then test for
+// deterministic reports).
+func (e *Engine) CostMatrix() []JobCost {
+	e.costMu.Lock()
+	out := make([]JobCost, 0, len(e.costs))
+	for _, c := range e.costs {
+		out = append(out, *c)
+	}
+	e.costMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		if out[i].Stack != out[j].Stack {
+			return out[i].Stack < out[j].Stack
+		}
+		return out[i].Test < out[j].Test
+	})
+	return out
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"tricheck/internal/litmus"
+)
+
+// TestCostMatrixAccumulates pins the per-(test, stack) cost matrix the
+// `tricheck top` report ranks: every executed job lands exactly one
+// costed cell, cells carry a phase split that sums below the job total,
+// and the matrix comes back sorted most-expensive-first.
+func TestCostMatrixAccumulates(t *testing.T) {
+	tests := litmus.CoRR.Generate()
+	stacks, err := SelectStacks("base", "curr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	eng.EnableMemoIfAbsent(0) // memoize so the warm rerun below executes nothing
+	if _, err := eng.SweepStream(tests, stacks, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	costs := eng.CostMatrix()
+	if want := len(tests) * len(stacks); len(costs) != want {
+		t.Fatalf("cost matrix has %d cells, want %d (every job executed once)", len(costs), want)
+	}
+	for i, c := range costs {
+		if c.Count != 1 {
+			t.Errorf("%s/%s: count = %d, want 1", c.Test, c.Stack, c.Count)
+		}
+		if c.Total <= 0 {
+			t.Errorf("%s/%s: non-positive total %v", c.Test, c.Stack, c.Total)
+		}
+		if split := c.HLL + c.Compile + c.Skeleton + c.Enumerate; split > c.Total {
+			t.Errorf("%s/%s: phase split %v exceeds total %v", c.Test, c.Stack, split, c.Total)
+		}
+		if c.Candidates <= 0 {
+			t.Errorf("%s/%s: no enumeration candidates recorded", c.Test, c.Stack)
+		}
+		if c.Family != litmus.CoRR.Name {
+			t.Errorf("%s/%s: family %q", c.Test, c.Stack, c.Family)
+		}
+		if i > 0 && costs[i-1].Total < c.Total {
+			t.Errorf("matrix not sorted: cell %d (%v) after %v", i, c.Total, costs[i-1].Total)
+		}
+	}
+
+	// A warm rerun on the same engine is all memo hits: cost cells must
+	// not accumulate phantom executions.
+	if _, err := eng.SweepStream(tests, stacks, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range eng.CostMatrix() {
+		if c.Count != 1 {
+			t.Errorf("%s/%s: warm rerun bumped count to %d", c.Test, c.Stack, c.Count)
+		}
+	}
+}
+
+// TestCostMatrixEmptyEngine pins the no-work shape (nil, not a panic).
+func TestCostMatrixEmptyEngine(t *testing.T) {
+	if costs := NewEngine().CostMatrix(); len(costs) != 0 {
+		t.Errorf("fresh engine has %d cost cells", len(costs))
+	}
+}

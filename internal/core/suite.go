@@ -14,6 +14,7 @@ import (
 	"tricheck/internal/farm"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
+	"tricheck/internal/obs"
 	"tricheck/internal/uspec"
 )
 
@@ -218,15 +219,20 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 	for i, t := range tests {
 		testFPs[i] = t.Fingerprint()
 	}
+	// The sweep inherits the caller's trace (e.g. a /v1/verify request
+	// span) so sampled verdict spans correlate with it; stack display
+	// names are precomputed so job thunks never format.
+	trace, parentSpan := obs.TraceFromContext(ctx)
 	jobs := make([]farm.Job[string, *Memo], 0, total)
 	for _, s := range stacks {
 		s := s
 		sfp := StackFingerprint(s)
+		sname := s.Name()
 		for ti, t := range tests {
 			t := t
 			jobs = append(jobs, farm.Job[string, *Memo]{
 				Key: jobKeyFromFPs(testFPs[ti], sfp),
-				Run: func() (*Memo, error) { return e.evaluate(t, s) },
+				Run: func() (*Memo, error) { return e.evaluate(t, s, sname, trace, parentSpan) },
 			})
 		}
 	}
@@ -235,6 +241,7 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 		Workers: workers,
 		Cache:   e.memo,
 		Context: ctx,
+		Metrics: farmMetrics,
 		OnResult: func(i int, m *Memo, cached bool) {
 			if events == nil {
 				return

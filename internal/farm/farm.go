@@ -29,6 +29,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Job is one unit of farm work: a canonical key plus the thunk that
@@ -75,6 +76,11 @@ type Options[K comparable, V any] struct {
 	// shared cache) and Run returns the context's error. Nil means run to
 	// completion.
 	Context context.Context
+	// Metrics, when non-nil, receives scheduler telemetry: queue-wait and
+	// run-time distributions, memo lookup latencies and disposition
+	// counters. Recording is atomic adds on pre-registered handles — the
+	// instrumented path performs no allocation or formatting.
+	Metrics *Metrics
 }
 
 // shard is one worker's deque. The owner pops newest-first from the
@@ -116,6 +122,10 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	obsm := opts.Metrics
+	if obsm != nil {
+		obsm.Runs.Inc()
+	}
 	stats := Stats{Jobs: len(jobs)}
 	results := make([]V, len(jobs))
 	errs := make([]error, len(jobs))
@@ -149,12 +159,21 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 		pending = append(pending, i)
 	}
 	stats.Unique = len(pending)
+	if obsm != nil && stats.Jobs > stats.Unique {
+		obsm.Deduped.Add(uint64(stats.Jobs - stats.Unique))
+	}
 
 	// Warm-cache pass: satisfy whatever we can without scheduling.
 	if opts.Cache != nil {
 		uncached := pending[:0]
 		for _, i := range pending {
-			if v, ok := opts.Cache.Get(jobs[i].Key); ok {
+			var lookupStart time.Time
+			if obsm != nil {
+				lookupStart = time.Now()
+			}
+			v, ok := opts.Cache.Get(jobs[i].Key)
+			obsm.observeLookup(lookupStart, ok)
+			if ok {
 				stats.CacheHits++
 				emit(i, v, true)
 				continue
@@ -190,6 +209,9 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 
 	var mu sync.Mutex // guards stats.Executed / stats.Stolen and errs
 	var wg sync.WaitGroup
+	// All pending jobs are enqueued before the workers start, so a job's
+	// queue wait is simply take-time minus the run's start.
+	enqueued := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -202,7 +224,19 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 				if !ok {
 					return
 				}
+				var runStart time.Time
+				if obsm != nil {
+					runStart = time.Now()
+					obsm.QueueWait.Observe(runStart.Sub(enqueued))
+				}
 				v, err := jobs[i].Run()
+				if obsm != nil {
+					obsm.RunTime.Observe(time.Since(runStart))
+					obsm.Executed.Inc()
+					if stolen {
+						obsm.Stolen.Inc()
+					}
+				}
 				mu.Lock()
 				stats.Executed++
 				if stolen {
@@ -228,6 +262,9 @@ func Run[K comparable, V any](jobs []Job[K, V], opts Options[K, V]) ([]V, Stats,
 	// run never happened.
 	for _, s := range shards {
 		stats.Skipped += len(s.jobs)
+	}
+	if obsm != nil && stats.Skipped > 0 {
+		obsm.Skipped.Add(uint64(stats.Skipped))
 	}
 	return results, stats, runError(ctx, errs)
 }

@@ -1,0 +1,84 @@
+package farm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tricheck/internal/obs"
+)
+
+// TestRunRecordsMetrics pins the scheduler telemetry contract: a cold
+// run records executed jobs, queue-wait and run-time observations; a
+// warm rerun against the same cache records memo hits with lookup
+// latencies and executes nothing new.
+func TestRunRecordsMetrics(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	cache := NewCache[string, int](0)
+	var execs atomic.Int64
+
+	_, stats, err := Run(squareJobs(40, &execs), Options[string, int]{
+		Workers: 4, Cache: cache, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs.Value() != 1 {
+		t.Errorf("runs = %d, want 1", m.Runs.Value())
+	}
+	if got := m.Executed.Value(); got != uint64(stats.Executed) || got != 40 {
+		t.Errorf("executed counter = %d, farm stats %d, want 40", got, stats.Executed)
+	}
+	if m.QueueWait.Count() != 40 || m.RunTime.Count() != 40 {
+		t.Errorf("queue-wait %d / run-time %d observations, want 40 each",
+			m.QueueWait.Count(), m.RunTime.Count())
+	}
+	if m.MemoMisses.Value() != 40 || m.MemoHits.Value() != 0 {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/40", m.MemoHits.Value(), m.MemoMisses.Value())
+	}
+
+	// Warm rerun: every job is a memo hit, nothing executes.
+	_, stats, err = Run(squareJobs(40, &execs), Options[string, int]{
+		Workers: 4, Cache: cache, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 0 {
+		t.Fatalf("warm run executed %d jobs", stats.Executed)
+	}
+	if m.MemoHits.Value() != 40 {
+		t.Errorf("warm run memo hits = %d, want 40", m.MemoHits.Value())
+	}
+	if m.MemoLookup.Count() != 80 {
+		t.Errorf("memo lookup observations = %d, want 80", m.MemoLookup.Count())
+	}
+	if m.Executed.Value() != 40 {
+		t.Errorf("executed counter moved on warm run: %d", m.Executed.Value())
+	}
+}
+
+// TestRunMetricsDedup pins the deduped-disposition counter.
+func TestRunMetricsDedup(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	var execs atomic.Int64
+	jobs := squareJobs(10, &execs)
+	jobs = append(jobs, squareJobs(10, &execs)...) // every key twice
+	if _, _, err := Run(jobs, Options[string, int]{Workers: 2, Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Deduped.Value() != 10 {
+		t.Errorf("deduped = %d, want 10", m.Deduped.Value())
+	}
+	if m.Executed.Value() != 10 {
+		t.Errorf("executed = %d, want 10", m.Executed.Value())
+	}
+}
+
+// TestRunNilMetrics pins that a run without metrics records nothing and
+// does not crash — the zero-cost default for library users.
+func TestRunNilMetrics(t *testing.T) {
+	var execs atomic.Int64
+	if _, _, err := Run(squareJobs(8, &execs), Options[string, int]{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

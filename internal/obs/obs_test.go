@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the le (inclusive upper bound)
+// bucketing convention: an observation exactly on a bound lands in that
+// bound's bucket, one epsilon above spills into the next, and anything
+// beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{0.001, 0.01, 0.1})
+	h.ObserveSeconds(0.0005) // < first bound
+	h.ObserveSeconds(0.001)  // exactly on the first bound: le semantics
+	h.ObserveSeconds(0.0011) // just above: second bucket
+	h.ObserveSeconds(0.1)    // exactly on the last bound
+	h.ObserveSeconds(5)      // +Inf
+
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("snapshot shape: %d bounds, %d cumulative", len(bounds), len(cum))
+	}
+	// Cumulative counts per le bound: le 0.001 → 2, le 0.01 → 3,
+	// le 0.1 → 4, +Inf → 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", nil) // DurationBuckets
+	h.Observe(2 * time.Millisecond)
+	if got := h.Sum(); got < 1900*time.Microsecond || got > 2100*time.Microsecond {
+		t.Errorf("sum = %v, want ~2ms", got)
+	}
+	_, cum := h.Snapshot()
+	if cum[len(cum)-1] != 1 {
+		t.Errorf("total count via buckets = %d, want 1", cum[len(cum)-1])
+	}
+}
+
+// TestCounterConcurrent hammers one counter and one histogram from many
+// goroutines; run under -race this doubles as the data-race check for
+// the whole record path.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.ObserveSeconds(1e-4)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+// TestRegistrationIdempotent pins the shared-handle contract: the same
+// (name, labels) resolves to the same handle regardless of label order,
+// distinct labels get distinct series, and re-registering a name as a
+// different kind panics.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("jobs", "", L("k", "x"), L("q", "y"))
+	b := r.Counter("jobs", "", L("q", "y"), L("k", "x")) // order-insensitive
+	if a != b {
+		t.Error("same (name, labels) yielded distinct counters")
+	}
+	other := r.Counter("jobs", "", L("k", "z"))
+	if other == a {
+		t.Error("distinct labels shared a counter")
+	}
+	h1 := r.Histogram("lat", "", []float64{1, 2})
+	h2 := r.Histogram("lat", "", []float64{3, 4, 5}) // bounds fixed at first registration
+	if h1 != h2 {
+		t.Error("histogram re-registration yielded a distinct handle")
+	}
+	if bounds, _ := h2.Snapshot(); len(bounds) != 2 {
+		t.Errorf("bounds overridden on re-registration: %v", bounds)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("jobs", "")
+}
+
+func TestUnsortedBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds did not panic")
+		}
+	}()
+	r.Histogram("bad", "", []float64{2, 1})
+}

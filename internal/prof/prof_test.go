@@ -41,3 +41,54 @@ func TestStartWritesBothProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionStopIdempotent pins the property the CLIs rely on around
+// os.Exit paths: Stop can be called from the normal path, the fatal
+// hook and a defer, in any combination, and only the first does work.
+func TestSessionStopIdempotent(t *testing.T) {
+	prefix := filepath.Join(t.TempDir(), "run")
+	s, err := Begin(prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	heap := prefix + ".mem.pprof"
+	st1, err := os.Stat(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second and third stops: no error, no rewrite.
+	if err := s.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Errorf("third Stop: %v", err)
+	}
+	st2, err := os.Stat(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.ModTime().Equal(st1.ModTime()) || st2.Size() != st1.Size() {
+		t.Error("repeated Stop rewrote the heap profile")
+	}
+	if sessionsActive.Value() != 0 {
+		t.Errorf("active-sessions gauge = %d after stop, want 0", sessionsActive.Value())
+	}
+}
+
+// TestInertSession pins the empty-prefix and nil cases: all no-ops.
+func TestInertSession(t *testing.T) {
+	s, err := Begin("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Errorf("inert Stop: %v", err)
+	}
+	var nilSession *Session
+	if err := nilSession.Stop(); err != nil {
+		t.Errorf("nil Stop: %v", err)
+	}
+}

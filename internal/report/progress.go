@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"tricheck/internal/core"
 )
@@ -19,10 +20,24 @@ type Tracker struct {
 	// Done is the last event's delivered-result count and Total the
 	// sweep size; Done < Total after draining means the sweep aborted.
 	Done, Total int
+
+	// start is stamped on the first Observe (or an explicit Begin), last
+	// on every Observe, so Elapsed measures first-to-last result without
+	// requiring callers to thread a clock through.
+	start, last time.Time
 }
+
+// Begin stamps the tracker's start time explicitly. Optional: without
+// it the first Observe starts the clock, which under-counts by the
+// first job's latency on sweeps but needs no caller wiring.
+func (t *Tracker) Begin() { t.start = time.Now() }
 
 // Observe accumulates one event.
 func (t *Tracker) Observe(ev core.Progress) {
+	t.last = time.Now()
+	if t.start.IsZero() {
+		t.start = t.last
+	}
 	t.Done, t.Total = ev.Done, ev.Total
 	switch ev.Verdict {
 	case core.Bug:
@@ -37,10 +52,29 @@ func (t *Tracker) Observe(ev core.Progress) {
 	}
 }
 
+// Elapsed is the wall time from Begin (or the first Observe) to the
+// last Observe; zero before any result arrives.
+func (t *Tracker) Elapsed() time.Duration {
+	if t.start.IsZero() || t.last.IsZero() {
+		return 0
+	}
+	return t.last.Sub(t.start)
+}
+
+// Rate is the observed throughput in results per second (0 when the
+// elapsed window is too small to be meaningful).
+func (t *Tracker) Rate() float64 {
+	if sec := t.Elapsed().Seconds(); sec > 0 {
+		return float64(t.Done) / sec
+	}
+	return 0
+}
+
 // StreamProgress drains a SweepStream event channel, writing periodic
 // progress lines to w — one every `every` results (0 picks roughly 2%
-// of the total) plus a final summary. It returns when the channel
-// closes, so it is normally run on its own goroutine:
+// of the total) plus a final summary with elapsed time and throughput.
+// It returns when the channel closes, so it is normally run on its own
+// goroutine:
 //
 //	events := make(chan core.Progress, 256)
 //	done := make(chan struct{})
@@ -53,6 +87,7 @@ func (t *Tracker) Observe(ev core.Progress) {
 // memo cache.
 func StreamProgress(w io.Writer, events <-chan core.Progress, every int) {
 	var t Tracker
+	t.Begin()
 	for ev := range events {
 		t.Observe(ev)
 		step := every
@@ -69,7 +104,8 @@ func StreamProgress(w io.Writer, events <-chan core.Progress, every int) {
 	}
 	// done < total happens when the sweep aborted on an error.
 	if t.Total > 0 {
-		fmt.Fprintf(w, "farm: %d/%d done — bugs=%d strict=%d equiv=%d cached=%d\n",
-			t.Done, t.Total, t.Bugs, t.Strict, t.Equivalent, t.Cached)
+		fmt.Fprintf(w, "farm: %d/%d done in %s (%.0f tests/sec) — bugs=%d strict=%d equiv=%d cached=%d\n",
+			t.Done, t.Total, t.Elapsed().Round(time.Millisecond), t.Rate(),
+			t.Bugs, t.Strict, t.Equivalent, t.Cached)
 	}
 }

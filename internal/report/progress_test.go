@@ -97,7 +97,13 @@ func TestStreamProgressCompletedSweepSummary(t *testing.T) {
 	if len(lines) != 2 {
 		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out)
 	}
-	if !strings.Contains(lines[1], "4/4 done — bugs=2 strict=1 equiv=1 cached=2") {
+	if !strings.Contains(lines[1], "4/4 done in ") {
+		t.Fatalf("summary line %q lacks elapsed time", lines[1])
+	}
+	if !strings.Contains(lines[1], "tests/sec") {
+		t.Fatalf("summary line %q lacks throughput", lines[1])
+	}
+	if !strings.Contains(lines[1], "bugs=2 strict=1 equiv=1 cached=2") {
 		t.Fatalf("summary line %q", lines[1])
 	}
 }

@@ -8,9 +8,15 @@
 // Endpoints:
 //
 //	POST /v1/verify  stream per-(test, stack) verdicts as NDJSON in farm
-//	                 completion order, terminated by a summary record
+//	                 completion order, terminated by a summary record;
+//	                 every record carries the request's trace ID
 //	GET  /v1/stats   service + engine + memo-cache counters as JSON
+//	GET  /v1/traces  the N slowest retained spans (requests and sampled
+//	                 verdict jobs), slowest first, as JSON
+//	GET  /metrics    the process obs registry plus the service counters
+//	                 in Prometheus text exposition format
 //	GET  /debug/vars expvar (process globals plus the tricheckd map)
+//	GET  /debug/pprof/* runtime profiles, only with Config.EnablePprof
 //	GET  /healthz    liveness probe
 //
 // A disconnected or cancelled client aborts its sweep via request
@@ -30,11 +36,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"time"
 
 	"tricheck/internal/core"
+	"tricheck/internal/obs"
 	"tricheck/internal/report"
 )
 
@@ -72,6 +80,10 @@ type Config struct {
 	// and every shutdown snapshot — grows without limit. Ignored when
 	// Config.Engine already has a memo cache.
 	MemoCapacity int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose process internals and a CPU profile
+	// perturbs in-flight sweeps, so the operator opts in per deployment.
+	EnablePprof bool
 	// Log, when non-nil, receives request/shutdown notes.
 	Log *log.Logger
 }
@@ -82,6 +94,7 @@ type Server struct {
 	eng        *core.Engine
 	cachePath  string
 	maxWorkers int
+	pprofOn    bool
 	sem        chan struct{}
 	log        *log.Logger
 	start      time.Time
@@ -131,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 		eng:         eng,
 		cachePath:   cfg.CachePath,
 		maxWorkers:  maxWorkers,
+		pprofOn:     cfg.EnablePprof,
 		sem:         make(chan struct{}, maxInFlight),
 		log:         logger,
 		start:       time.Now(),
@@ -187,11 +201,56 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// handleMetrics renders the process obs registry (farm, memo,
+// verdict-phase and prof metrics) followed by this server's own
+// counters in Prometheus text exposition format. The per-server
+// counters stay expvar values (see the struct comment) and are
+// formatted here rather than double-registered in the global registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+	writePromCounter(w, "tricheckd_requests_total", "Verify requests accepted.", s.requests.Value())
+	writePromGauge(w, "tricheckd_requests_inflight", "Verify requests currently sweeping.", s.inflight.Value())
+	writePromCounter(w, "tricheckd_request_errors_total", "Verify requests failed by a service error.", s.errors.Value())
+	writePromCounter(w, "tricheckd_requests_cancelled_total", "Verify requests aborted by client disconnect/cancel.", s.cancels.Value())
+	writePromCounter(w, "tricheckd_verdicts_streamed_total", "NDJSON verdict records written to clients.", s.verdicts.Value())
+	writePromGauge(w, "tricheckd_uptime_seconds", "Seconds since server construction.", int64(time.Since(s.start).Seconds()))
+}
+
+func writePromCounter(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func writePromGauge(w io.Writer, name, help string, v int64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// handleTraces serves the slow-span ring, slowest first.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	traces := obs.DefaultTraces.Slowest()
+	if traces == nil {
+		traces = []obs.TraceRecord{}
+	}
+	enc.Encode(traces)
 }
 
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +280,20 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// sweep even while the connection is technically still open.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
+
+	// Every request gets a trace: a root span in the slow-span ring, and
+	// the trace ID threaded through the sweep context (sampled verdict
+	// jobs become child spans) and echoed in every NDJSON record.
+	span := obs.DefaultTraces.Start(0, 0, "verify")
+	trace := span.Trace()
+	traceHex := trace.String()
+	if req.Suite != "" {
+		span.Attr("suite", req.Suite)
+	}
+	span.Attr("tests", fmt.Sprint(len(tests)))
+	span.Attr("stacks", fmt.Sprint(len(stacks)))
+	defer span.End()
+	ctx = obs.ContextWithTrace(ctx, trace, span.ID())
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
@@ -242,7 +315,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		s.busyNanos.Add(time.Since(begin).Nanoseconds())
 	}()
-	s.log.Printf("verify: %d tests × %d stacks, %d workers", len(tests), len(stacks), workers)
+	s.log.Printf("verify[%s]: %d tests × %d stacks, %d workers", traceHex, len(tests), len(stacks), workers)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
@@ -291,6 +364,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		arm()
 		rec := VerdictRecord{
 			Type:    "verdict",
+			Trace:   traceHex,
 			Done:    ev.Done,
 			Total:   ev.Total,
 			Test:    ev.Test,
@@ -323,7 +397,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.errors.Add(1)
 		}
-		s.log.Printf("verify: aborted after %d/%d: %v", tr.Done, tr.Total, out.err)
+		s.log.Printf("verify[%s]: aborted after %d/%d: %v", traceHex, tr.Done, tr.Total, out.err)
 		if clientOK {
 			rc.SetWriteDeadline(time.Now().Add(writeTimeout))
 			enc.Encode(ErrorRecord{Type: "error", Error: out.err.Error()})
@@ -335,10 +409,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rc.SetWriteDeadline(time.Now().Add(writeTimeout))
-	enc.Encode(summarize(out.results, &tr))
+	enc.Encode(summarize(out.results, &tr, traceHex))
 	flush()
-	s.log.Printf("verify: %d/%d done in %s (bugs=%d strict=%d equiv=%d cached=%d)",
-		tr.Done, tr.Total, time.Since(begin).Round(time.Millisecond), tr.Bugs, tr.Strict, tr.Equivalent, tr.Cached)
+	s.log.Printf("verify[%s]: %d/%d done in %s (bugs=%d strict=%d equiv=%d cached=%d)",
+		traceHex, tr.Done, tr.Total, time.Since(begin).Round(time.Millisecond), tr.Bugs, tr.Strict, tr.Equivalent, tr.Cached)
 }
 
 // Stats returns the service counter snapshot /v1/stats serves.

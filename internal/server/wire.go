@@ -6,6 +6,7 @@ import (
 	"tricheck/internal/core"
 	"tricheck/internal/corpus"
 	"tricheck/internal/litmus"
+	"tricheck/internal/obs"
 	"tricheck/internal/report"
 	"tricheck/internal/uspec"
 )
@@ -49,7 +50,11 @@ type VerifyRequest struct {
 // VerdictRecord is one streamed (test, stack) verdict, emitted in farm
 // completion order.
 type VerdictRecord struct {
-	Type  string `json:"type"` // "verdict"
+	Type string `json:"type"` // "verdict"
+	// Trace is the request's trace ID (hex): every record of one /v1/verify
+	// stream carries the same ID, correlating it with /v1/traces spans and
+	// server logs.
+	Trace string `json:"trace,omitempty"`
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Test  string `json:"test"`
@@ -103,15 +108,25 @@ type StackSummary struct {
 // the per-stack aggregation. On an aborted sweep Done < Total and
 // Stacks is empty.
 type SummaryRecord struct {
-	Type       string         `json:"type"` // "summary"
-	Done       int            `json:"done"`
-	Total      int            `json:"total"`
-	Bugs       int            `json:"bugs"`
-	Strict     int            `json:"strict"`
-	Equivalent int            `json:"equivalent"`
-	Cached     int            `json:"cached"`
-	Stacks     []StackSummary `json:"stacks"`
+	Type string `json:"type"` // "summary"
+	// Trace is the request's trace ID (hex), matching every verdict
+	// record of the same stream.
+	Trace      string `json:"trace,omitempty"`
+	Done       int    `json:"done"`
+	Total      int    `json:"total"`
+	Bugs       int    `json:"bugs"`
+	Strict     int    `json:"strict"`
+	Equivalent int    `json:"equivalent"`
+	Cached     int    `json:"cached"`
+	// ElapsedSeconds is first-to-last result wall time;
+	// TestsPerSecond = Done / ElapsedSeconds (0 on a degenerate window).
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	TestsPerSecond float64        `json:"tests_per_sec"`
+	Stacks         []StackSummary `json:"stacks"`
 }
+
+// TraceJSON is one retained slow span as GET /v1/traces serves it.
+type TraceJSON = obs.TraceRecord
 
 // ErrorRecord is the stream's terminal record when the sweep failed.
 type ErrorRecord struct {
@@ -150,15 +165,18 @@ type StatsRecord struct {
 
 // summarize builds the terminal summary record from the sweep's results
 // and the tracker that observed its stream.
-func summarize(results []*core.SuiteResult, tr *report.Tracker) *SummaryRecord {
+func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string) *SummaryRecord {
 	sum := &SummaryRecord{
-		Type:       "summary",
-		Done:       tr.Done,
-		Total:      tr.Total,
-		Bugs:       tr.Bugs,
-		Strict:     tr.Strict,
-		Equivalent: tr.Equivalent,
-		Cached:     tr.Cached,
+		Type:           "summary",
+		Trace:          trace,
+		Done:           tr.Done,
+		Total:          tr.Total,
+		Bugs:           tr.Bugs,
+		Strict:         tr.Strict,
+		Equivalent:     tr.Equivalent,
+		Cached:         tr.Cached,
+		ElapsedSeconds: tr.Elapsed().Seconds(),
+		TestsPerSecond: tr.Rate(),
 	}
 	for _, sr := range results {
 		ss := StackSummary{Stack: sr.Stack.Name(), Tally: tallyJSON(sr.Tally)}

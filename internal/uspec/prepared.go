@@ -1,9 +1,27 @@
 package uspec
 
 import (
+	"time"
+
 	"tricheck/internal/isa"
 	"tricheck/internal/mem"
+	"tricheck/internal/obs"
 	"tricheck/internal/uhb"
+)
+
+// Per-verdict phase timing histograms. Skeleton build and candidate
+// enumeration are observed once per prepared evaluation (job
+// granularity — two atomic-add observations against work that costs
+// tens of microseconds to milliseconds). The overlay cycle check is the
+// innermost loop: it is observed only under 1-in-N sampling
+// (obs.SetCycleSampling), default off, so the PR-3 zero-allocation/
+// zero-format verdict-path invariants hold with telemetry enabled.
+const phaseHelp = "Per-verdict toolflow phase durations."
+
+var (
+	phaseSkeleton  = obs.Default.Histogram("tricheck_verdict_phase_seconds", phaseHelp, nil, obs.L("phase", "skeleton"))
+	phaseEnumerate = obs.Default.Histogram("tricheck_verdict_phase_seconds", phaseHelp, nil, obs.L("phase", "enumerate"))
+	phaseCycle     = obs.Default.Histogram("tricheck_verdict_phase_seconds", phaseHelp, nil, obs.L("phase", "cycle_check"))
 )
 
 // Prepared is a model × program pair compiled for repeated evaluation: the
@@ -35,12 +53,14 @@ type Prepared struct {
 // result with Close when the sweep is done so its overlay returns to the
 // shared pool.
 func (m *Model) Prepare(p *isa.Program) *Prepared {
+	start := time.Now()
 	C, K := m.layout(p)
 	ev := p.Mem().Events()
 	sb := builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierStatic}
 	sb.skel = uhb.NewSkeleton(len(ev) * K)
 	sb.run()
 	sb.skel.Freeze()
+	phaseSkeleton.Observe(time.Since(start))
 	return &Prepared{
 		m:    m,
 		p:    p,
@@ -77,10 +97,15 @@ func (pr *Prepared) Close() {
 // the Figure 6 step 3 body, sharing one skeleton and one overlay across
 // the whole candidate enumeration.
 func (pr *Prepared) Evaluate() (*Result, error) {
+	start := time.Now()
 	res := &Result{
 		Observable: map[mem.Outcome]bool{},
 		All:        map[mem.Outcome]bool{},
 	}
+	// The innermost loop stays untimed unless cycle sampling is on: a
+	// single atomic load per checked graph decides, and only every Nth
+	// check pays for two monotonic clock reads.
+	sampleN := uint64(obs.CycleSampling())
 	err := mem.Enumerate(pr.p.Mem(), func(x *mem.Execution) bool {
 		res.Candidates++
 		o := x.OutcomeOf()
@@ -89,6 +114,15 @@ func (pr *Prepared) Evaluate() (*Result, error) {
 			return true // this outcome is already known observable
 		}
 		res.Graphs++
+		if sampleN > 0 && uint64(res.Graphs)%sampleN == 0 {
+			t0 := time.Now()
+			ok := pr.ExecutionObservable(x)
+			phaseCycle.Observe(time.Since(t0))
+			if ok {
+				res.Observable[o] = true
+			}
+			return true
+		}
 		if pr.ExecutionObservable(x) {
 			res.Observable[o] = true
 		}
@@ -97,6 +131,7 @@ func (pr *Prepared) Evaluate() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	phaseEnumerate.Observe(time.Since(start))
 	return res, nil
 }
 

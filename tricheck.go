@@ -36,6 +36,7 @@ import (
 	"tricheck/internal/isa"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
+	"tricheck/internal/obs"
 	"tricheck/internal/opsim"
 	"tricheck/internal/report"
 	"tricheck/internal/synth"
@@ -90,6 +91,41 @@ type (
 // StackFingerprint returns the canonical content hash of a stack's
 // mapping recipes and model configuration.
 func StackFingerprint(s Stack) string { return core.StackFingerprint(s) }
+
+// Observability (internal/obs wiring). Every engine sweep records into
+// the process-wide metrics registry and slow-trace ring; the re-exports
+// below are what the CLIs surface (tricheckd's /metrics and /v1/traces
+// serve the same registry and ring over HTTP).
+
+// JobCost is one cell of an engine's per-(test, stack) cost matrix:
+// cumulative executed wall time split by toolflow phase
+// (Engine.CostMatrix, the data behind `tricheck top`).
+type JobCost = core.JobCost
+
+// SlowTrace is one retained slow span (a verify request or a sampled
+// verdict job) with its per-phase durations.
+type SlowTrace = obs.TraceRecord
+
+// SlowTraces returns the process slow-trace ring, slowest first.
+func SlowTraces() []SlowTrace { return obs.DefaultTraces.Slowest() }
+
+// SetVerdictSampling sets per-verdict span sampling to 1-in-n
+// (n <= 0 disables; default 16).
+func SetVerdictSampling(n int) { obs.SetVerdictSampling(n) }
+
+// SetCycleSampling sets innermost-loop overlay cycle-check timing
+// sampling to 1-in-n (n <= 0 disables — the default, preserving the
+// zero-overhead verdict hot path).
+func SetCycleSampling(n int) { obs.SetCycleSampling(n) }
+
+// WriteMetricsJSON dumps the process metrics registry as indented JSON
+// (the -metrics-out format).
+func WriteMetricsJSON(w io.Writer) error { return obs.Default.WriteJSON(w) }
+
+// WriteMetricsPrometheus renders the process metrics registry in the
+// Prometheus text exposition format — the same body tricheckd's
+// /metrics serves.
+func WriteMetricsPrometheus(w io.Writer) error { return obs.Default.WritePrometheus(w) }
 
 // ErrSnapshotVersion reports a memo-cache snapshot written by an
 // incompatible build (errors.Is against Engine.LoadMemoSnapshot's
