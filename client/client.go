@@ -35,6 +35,9 @@ type (
 	Summary = server.SummaryRecord
 	// Stats is the /v1/stats response.
 	Stats = server.StatsRecord
+	// Coverage is the /v1/coverage response: the engine's
+	// verification-coverage ledger snapshot.
+	Coverage = server.CoverageSnapshot
 )
 
 // Client talks to one tricheckd instance.
@@ -126,6 +129,33 @@ func (c *Client) Verify(ctx context.Context, req Request, onVerdict func(Verdict
 		return nil, fmt.Errorf("client: reading stream: %w", err)
 	}
 	return nil, fmt.Errorf("client: stream ended without a summary record")
+}
+
+// CoverageSnapshot fetches the engine's verification-coverage ledger.
+// withVectors controls whether the (test, config) verdict vectors — the
+// bulk of the payload after large sweeps — are included (?vectors=0).
+func (c *Client) CoverageSnapshot(ctx context.Context, withVectors bool) (*Coverage, error) {
+	url := c.BaseURL + "/v1/coverage"
+	if !withVectors {
+		url += "?vectors=0"
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: %s", resp.Status)
+	}
+	var snap Coverage
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("client: decoding coverage: %w", err)
+	}
+	return &snap, nil
 }
 
 // Stats fetches the service counters.

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http/httptest"
 	"path/filepath"
@@ -229,6 +230,83 @@ func findTest(tests []*tricheck.Test, name string) *tricheck.Test {
 		}
 	}
 	return nil
+}
+
+// TestCoverageEndpointMatchesInProcessLedger is the coverage e2e
+// acceptance test: after identical sweeps, the ledger served by GET
+// /v1/coverage is bit-for-bit the ledger of an in-process Engine — and
+// a warm, all-memoized repeat sweep leaves it bit-for-bit unchanged
+// while the discrimination vectors stay fully populated from cached
+// verdicts.
+func TestCoverageEndpointMatchesInProcessLedger(t *testing.T) {
+	tests := tricheck.MP.Generate()
+	stacks, err := tricheck.SelectStacks("base", "both")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process reference ledger.
+	eng := tricheck.NewEngine()
+	if _, err := eng.Sweep(tests, stacks, 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(eng.Coverage().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, c := newService(t, server.Config{})
+	req := Request{Family: "mp", ISA: "base", Variant: "both"}
+	sum, err := c.Verify(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.CoverageSnapshot(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("HTTP coverage ledger differs from the in-process ledger:\nhttp: %s\nproc: %s", got, want)
+	}
+
+	// The NDJSON summary's coverage totals are the same ledger's totals.
+	if sum.Coverage != snap.Totals {
+		t.Fatalf("summary coverage totals %+v != ledger totals %+v", sum.Coverage, snap.Totals)
+	}
+	if sum.Coverage.Vectors != len(tests)*len(stacks) || sum.Coverage.AxiomsFired == 0 {
+		t.Fatalf("degenerate summary coverage totals %+v", sum.Coverage)
+	}
+
+	// Warm all-memoized rerun: zero executions, and the ledger — matrix
+	// untouched, vectors re-recorded from cached verdicts — is
+	// byte-identical.
+	execs := srv.Engine().Executions()
+	if _, err := c.Verify(context.Background(), req, nil); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Engine().Executions() != execs {
+		t.Fatalf("warm rerun executed %d jobs, want 0", srv.Engine().Executions()-execs)
+	}
+	warm, err := c.CoverageSnapshot(context.Background(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb, _ := json.Marshal(warm); string(wb) != string(want) {
+		t.Fatalf("warm rerun changed the coverage ledger:\nwarm: %s\ncold: %s", wb, want)
+	}
+
+	// ?vectors=0 drops the vector payload but not the totals.
+	lean, err := c.CoverageSnapshot(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lean.Vectors) != 0 || lean.Totals != snap.Totals {
+		t.Fatalf("vectors=0 snapshot: %d vectors, totals %+v (want 0 vectors, totals %+v)", len(lean.Vectors), lean.Totals, snap.Totals)
+	}
 }
 
 // TestVerifyCallbackAbort pins the client-side cancellation path: a

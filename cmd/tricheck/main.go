@@ -11,7 +11,11 @@
 //	         [-cache file] [-corpus dir] [-export dir] [-progress]
 //	         [-profile prefix] [-metrics-out file] [-fail-on-bug]
 //	tricheck top [-family wrc] [-isa ...] [-variant ...] [-workers N]
-//	         [-k 10] [-cycle-sample 64]
+//	         [-k 10] [-cycle-sample 64] [-json]
+//	tricheck coverage [-family wrc] [-isa ...] [-variant ...] [-lattice]
+//	         [-model-file spec.uspec ...] [-workers N] [-cache file]
+//	         [-discriminate] [-coverage-out file] [-k 10]
+//	tricheck coverage diff [-fail] [-json] old.json new.json
 //	tricheck models ls [-variant curr|ours|both]
 //	tricheck models show <name|file.uspec> [-variant curr|ours]
 //	tricheck models lattice [-v]
@@ -58,7 +62,18 @@
 //
 // The top subcommand runs the selected sweep on a fresh engine and
 // prints a hot-spot cost report: phase totals plus the most expensive
-// (test, stack) cells, stacks and tests.
+// (test, stack) cells, stacks and tests; -json emits the same report
+// machine-readable.
+//
+// The coverage subcommand runs the selected sweep and reports the
+// engine's verification-coverage ledger: which µspec axioms fired edges,
+// owned stored (post-dedup) edges and witnessed forbidding cycles, per
+// model. -discriminate reduces the (test, config) verdict-vector matrix
+// to the minimal suite separating every separable pair of configs
+// (greedy set cover); -coverage-out saves the full ledger snapshot as
+// JSON; `coverage diff old.json new.json` compares two snapshots,
+// flagging verdict flips and axiom-coverage regressions (with -fail as
+// a CI gate for model edits).
 package main
 
 import (
@@ -86,6 +101,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "top" {
 		cmdTop(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "coverage" {
+		cmdCoverage(os.Args[2:])
 		return
 	}
 	family := flag.String("family", "", "restrict to one litmus family (mp, sb, wrc, rwc, iriw, corr, co-rsdwi, ...)")

@@ -22,6 +22,7 @@ func cmdTop(args []string) {
 	workers := fs.Int("workers", 0, "parallel farm workers (0 = GOMAXPROCS)")
 	topK := fs.Int("k", 10, "rows per ranking table")
 	cycleSample := fs.Int("cycle-sample", 64, "time 1-in-N innermost-loop cycle checks (0 = off); top is a diagnostic run, so sampling defaults on")
+	jsonOut := fs.Bool("json", false, "emit the hot-spot report as JSON instead of tables")
 	fs.Parse(args)
 
 	var tests []*tricheck.Test
@@ -64,6 +65,43 @@ func cmdTop(args []string) {
 		enumerate += c.Enumerate
 	}
 
+	if *jsonOut {
+		rep := topReport{
+			Tests:          len(tests),
+			Stacks:         len(stacks),
+			Jobs:           len(costs),
+			ElapsedSeconds: elapsed.Seconds(),
+			Phases: map[string]float64{
+				"hll":       hll.Seconds(),
+				"compile":   compile.Seconds(),
+				"skeleton":  skeleton.Seconds(),
+				"enumerate": enumerate.Seconds(),
+				"total":     total.Seconds(),
+			},
+		}
+		for i, c := range costs {
+			if i >= *topK {
+				break
+			}
+			rep.Cells = append(rep.Cells, topCell{
+				Test: c.Test, Stack: c.Stack,
+				TotalSeconds:     c.Total.Seconds(),
+				HLLSeconds:       c.HLL.Seconds(),
+				SkeletonSeconds:  c.Skeleton.Seconds(),
+				EnumerateSeconds: c.Enumerate.Seconds(),
+				Candidates:       c.Candidates,
+				Graphs:           c.Graphs,
+			})
+		}
+		rep.TopStacks = jsonGroups(groupBy(costs, func(c tricheck.JobCost) string { return c.Stack }), *topK)
+		rep.TopTests = jsonGroups(groupBy(costs, func(c tricheck.JobCost) string { return c.Test }), *topK)
+		if err := emitJSON("-", rep); err != nil {
+			fmt.Fprintf(os.Stderr, "tricheck top: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("tricheck top: %d tests × %d stacks, %d costed jobs, %s wall (%s cpu across workers)\n\n",
 		len(tests), len(stacks), len(costs), elapsed.Round(time.Millisecond), total.Round(time.Millisecond))
 
@@ -95,6 +133,51 @@ func cmdTop(args []string) {
 
 	fmt.Printf("\n── top %d tests ──\n", *topK)
 	printGroup(groupBy(costs, func(c tricheck.JobCost) string { return c.Test }), *topK, total)
+}
+
+// topReport is the -json form of the hot-spot report (emitJSON encoder,
+// shared with `coverage -coverage-out`).
+type topReport struct {
+	Tests          int                `json:"tests"`
+	Stacks         int                `json:"stacks"`
+	Jobs           int                `json:"jobs"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Phases         map[string]float64 `json:"phase_seconds"`
+	Cells          []topCell          `json:"cells"`
+	TopStacks      []topGroup         `json:"top_stacks"`
+	TopTests       []topGroup         `json:"top_tests"`
+}
+
+// topCell is one machine-readable (test, stack) cost cell.
+type topCell struct {
+	Test             string  `json:"test"`
+	Stack            string  `json:"stack"`
+	TotalSeconds     float64 `json:"total_seconds"`
+	HLLSeconds       float64 `json:"hll_seconds"`
+	SkeletonSeconds  float64 `json:"skeleton_seconds"`
+	EnumerateSeconds float64 `json:"enumerate_seconds"`
+	Candidates       int     `json:"candidates"`
+	Graphs           int     `json:"graphs"`
+}
+
+// topGroup is one machine-readable aggregated ranking row.
+type topGroup struct {
+	Name         string  `json:"name"`
+	TotalSeconds float64 `json:"total_seconds"`
+	Jobs         int     `json:"jobs"`
+	Graphs       int     `json:"graphs"`
+}
+
+// jsonGroups projects the top K ranking rows into wire form.
+func jsonGroups(groups []groupCost, k int) []topGroup {
+	out := make([]topGroup, 0, k)
+	for i, g := range groups {
+		if i >= k {
+			break
+		}
+		out = append(out, topGroup{Name: g.name, TotalSeconds: g.total.Seconds(), Jobs: g.jobs, Graphs: g.graphs})
+	}
+	return out
 }
 
 // groupCost is one aggregated ranking row.

@@ -26,6 +26,7 @@ import (
 
 	"tricheck/internal/c11"
 	"tricheck/internal/compile"
+	"tricheck/internal/cover"
 	"tricheck/internal/farm"
 	"tricheck/internal/litmus"
 	"tricheck/internal/mem"
@@ -113,12 +114,25 @@ type Engine struct {
 	// job (see obs.go); costMu guards it.
 	costMu sync.Mutex
 	costs  map[costKey]*JobCost
+	// ledger is the verification-coverage ledger (internal/cover): the
+	// per-(model, axiom) fired/edge/cycle matrix fed by every executed
+	// job, and the (test, config) verdict vectors fed by every result —
+	// executed or memoized. It sits next to the cost matrix: costs say
+	// where time went, the ledger says what the verification exercised.
+	ledger *cover.Ledger
 }
 
 // NewEngine returns an Engine with an empty HLL cache and no memo cache.
 func NewEngine() *Engine {
-	return &Engine{hll: map[string]*hllEntry{}, costs: map[costKey]*JobCost{}}
+	return &Engine{
+		hll:    map[string]*hllEntry{},
+		costs:  map[costKey]*JobCost{},
+		ledger: cover.NewLedger(uspec.AxiomNames(), verdictNames()).WithMetrics(coverMetrics),
+	}
 }
+
+// Coverage returns the engine's verification-coverage ledger.
+func (e *Engine) Coverage() *cover.Ledger { return e.ledger }
 
 // hllEntry is one singleflight slot of the HLL cache: the first caller
 // evaluates, concurrent callers for the same fingerprint wait on the
@@ -155,25 +169,31 @@ func (e *Engine) HLL(t *litmus.Test) (*c11.Result, error) {
 }
 
 // Run executes toolflow steps 1–4 for one test and stack, consulting the
-// memo cache when one is enabled.
+// memo cache when one is enabled. Every result — executed or memoized —
+// records its (test, config) verdict vector in the coverage ledger.
 func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
+	m, err := e.run(t, s)
+	if err != nil {
+		return nil, err
+	}
+	e.ledger.RecordVector(t.Name, s.Name(), uint8(m.Verdict))
+	return m.Bind(t, s), nil
+}
+
+func (e *Engine) run(t *litmus.Test, s Stack) (*Memo, error) {
 	if e.memo != nil {
 		key := JobKey(t, s)
 		if m, ok := e.memo.Get(key); ok {
-			return m.Bind(t, s), nil
+			return m, nil
 		}
-		m, err := e.evaluate(t, s, s.Name(), 0, 0)
+		m, err := e.evaluate(t, s, s.Name(), s.Model.FullName(), 0, 0)
 		if err != nil {
 			return nil, err
 		}
 		e.memo.Put(key, m)
-		return m.Bind(t, s), nil
+		return m, nil
 	}
-	m, err := e.evaluate(t, s, s.Name(), 0, 0)
-	if err != nil {
-		return nil, err
-	}
-	return m.Bind(t, s), nil
+	return e.evaluate(t, s, s.Name(), s.Model.FullName(), 0, 0)
 }
 
 // evaluate runs toolflow steps 1–4 unconditionally and returns the
@@ -189,9 +209,19 @@ func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
 // and the engine's per-(test, stack) cost matrix; 1-in-N executed jobs
 // (obs.SetVerdictSampling) additionally carry an obs.Span — tagged with
 // the sweep's trace when one is on the context — that lands in the
-// slow-trace ring. stackName is precomputed by the caller so the
-// uninstrumented job path formats nothing.
-func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName string, trace obs.TraceID, parent obs.SpanID) (*Memo, error) {
+// slow-trace ring. stackName and modelName are precomputed by the caller
+// so the uninstrumented job path formats nothing.
+//
+// Coverage: the job's axiom bitsets (uspec.Coverage, accumulated by the
+// Prepared across the skeleton build and every candidate execution) fold
+// into the ledger's per-model matrix, cycle-witnessed bits included on
+// every verdict. A witnessing (forbidding) cycle is what carves the
+// observable set, so its axioms are the provenance of every outcome the
+// model refused — note that the paper's buggy weak configs typically
+// reach their Bug verdicts with *zero* cycles (they observe everything;
+// that is the bug), so the cycle column is populated by the configs
+// that still forbid something.
+func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName, modelName string, trace obs.TraceID, parent obs.SpanID) (*Memo, error) {
 	var sp *obs.Span
 	if obs.SampleVerdict() {
 		sp = obs.DefaultTraces.Start(trace, parent, "verdict")
@@ -216,6 +246,7 @@ func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName string, trace obs.T
 	t3 := time.Now()
 	isaRes, err := pr.Evaluate()
 	dEnumerate := time.Since(t3)
+	cov := pr.Coverage()
 	pr.Close()
 	if err != nil {
 		return nil, fmt.Errorf("core: µspec evaluation of %s on %s: %w", t.Name, s.Model.FullName(), err)
@@ -225,6 +256,7 @@ func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName string, trace obs.T
 	phaseCompile.Observe(dCompile)
 	m := compare(hll, isaRes)
 	verdictCounters[m.Verdict].Inc()
+	e.ledger.Model(modelName).Record(int(m.Verdict), cov.Fired, cov.Edges, cov.Cycle)
 	e.recordCost(JobCost{
 		Test: t.Name, Family: t.Shape.Name, Stack: stackName,
 		Count: 1, Total: time.Since(jobStart),

@@ -4,8 +4,10 @@ import (
 	"sort"
 	"time"
 
+	"tricheck/internal/cover"
 	"tricheck/internal/farm"
 	"tricheck/internal/obs"
+	"tricheck/internal/uspec"
 )
 
 // Engine-level telemetry: the toolflow phase histograms core owns (µspec
@@ -27,7 +29,17 @@ var (
 		OverlyStrict: obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "OverlyStrict")),
 		Bug:          obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "Bug")),
 	}
+
+	// coverMetrics mirrors every engine's coverage ledger into the shared
+	// registry as per-axiom counters (aggregated over models; the full
+	// per-model matrix is served as JSON by Engine.Coverage).
+	coverMetrics = cover.NewMetrics(obs.Default, uspec.AxiomNames())
 )
+
+// verdictNames is the ledger's verdict catalogue, in ordinal order.
+func verdictNames() []string {
+	return []string{Equivalent.String(), OverlyStrict.String(), Bug.String()}
+}
 
 // costKey identifies one cost-matrix cell.
 type costKey struct {

@@ -224,15 +224,18 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 	// names are precomputed so job thunks never format.
 	trace, parentSpan := obs.TraceFromContext(ctx)
 	jobs := make([]farm.Job[string, *Memo], 0, total)
-	for _, s := range stacks {
+	stackNames := make([]string, len(stacks))
+	for si, s := range stacks {
 		s := s
 		sfp := StackFingerprint(s)
 		sname := s.Name()
+		mname := s.Model.FullName()
+		stackNames[si] = sname
 		for ti, t := range tests {
 			t := t
 			jobs = append(jobs, farm.Job[string, *Memo]{
 				Key: jobKeyFromFPs(testFPs[ti], sfp),
-				Run: func() (*Memo, error) { return e.evaluate(t, s, sname, trace, parentSpan) },
+				Run: func() (*Memo, error) { return e.evaluate(t, s, sname, mname, trace, parentSpan) },
 			})
 		}
 	}
@@ -243,6 +246,10 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 		Context: ctx,
 		Metrics: farmMetrics,
 		OnResult: func(i int, m *Memo, cached bool) {
+			// Discrimination vectors record here — the one point that sees
+			// every result, memoized or executed, so warm all-cached reruns
+			// still populate the ledger's verdict-vector matrix.
+			e.ledger.RecordVector(tests[i%len(tests)].Name, stackNames[i/len(tests)], uint8(m.Verdict))
 			if events == nil {
 				return
 			}
@@ -250,7 +257,7 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 			events <- Progress{
 				Done:    done,
 				Total:   total,
-				Stack:   stacks[i/len(tests)].Name(),
+				Stack:   stackNames[i/len(tests)],
 				Test:    tests[i%len(tests)].Name,
 				Verdict: m.Verdict,
 				Key:     jobs[i].Key,

@@ -1,0 +1,48 @@
+package cover
+
+import (
+	"math/bits"
+
+	"tricheck/internal/obs"
+)
+
+// Metrics mirrors ledger matrix records into an obs registry as
+// per-axiom counters aggregated over models: one series per (axiom,
+// kind) — bounded by the axiom catalogue, never by the model count, so a
+// 100-config lattice sweep cannot explode the Prometheus series space.
+// The full per-model matrix is only in the JSON snapshot.
+type Metrics struct {
+	fired, edges, cycles []*obs.Counter
+}
+
+// NewMetrics registers (idempotently) the coverage counter family in r.
+func NewMetrics(r *obs.Registry, axioms []string) *Metrics {
+	const help = "Verification evaluations contributing axiom coverage, by axiom and kind (aggregated over models)."
+	m := &Metrics{
+		fired:  make([]*obs.Counter, len(axioms)),
+		edges:  make([]*obs.Counter, len(axioms)),
+		cycles: make([]*obs.Counter, len(axioms)),
+	}
+	for i, name := range axioms {
+		m.fired[i] = r.Counter("tricheck_coverage_axioms_total", help, obs.L("axiom", name), obs.L("kind", "fired"))
+		m.edges[i] = r.Counter("tricheck_coverage_axioms_total", help, obs.L("axiom", name), obs.L("kind", "edges"))
+		m.cycles[i] = r.Counter("tricheck_coverage_axioms_total", help, obs.L("axiom", name), obs.L("kind", "cycles"))
+	}
+	return m
+}
+
+// record folds one evaluation's bitsets into the counters; nil-safe.
+func (m *Metrics) record(fired, edges, cycles uint64) {
+	if m == nil {
+		return
+	}
+	for b := fired; b != 0; b &= b - 1 {
+		m.fired[bits.TrailingZeros64(b)].Inc()
+	}
+	for b := edges; b != 0; b &= b - 1 {
+		m.edges[bits.TrailingZeros64(b)].Inc()
+	}
+	for b := cycles; b != 0; b &= b - 1 {
+		m.cycles[bits.TrailingZeros64(b)].Inc()
+	}
+}

@@ -13,6 +13,10 @@
 //	GET  /v1/stats   service + engine + memo-cache counters as JSON
 //	GET  /v1/traces  the N slowest retained spans (requests and sampled
 //	                 verdict jobs), slowest first, as JSON
+//	GET  /v1/coverage the engine's verification-coverage ledger as JSON:
+//	                 per-(model, axiom) fired/edges/cycles matrix,
+//	                 (test, config) verdict vectors (?vectors=0 omits
+//	                 them) and totals
 //	GET  /metrics    the process obs registry plus the service counters
 //	                 in Prometheus text exposition format
 //	GET  /debug/vars expvar (process globals plus the tricheckd map)
@@ -202,6 +206,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/verify", s.handleVerify)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
+	mux.HandleFunc("/v1/coverage", s.handleCoverage)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	if s.pprofOn {
@@ -239,6 +244,23 @@ func writePromCounter(w io.Writer, name, help string, v int64) {
 
 func writePromGauge(w io.Writer, name, help string, v int64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// handleCoverage serves the engine coverage ledger's snapshot: engine
+// lifetime state, deterministic down to the marshaled bytes for a fixed
+// ledger state, so two scrapes with no sweep in between are
+// byte-identical and an in-process ledger comparison can be exact.
+// ?vectors=0 omits the (test, config) verdict vectors, which dominate
+// the payload after large sweeps.
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Coverage().Snapshot()
+	if r.URL.Query().Get("vectors") == "0" {
+		snap.Vectors = nil
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
 }
 
 // handleTraces serves the slow-span ring, slowest first.
@@ -409,7 +431,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rc.SetWriteDeadline(time.Now().Add(writeTimeout))
-	enc.Encode(summarize(out.results, &tr, traceHex))
+	enc.Encode(summarize(out.results, &tr, traceHex, s.eng.Coverage().TotalsNow()))
 	flush()
 	s.log.Printf("verify[%s]: %d/%d done in %s (bugs=%d strict=%d equiv=%d cached=%d)",
 		traceHex, tr.Done, tr.Total, time.Since(begin).Round(time.Millisecond), tr.Bugs, tr.Strict, tr.Equivalent, tr.Cached)

@@ -5,6 +5,7 @@ import (
 
 	"tricheck/internal/core"
 	"tricheck/internal/corpus"
+	"tricheck/internal/cover"
 	"tricheck/internal/litmus"
 	"tricheck/internal/obs"
 	"tricheck/internal/report"
@@ -123,7 +124,21 @@ type SummaryRecord struct {
 	ElapsedSeconds float64        `json:"elapsed_seconds"`
 	TestsPerSecond float64        `json:"tests_per_sec"`
 	Stacks         []StackSummary `json:"stacks"`
+	// Coverage is the engine ledger's totals at summary time — lifetime
+	// engine state, not per-request (the shared memoizing engine makes a
+	// per-request cut meaningless). The full per-(model, axiom) matrix
+	// and verdict vectors live at GET /v1/coverage.
+	Coverage CoverageTotals `json:"coverage"`
 }
+
+// CoverageSnapshot is the GET /v1/coverage response: the engine
+// coverage ledger's deterministic JSON snapshot (cover.Snapshot) — the
+// per-(model, axiom) fired/edges/cycles matrix, the (test, config)
+// verdict vectors, and the totals.
+type CoverageSnapshot = cover.Snapshot
+
+// CoverageTotals is a coverage ledger's summary line (cover.Totals).
+type CoverageTotals = cover.Totals
 
 // TraceJSON is one retained slow span as GET /v1/traces serves it.
 type TraceJSON = obs.TraceRecord
@@ -163,9 +178,9 @@ type StatsRecord struct {
 	Memo         *MemoStatsJSON `json:"memo,omitempty"`
 }
 
-// summarize builds the terminal summary record from the sweep's results
-// and the tracker that observed its stream.
-func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string) *SummaryRecord {
+// summarize builds the terminal summary record from the sweep's results,
+// the tracker that observed its stream, and the engine ledger's totals.
+func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string, cov CoverageTotals) *SummaryRecord {
 	sum := &SummaryRecord{
 		Type:           "summary",
 		Trace:          trace,
@@ -177,6 +192,7 @@ func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string) *S
 		Cached:         tr.Cached,
 		ElapsedSeconds: tr.Elapsed().Seconds(),
 		TestsPerSecond: tr.Rate(),
+		Coverage:       cov,
 	}
 	for _, sr := range results {
 		ss := StackSummary{Stack: sr.Stack.Name(), Tally: tallyJSON(sr.Tally)}

@@ -36,9 +36,10 @@ type Overlay struct {
 
 	// Cycle-check scratch, sized to the node count.
 	color []byte
-	fnode []int32 // DFS stack: node per frame
-	fsidx []int32 // next static-CSR index to explore
-	fdyn  []int32 // next dynamic edge index to explore (-1 = done)
+	fnode []int32  // DFS stack: node per frame
+	fsidx []int32  // next static-CSR index to explore
+	fdyn  []int32  // next dynamic edge index to explore (-1 = done)
+	fvia  []uint32 // reason code of the edge that entered each frame
 }
 
 // NewOverlay returns an overlay bound to skel, ready for AddEdge.
@@ -62,12 +63,14 @@ func (o *Overlay) Reset(skel *Skeleton) {
 		o.fnode = make([]int32, n)
 		o.fsidx = make([]int32, n)
 		o.fdyn = make([]int32, n)
+		o.fvia = make([]uint32, n)
 	}
 	o.head = o.head[:n]
 	o.color = o.color[:n]
 	o.fnode = o.fnode[:n]
 	o.fsidx = o.fsidx[:n]
 	o.fdyn = o.fdyn[:n]
+	o.fvia = o.fvia[:n]
 	for i := range o.head {
 		o.head[i] = -1
 	}
@@ -127,6 +130,22 @@ func (o *Overlay) ForEachDynamicEdge(fn func(from, to int, reason uint32)) {
 // synthesized variants can neither overflow a goroutine stack nor
 // allocate per call.
 func (o *Overlay) HasCycle() bool {
+	_, cyclic := o.cycle(false, nil)
+	return cyclic
+}
+
+// HasCycleReasons is HasCycle with provenance: when a cycle exists, the
+// reason codes of every edge on the first cycle found (in traversal
+// order, duplicates preserved) are appended to buf. The search is the
+// same deterministic DFS as HasCycle, so the witnessing cycle — and
+// therefore the reason multiset — is stable for a given skeleton,
+// overlay contents, and insertion order. Pass a buffer with spare
+// capacity (e.g. a reused buf[:0]) to keep the call allocation-free.
+func (o *Overlay) HasCycleReasons(buf []uint32) ([]uint32, bool) {
+	return o.cycle(true, buf)
+}
+
+func (o *Overlay) cycle(collect bool, buf []uint32) ([]uint32, bool) {
 	const (
 		white = 0 // unvisited
 		gray  = 1 // on stack
@@ -152,11 +171,14 @@ func (o *Overlay) HasCycle() bool {
 			f := sp - 1
 			v := o.fnode[f]
 			var w int32 = -1
+			var r uint32
 			if i := o.fsidx[f]; i < s.off[v+1] {
 				w = s.dst[i]
+				r = s.reason[i]
 				o.fsidx[f] = i + 1
 			} else if e := o.fdyn[f]; e >= 0 {
 				w = o.to[e]
+				r = o.reason[e]
 				o.fdyn[f] = o.next[e]
 			} else {
 				color[v] = black
@@ -169,13 +191,28 @@ func (o *Overlay) HasCycle() bool {
 				o.fnode[sp] = w
 				o.fsidx[sp] = s.off[w]
 				o.fdyn[sp] = o.head[w]
+				o.fvia[sp] = r
 				sp++
 			case gray:
-				return true
+				if collect {
+					// w is gray, so it sits somewhere on the DFS stack;
+					// the cycle is w → … → v → w. The frames above w's
+					// record the reason each was entered through, and r
+					// closes the loop.
+					j := f
+					for o.fnode[j] != w {
+						j--
+					}
+					for k := j + 1; k <= f; k++ {
+						buf = append(buf, o.fvia[k])
+					}
+					buf = append(buf, r)
+				}
+				return buf, true
 			}
 		}
 	}
-	return false
+	return buf, false
 }
 
 // overlayPool recycles overlays across evaluations; a whole enumeration

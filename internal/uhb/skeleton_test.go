@@ -88,6 +88,110 @@ func TestOverlayHasEdgeBothTiers(t *testing.T) {
 	}
 }
 
+// TestOverlayCycleReasons: the provenance variant returns the reason
+// codes of the witnessing cycle — both tiers contribute, duplicates are
+// preserved, and repeated calls with a reused buffer neither allocate
+// nor disagree with HasCycle.
+func TestOverlayCycleReasons(t *testing.T) {
+	// Static chain 0→1→2 (reasons 10, 11); dynamic back edge 2→0
+	// (reason 12) closes the only cycle. Node 3 dangles off the cycle so
+	// the DFS has a non-cycle frame below the loop.
+	s := NewSkeleton(4)
+	s.AddEdge(0, 1, 10)
+	s.AddEdge(1, 2, 11)
+	s.AddEdge(0, 3, 99)
+	s.Freeze()
+	o := NewOverlay(s)
+
+	reasons, cyclic := o.HasCycleReasons(nil)
+	if cyclic || len(reasons) != 0 {
+		t.Fatalf("acyclic graph reported cycle %v", reasons)
+	}
+
+	o.AddEdge(2, 0, 12)
+	buf := make([]uint32, 0, 8)
+	reasons, cyclic = o.HasCycleReasons(buf)
+	if !cyclic {
+		t.Fatal("cycle missed")
+	}
+	// The DFS enters the cycle at node 0, so the reasons arrive in edge
+	// order around the loop: 0→1, 1→2, then the closing 2→0.
+	want := []uint32{10, 11, 12}
+	if len(reasons) != len(want) {
+		t.Fatalf("cycle reasons = %v, want %v", reasons, want)
+	}
+	for i := range want {
+		if reasons[i] != want[i] {
+			t.Fatalf("cycle reasons = %v, want %v", reasons, want)
+		}
+	}
+
+	// Self-loop: the cycle is a single edge; only its reason appears.
+	o.Reset(s)
+	o.AddEdge(2, 2, 7)
+	reasons, cyclic = o.HasCycleReasons(reasons[:0])
+	if !cyclic || len(reasons) != 1 || reasons[0] != 7 {
+		t.Fatalf("self-loop reasons = %v (cyclic=%v), want [7]", reasons, cyclic)
+	}
+
+	// Duplicate reason codes on distinct edges stay a multiset.
+	o.Reset(s)
+	o.AddEdge(2, 1, 11) // same code as static 1→2
+	reasons, cyclic = o.HasCycleReasons(reasons[:0])
+	if !cyclic || len(reasons) != 2 || reasons[0] != 11 || reasons[1] != 11 {
+		t.Fatalf("duplicate-code cycle reasons = %v (cyclic=%v), want [11 11]", reasons, cyclic)
+	}
+
+	// Steady state with a pre-grown buffer is allocation-free, and the
+	// provenance path agrees with the plain check.
+	o.Reset(s)
+	o.AddEdge(2, 0, 12)
+	allocs := testing.AllocsPerRun(100, func() {
+		r, c := o.HasCycleReasons(reasons[:0])
+		if !c || len(r) != 3 {
+			t.Fatal("cycle lost under reuse")
+		}
+		reasons = r
+	})
+	if allocs != 0 {
+		t.Errorf("HasCycleReasons allocates %.1f/op with reused buffer, want 0", allocs)
+	}
+	if !o.HasCycle() {
+		t.Fatal("HasCycle disagrees with HasCycleReasons")
+	}
+}
+
+// TestQuickOverlayCycleReasonsAgree: on random two-tier graphs the
+// provenance check and the plain check always agree, and any reported
+// reason multiset is non-empty exactly when a cycle exists.
+func TestQuickOverlayCycleReasonsAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		s := NewSkeleton(n)
+		var dyn [][2]int
+		for i := 0; i < 3*n; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.AddEdge(from, to, uint32(i))
+			} else {
+				dyn = append(dyn, [2]int{from, to})
+			}
+		}
+		s.Freeze()
+		o := AcquireOverlay(s)
+		defer ReleaseOverlay(o)
+		for i, e := range dyn {
+			o.AddEdge(e[0], e[1], uint32(1000+i))
+		}
+		reasons, cyclic := o.HasCycleReasons(nil)
+		return cyclic == o.HasCycle() && (len(reasons) > 0) == cyclic
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickOverlayMatchesGraph: splitting a random edge set arbitrarily
 // into static and dynamic tiers never changes acyclicity — the two-tier
 // verdict always equals the single-graph verdict over the union.

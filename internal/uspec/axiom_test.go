@@ -1,0 +1,193 @@
+package uspec
+
+import (
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/compile"
+	"tricheck/internal/isa"
+	"tricheck/internal/litmus"
+)
+
+// TestAxiomCatalogueGolden pins the axiom coverage space: the exact
+// index → name catalogue every Coverage bitset and ledger row is keyed
+// by. Any new axiom pass in builder.go must extend this list (and any
+// reordering of the Reason constants shows up here as a diff), so
+// coverage attribution can never silently alias two axioms to one code.
+func TestAxiomCatalogueGolden(t *testing.T) {
+	want := []string{
+		"po-fetch",
+		"in-order-execute",
+		"in-order-commit",
+		"path",
+		"amo-read-before-write",
+		"cache-getM",
+		"cache-inv-or-forward",
+		"sb-drain",
+		"ppo-RR",
+		"ppo-RR-same-addr",
+		"ppo-RW",
+		"ppo-WR",
+		"amo-not-buffered",
+		"sb-same-addr-drain",
+		"ppo-WW",
+		"sb-fifo-same-addr",
+		"dep-addr",
+		"dep-data",
+		"dep-ctrl",
+		"ws",
+		"rf-forward",
+		"rf",
+		"fr",
+		"amo-aq-R",
+		"amo-aq-W",
+		"amo-aq-vis",
+		"amo-rl-load-R",
+		"amo-rl-load-W",
+		"amo-rl-R",
+		"amo-rl-W",
+		"rel-sync-R",
+		"rel-sync-W",
+		"rel-sync-cum",
+		"sc-order",
+		"fence-RR",
+		"fence-RW",
+		"fence-WW",
+		"fence-WR",
+	}
+	if NumAxioms != len(want) {
+		t.Fatalf("NumAxioms = %d, want %d", NumAxioms, len(want))
+	}
+	if NumAxioms > 64 {
+		t.Fatalf("NumAxioms = %d exceeds the uint64 bitset", NumAxioms)
+	}
+	got := AxiomNames()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("AxiomName(%d) = %q, want %q", i, got[i], want[i])
+		}
+	}
+	seen := map[string]int{}
+	for i, n := range got {
+		if j, dup := seen[n]; dup {
+			t.Errorf("axioms %d and %d share the name %q", j, i, n)
+		}
+		seen[n] = i
+	}
+}
+
+// TestAxiomIndexInjective: every distinct axiom's reason codes map to
+// distinct indices; fence parameterization beyond the ordered pair
+// (pred/succ class, cumulativity) collapses onto the pair's axiom by
+// design.
+func TestAxiomIndexInjective(t *testing.T) {
+	for r := Reason(0); r < rFence; r++ {
+		if got := axiomIndex(r); got != int(r) {
+			t.Errorf("axiomIndex(%s) = %d, want %d", reasonNames[r], got, int(r))
+		}
+	}
+	pairs := []Reason{fenceRR, fenceRW, fenceWW, fenceWR}
+	for i, p := range pairs {
+		want := int(rFence) + i
+		// The pair axiom is stable across every fence parameterization.
+		variants := []*isa.Instr{
+			{Op: isa.OpFence, Pred: isa.ClassR, Succ: isa.ClassRW},
+			{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassRW},
+			{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassW, Cum: isa.CumLW},
+			{Op: isa.OpFence, Pred: isa.ClassRW, Succ: isa.ClassRW, Cum: isa.CumHW},
+		}
+		for _, ins := range variants {
+			if got := axiomIndex(fenceReason(ins) | p); got != want {
+				t.Errorf("axiomIndex(fence %v|%s) = %d, want %d",
+					ins, fencePairNames[i], got, want)
+			}
+		}
+	}
+	// Bits are unique across the whole space.
+	var union uint64
+	for i := 0; i < NumAxioms; i++ {
+		bit := uint64(1) << i
+		if union&bit != 0 {
+			t.Fatalf("axiom %d reuses an occupied bit", i)
+		}
+		union |= bit
+	}
+}
+
+// TestCoverageSurvivesEdgeDedup is the duplicate-edge attribution lock:
+// when a fence edge collapses onto an identical ppo edge in the skeleton
+// (first-reason-wins dedup), the fence axiom's Fired bit must survive —
+// attribution happens at emission, not at storage. Under MP compiled
+// with the intuitive base mapping, the acquire's `fence r,rw` orders
+// exactly the read pair that ppo-RR already ordered on a WR model.
+func TestCoverageSurvivesEdgeDedup(t *testing.T) {
+	tst := litmus.MP.Instantiate([]c11.Order{c11.Rlx, c11.Rel, c11.Acq, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit := func(name string) uint64 {
+		for i := 0; i < NumAxioms; i++ {
+			if AxiomName(i) == name {
+				return 1 << i
+			}
+		}
+		t.Fatalf("no axiom named %q", name)
+		return 0
+	}
+	ppoRR, fenceRRBit := bit("ppo-RR"), bit("fence-RR")
+
+	// WR keeps R→R order: the ppo pass emits perform→perform first, the
+	// fence pass emits the same edge, and Freeze keeps only ppo-RR.
+	pr := WR(Curr).Prepare(prog)
+	defer pr.Close()
+	cov := pr.Coverage()
+	if cov.Fired&ppoRR == 0 || cov.Fired&fenceRRBit == 0 {
+		t.Fatalf("Fired = %b: both ppo-RR and fence-RR must fire", cov.Fired)
+	}
+	if cov.Edges&ppoRR == 0 {
+		t.Errorf("Edges missing ppo-RR, the dedup winner")
+	}
+	if cov.Edges&fenceRRBit != 0 {
+		t.Errorf("Edges contains fence-RR although its only edge deduped away")
+	}
+
+	// rMM relaxes R→R: the fence edge is now the only one and owns its
+	// storage.
+	pr2 := RMM(Curr).Prepare(prog)
+	defer pr2.Close()
+	cov2 := pr2.Coverage()
+	if cov2.Fired&ppoRR != 0 {
+		t.Errorf("ppo-RR fired on rMM, which relaxes R→R")
+	}
+	if cov2.Fired&fenceRRBit == 0 || cov2.Edges&fenceRRBit == 0 {
+		t.Fatalf("Fired=%b Edges=%b: fence-RR must fire and own its edge on rMM",
+			cov2.Fired, cov2.Edges)
+	}
+}
+
+// TestCoverageCycleProvenance: evaluating MP on a model that forbids the
+// mp reordering finds forbidding cycles, and every cycle-witnessed axiom
+// is one that owns a stored edge.
+func TestCoverageCycleProvenance(t *testing.T) {
+	tst := litmus.MP.Instantiate([]c11.Order{c11.Rlx, c11.Rel, c11.Acq, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := WR(Curr).Prepare(prog)
+	defer pr.Close()
+	if _, err := pr.Evaluate(); err != nil {
+		t.Fatal(err)
+	}
+	cov := pr.Coverage()
+	if cov.Cycle == 0 {
+		t.Fatal("no cycle-witnessed axioms although WR forbids candidate executions")
+	}
+	if stray := cov.Cycle &^ cov.Edges; stray != 0 {
+		t.Errorf("cycle bits %b not backed by stored edges %b", stray, cov.Edges)
+	}
+	if stray := cov.Edges &^ cov.Fired; stray != 0 {
+		t.Errorf("edge bits %b not backed by fired bits %b", stray, cov.Fired)
+	}
+}

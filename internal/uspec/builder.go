@@ -50,6 +50,7 @@ type builder struct {
 	skel *uhb.Skeleton // tierStatic sink
 	ov   *uhb.Overlay  // tierDynamic sink
 	mode tier
+	cov  *Coverage // optional axiom attribution (two-tier runs only)
 
 	ev []*mem.Event
 	C  int // cores (threads)
@@ -107,22 +108,35 @@ func (b *builder) run() {
 // dyn reports whether this run may consult the execution candidate.
 func (b *builder) dyn() bool { return b.mode != tierStatic }
 
-// addS emits an execution-independent edge.
+// addS emits an execution-independent edge. Coverage attribution happens
+// here, at emission — before Skeleton dedup — so every contributing
+// axiom's Fired bit survives even when its edge collapses onto an
+// earlier axiom's (first-reason-wins keeps only one stored reason; the
+// Edges bits are recomputed from the frozen CSR in Prepare).
 func (b *builder) addS(from, to int, r Reason) {
 	switch b.mode {
 	case tierBoth:
 		b.g.AddEdge(from, to, r.String())
 	case tierStatic:
+		if b.cov != nil {
+			b.cov.Fired |= axiomBit(r)
+		}
 		b.skel.AddEdge(from, to, uint32(r))
 	}
 }
 
-// addD emits an execution-dependent edge.
+// addD emits an execution-dependent edge. The overlay never dedups, so a
+// fired dynamic axiom always owns a stored edge record too.
 func (b *builder) addD(from, to int, r Reason) {
 	switch b.mode {
 	case tierBoth:
 		b.g.AddEdge(from, to, r.String())
 	case tierDynamic:
+		if b.cov != nil {
+			bit := axiomBit(r)
+			b.cov.Fired |= bit
+			b.cov.Edges |= bit
+		}
 		b.ov.AddEdge(from, to, uint32(r))
 	}
 }

@@ -46,6 +46,9 @@ type Prepared struct {
 	skel *uhb.Skeleton
 	ov   *uhb.Overlay
 	dyn  builder // tierDynamic template; x/ov bound per execution
+
+	cov    Coverage // axiom attribution, accumulated across the evaluation
+	cycBuf []uint32 // reused cycle-provenance buffer
 }
 
 // Prepare builds the static skeleton of p under the model's axioms and
@@ -56,25 +59,36 @@ func (m *Model) Prepare(p *isa.Program) *Prepared {
 	start := time.Now()
 	C, K := m.layout(p)
 	ev := p.Mem().Events()
-	sb := builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierStatic}
+	pr := &Prepared{m: m, p: p}
+	sb := builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierStatic, cov: &pr.cov}
 	sb.skel = uhb.NewSkeleton(len(ev) * K)
 	sb.run()
 	sb.skel.Freeze()
+	// Post-dedup static attribution: the reasons that survived Freeze own
+	// the skeleton's edges (emission already set the Fired bits above).
+	sb.skel.ForEachEdge(func(_, _ int, reason uint32) {
+		pr.cov.Edges |= axiomBit(Reason(reason))
+	})
 	phaseSkeleton.Observe(time.Since(start))
-	return &Prepared{
-		m:    m,
-		p:    p,
-		skel: sb.skel,
-		ov:   uhb.AcquireOverlay(sb.skel),
-		dyn:  builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierDynamic},
-	}
+	pr.skel = sb.skel
+	pr.ov = uhb.AcquireOverlay(sb.skel)
+	pr.dyn = builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierDynamic, cov: &pr.cov}
+	return pr
 }
+
+// Coverage returns the axiom-attribution bitsets accumulated so far:
+// static edges since Prepare, dynamic edges and witnessing cycles across
+// every execution checked through this Prepared.
+func (pr *Prepared) Coverage() Coverage { return pr.cov }
 
 // Skeleton exposes the static tier (frozen; safe to share read-only).
 func (pr *Prepared) Skeleton() *uhb.Skeleton { return pr.skel }
 
 // ExecutionObservable reports whether execution x is observable on the
-// model: whether skeleton + x's overlay is acyclic.
+// model: whether skeleton + x's overlay is acyclic. A forbidding cycle
+// also records provenance: the axiom of every edge on the witnessing
+// cycle joins the coverage Cycle bitset (a reused buffer and three-OR
+// folds keep this on the zero-allocation path).
 func (pr *Prepared) ExecutionObservable(x *mem.Execution) bool {
 	pr.ov.Reset(pr.skel)
 	b := &pr.dyn
@@ -82,7 +96,12 @@ func (pr *Prepared) ExecutionObservable(x *mem.Execution) bool {
 	b.ov = pr.ov
 	b.run()
 	b.x, b.ov = nil, nil
-	return !pr.ov.HasCycle()
+	reasons, cyclic := pr.ov.HasCycleReasons(pr.cycBuf[:0])
+	for _, r := range reasons {
+		pr.cov.Cycle |= axiomBit(Reason(r))
+	}
+	pr.cycBuf = reasons
+	return !cyclic
 }
 
 // Close returns the pooled overlay. The Prepared must not be used after.

@@ -32,6 +32,7 @@ import (
 	"tricheck/internal/compile"
 	"tricheck/internal/core"
 	"tricheck/internal/corpus"
+	"tricheck/internal/cover"
 	"tricheck/internal/farm"
 	"tricheck/internal/isa"
 	"tricheck/internal/litmus"
@@ -101,6 +102,45 @@ func StackFingerprint(s Stack) string { return core.StackFingerprint(s) }
 // cumulative executed wall time split by toolflow phase
 // (Engine.CostMatrix, the data behind `tricheck top`).
 type JobCost = core.JobCost
+
+// Verification-coverage ledger (internal/cover wiring). Every engine
+// carries one next to its cost matrix (Engine.Coverage): costs say where
+// the time went, the ledger says what the verification exercised — which
+// axioms fired edges, owned stored edges, and witnessed forbidding
+// cycles, per model, plus the per-(test, config) verdict vectors behind
+// the discrimination matrix. tricheckd serves the same snapshot at
+// GET /v1/coverage.
+type (
+	// CoverageLedger is an engine's coverage accumulator
+	// (Engine.Coverage). Snapshot, Discrimination and TotalsNow are its
+	// read side.
+	CoverageLedger = cover.Ledger
+	// CoverageSnapshot is a ledger's deterministic, portable JSON form —
+	// the GET /v1/coverage body and the `coverage -coverage-out` /
+	// `coverage diff` file format.
+	CoverageSnapshot = cover.Snapshot
+	// CoverageTotals is a ledger's summary line (axioms covered per
+	// kind, jobs, vectors).
+	CoverageTotals = cover.Totals
+	// Discrimination is the per-(test, config) verdict-vector matrix.
+	Discrimination = cover.Discrimination
+	// DiscriminatingSuite is the greedy set-cover reduction of a
+	// discrimination matrix: the minimal test suite separating every
+	// separable pair of configs.
+	DiscriminatingSuite = cover.Suite
+	// CoverageDiff reports verdict flips and axiom-coverage regressions
+	// between two snapshots.
+	CoverageDiff = cover.DiffResult
+)
+
+// AxiomNames returns the µspec axiom catalogue the coverage ledger is
+// keyed by, in bit order.
+func AxiomNames() []string { return uspec.AxiomNames() }
+
+// DiffCoverage compares two coverage snapshots — typically before and
+// after a model edit: verdict flips on shared (test, config) vectors and
+// axiom-coverage regressions on shared models.
+func DiffCoverage(old, cur *CoverageSnapshot) *CoverageDiff { return cover.Diff(old, cur) }
 
 // SlowTrace is one retained slow span (a verify request or a sampled
 // verdict job) with its per-phase durations.
