@@ -8,10 +8,17 @@
 //
 //	benchdiff -old BENCH_3.json -new BENCH_4.json
 //
-// benchdiff is report-only by design: single-iteration CI timings are
-// noisy, so it never fails the job on a regression, and a missing
+// benchdiff is report-only by default: single-iteration CI timings are
+// noisy, so it does not fail the job on a regression, and a missing
 // snapshot (first run on a branch) degrades to a note instead of an
-// error.
+// error. With `-fail-over <pct>` it becomes a gate: the exit status is
+// non-zero if any benchmark's ns/op regressed by more than pct percent
+// against the baseline. `-match <regexp>` restricts the gate to the
+// benchmarks that matter (the report still covers everything), so noisy
+// micro-benchmarks don't flake the job:
+//
+//	benchdiff -old BENCH_7.json -new BENCH_8.json \
+//	    -fail-over 50 -match 'Figure15|FarmColdSweep'
 package main
 
 import (
@@ -140,7 +147,7 @@ func human(ns float64) string {
 
 func writeDiff(w io.Writer, oldName, newName string, old, new map[string]result) {
 	fmt.Fprintf(w, "### Benchmark delta: %s → %s\n\n", oldName, newName)
-	fmt.Fprintf(w, "Single-iteration CI timings — directional only, never a gate.\n\n")
+	fmt.Fprintf(w, "Single-iteration CI timings — directional; gated only via -fail-over.\n\n")
 	fmt.Fprintf(w, "| benchmark | ns/op (old → new) | Δ ns/op | allocs/op (old → new) | Δ allocs |\n")
 	fmt.Fprintf(w, "|---|---|---|---|---|\n")
 	names := make([]string, 0, len(new))
@@ -180,16 +187,53 @@ func writeDiff(w io.Writer, oldName, newName string, old, new map[string]result)
 	}
 }
 
+// gateFailures returns, sorted by name, one line per benchmark whose
+// ns/op regressed by more than pct percent from old to new. Only
+// benchmarks matching match (nil = all) and present in both snapshots
+// are considered: a brand-new benchmark has no baseline to regress
+// from, and a deleted one is visible in the report.
+func gateFailures(old, new map[string]result, match *regexp.Regexp, pct float64) []string {
+	var bad []string
+	for name, n := range new {
+		if match != nil && !match.MatchString(name) {
+			continue
+		}
+		o, ok := old[name]
+		if !ok || o.NsPerOp == 0 {
+			continue
+		}
+		d := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		if d > pct {
+			bad = append(bad, fmt.Sprintf("%s: %s → %s (%+.1f%% > +%.1f%%)",
+				strings.TrimPrefix(name, "Benchmark"), human(o.NsPerOp), human(n.NsPerOp), d, pct))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline snapshot (go test -json)")
 	newPath := flag.String("new", "", "candidate snapshot (go test -json)")
+	failOver := flag.Float64("fail-over", 0, "exit non-zero if a benchmark's ns/op regresses by more than this percentage (0 = report only)")
+	match := flag.String("match", "", "regexp selecting the benchmarks the -fail-over gate considers (default: all)")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -old BENCH_A.json -new BENCH_B.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old BENCH_A.json -new BENCH_B.json [-fail-over pct [-match re]]")
 		os.Exit(2)
 	}
-	// Report-only: a missing or unreadable snapshot is a note, not a
-	// failure — the bench job must never go red on the diff step.
+	var matchRe *regexp.Regexp
+	if *match != "" {
+		re, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -match: %v\n", err)
+			os.Exit(2)
+		}
+		matchRe = re
+	}
+	// A missing or unreadable snapshot is a note, not a failure — even
+	// in gate mode, the first run on a branch has no baseline to hold
+	// the candidate against.
 	newRes, ok := loadSnapshot(*newPath)
 	if !ok {
 		fmt.Printf("### Benchmark delta\n\nNo candidate snapshot at `%s` — nothing to compare.\n", *newPath)
@@ -201,4 +245,15 @@ func main() {
 		return
 	}
 	writeDiff(os.Stdout, *oldPath, *newPath, oldRes, newRes)
+	if *failOver > 0 {
+		if bad := gateFailures(oldRes, newRes, matchRe, *failOver); len(bad) > 0 {
+			fmt.Printf("\n**Gate: FAIL** — regressions over +%.1f%%:\n\n", *failOver)
+			for _, line := range bad {
+				fmt.Printf("- %s\n", line)
+				fmt.Fprintf(os.Stderr, "benchdiff: gate: %s\n", line)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nGate: pass (no ns/op regression over +%.1f%%).\n", *failOver)
+	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -112,5 +113,31 @@ func TestDelta(t *testing.T) {
 		if got := delta(tc.old, tc.new); got != tc.want {
 			t.Fatalf("delta(%v, %v) = %q, want %q", tc.old, tc.new, got, tc.want)
 		}
+	}
+}
+
+func TestGateFailures(t *testing.T) {
+	old := map[string]result{
+		"BenchmarkFigure15IRIWBaseCurr": {NsPerOp: 100e6},
+		"BenchmarkFarmColdSweep":        {NsPerOp: 200e6},
+		"BenchmarkNoisyMicro":           {NsPerOp: 100},
+	}
+	new := map[string]result{
+		"BenchmarkFigure15IRIWBaseCurr": {NsPerOp: 120e6}, // +20%
+		"BenchmarkFarmColdSweep":        {NsPerOp: 150e6}, // -25%
+		"BenchmarkNoisyMicro":           {NsPerOp: 900},   // +800%, filtered out
+		"BenchmarkBrandNew":             {NsPerOp: 1},     // no baseline
+	}
+	re := regexp.MustCompile(`Figure15|FarmColdSweep`)
+	if bad := gateFailures(old, new, re, 50); len(bad) != 0 {
+		t.Fatalf("gate at +50%% should pass, got %v", bad)
+	}
+	bad := gateFailures(old, new, re, 10)
+	if len(bad) != 1 || !strings.Contains(bad[0], "Figure15IRIWBaseCurr") {
+		t.Fatalf("gate at +10%% should flag only the IRIW regression, got %v", bad)
+	}
+	// No filter: the noisy micro-benchmark regression is flagged too.
+	if bad := gateFailures(old, new, nil, 10); len(bad) != 2 {
+		t.Fatalf("unfiltered gate should flag two regressions, got %v", bad)
 	}
 }

@@ -15,11 +15,36 @@ package compile
 
 import (
 	"fmt"
+	"sync"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/isa"
 	"tricheck/internal/mem"
 )
+
+// progPool recycles compiled programs between verification jobs. A cold
+// sweep compiles one program per (test, stack) job and discards it as
+// soon as the verdict is computed, so the instruction and event arenas
+// otherwise dominate the toolflow's allocation profile.
+var progPool sync.Pool
+
+func acquireProgram(arch isa.Arch, nlocs int, names ...string) *isa.Program {
+	if v := progPool.Get(); v != nil {
+		p := v.(*isa.Program)
+		p.Reset(arch, nlocs, names...)
+		return p
+	}
+	return isa.NewProgram(arch, nlocs, names...)
+}
+
+// ReleaseProgram returns a compiled program to the pool for reuse by a
+// later Compile. The caller must not retain p or any of its
+// instructions or events afterwards.
+func ReleaseProgram(p *isa.Program) {
+	if p != nil {
+		progPool.Put(p)
+	}
+}
 
 // ItemKind classifies a recipe element.
 type ItemKind uint8
@@ -156,7 +181,7 @@ func Compile(m *Mapping, p *c11.Program) (*isa.Program, error) {
 		return nil, err
 	}
 	hll := p.Mem()
-	out := isa.NewProgram(m.Arch, hll.NumLocs, hll.LocNames...)
+	out := acquireProgram(m.Arch, hll.NumLocs, hll.LocNames...)
 	for t, ops := range p.Ops {
 		// accessIdx maps the C11 per-thread op index to the per-thread
 		// index of its emitted access instruction, for control deps.

@@ -248,6 +248,9 @@ func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName, modelName string, 
 	dEnumerate := time.Since(t3)
 	cov := pr.Coverage()
 	pr.Close()
+	// The verdict below uses only the outcome sets; the compiled program
+	// is dead, so recycle its arenas for the next job.
+	compile.ReleaseProgram(prog)
 	if err != nil {
 		return nil, fmt.Errorf("core: µspec evaluation of %s on %s: %w", t.Name, s.Model.FullName(), err)
 	}
@@ -286,19 +289,23 @@ func compare(hll *c11.Result, isaRes *uspec.Result) *Memo {
 		Observable: isaRes.Observable,
 		Racy:       hll.Racy,
 	}
-	universe := map[mem.Outcome]bool{}
-	for o := range hll.All {
-		universe[o] = true
-	}
-	for o := range isaRes.All {
-		universe[o] = true
-	}
-	for o := range universe {
+	// Classify the union of both outcome sets without materializing it:
+	// every ISA-side outcome, then the HLL-only remainder. compare runs
+	// per job, and the union map dominated its cost in cold sweeps.
+	classify := func(o mem.Outcome) {
 		switch {
 		case isaRes.Observable[o] && !hll.Allowed[o]:
 			m.BugOutcomes = append(m.BugOutcomes, o)
 		case hll.Allowed[o] && !isaRes.Observable[o]:
 			m.StrictOutcomes = append(m.StrictOutcomes, o)
+		}
+	}
+	for o := range isaRes.All {
+		classify(o)
+	}
+	for o := range hll.All {
+		if !isaRes.All[o] {
+			classify(o)
 		}
 	}
 	sortOutcomes(m.BugOutcomes)
@@ -315,7 +322,13 @@ func compare(hll *c11.Result, isaRes *uspec.Result) *Memo {
 }
 
 func sortOutcomes(os []mem.Outcome) {
-	sort.Slice(os, func(i, j int) bool { return os[i] < os[j] })
+	// Insertion sort: verdict outcome lists hold a handful of entries,
+	// and sort.Slice's reflection setup costs more than the sort.
+	for i := 1; i < len(os); i++ {
+		for j := i; j > 0 && os[j] < os[j-1]; j-- {
+			os[j], os[j-1] = os[j-1], os[j]
+		}
+	}
 }
 
 // Tally counts verdicts.

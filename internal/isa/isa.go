@@ -177,11 +177,34 @@ type Program struct {
 
 	memp    *mem.Program
 	instrOf []*Instr // by event GID
+	// chunks batches Instr storage (stable pointers, one allocation per
+	// chunk instead of one per instruction — compilation is per-job work
+	// on cold sweeps). Reset rewinds cur so a recycled program refills
+	// the same chunks.
+	chunks [][]Instr
+	cur    int
 }
 
 // NewProgram returns an empty program for the given architecture.
 func NewProgram(arch Arch, nlocs int, names ...string) *Program {
 	return &Program{Arch: arch, memp: mem.NewProgram(nlocs, names...)}
+}
+
+// Reset empties the program for reuse with a new architecture and
+// location set, keeping instruction and event storage. The caller must
+// not retain instructions or events from the previous generation.
+func (p *Program) Reset(arch Arch, nlocs int, names ...string) {
+	p.Arch = arch
+	for i := range p.Instrs {
+		p.Instrs[i] = p.Instrs[i][:0]
+	}
+	p.Instrs = p.Instrs[:0]
+	p.instrOf = p.instrOf[:0]
+	for i := range p.chunks {
+		p.chunks[i] = p.chunks[i][:0]
+	}
+	p.cur = 0
+	p.memp.Reset(nlocs, names...)
 }
 
 // Mem exposes the underlying event program.
@@ -211,10 +234,27 @@ func (p *Program) Add(t int, ins Instr) int {
 		ev = mem.Event{Kind: mem.Fence, Dst: mem.NoDst}
 	}
 	ev.CtrlDepOn = ins.CtrlDepOn
-	pi := &ins
+	var ch *[]Instr
+	for {
+		if p.cur == len(p.chunks) {
+			p.chunks = append(p.chunks, make([]Instr, 0, 8))
+		}
+		ch = &p.chunks[p.cur]
+		if len(*ch) < cap(*ch) {
+			break
+		}
+		p.cur++
+	}
+	*ch = append(*ch, ins)
+	pi := &(*ch)[len(*ch)-1]
 	e := p.memp.Add(t, ev)
 	for len(p.Instrs) <= t {
-		p.Instrs = append(p.Instrs, nil)
+		if len(p.Instrs) < cap(p.Instrs) {
+			// Re-expose a row truncated by Reset, keeping its capacity.
+			p.Instrs = p.Instrs[:len(p.Instrs)+1]
+		} else {
+			p.Instrs = append(p.Instrs, nil)
+		}
 	}
 	p.Instrs[t] = append(p.Instrs[t], pi)
 	p.instrOf = append(p.instrOf, pi)

@@ -3,9 +3,8 @@ package litmus
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 
 	"tricheck/internal/c11"
 	"tricheck/internal/mem"
@@ -159,7 +158,7 @@ func permutations(n, limit int, fn func([]int)) {
 // collapse no matter how the renaming reorders the raw renderings.
 func renderProgram(p *c11.Program, sigma []int, anonLabels bool) string {
 	blocks := renderBlocks(p, sigma, anonLabels)
-	prefix := fmt.Sprintf("locs=%d;", p.Mem().NumLocs)
+	prefix := "locs=" + strconv.Itoa(p.Mem().NumLocs) + ";"
 	memObs := renderMemObs(p, sigma, anonLabels)
 	if !anonLabels || len(blocks) > maxCanonThreads {
 		sorted := append([]string(nil), blocks...)
@@ -186,25 +185,40 @@ func renderProgram(p *c11.Program, sigma []int, anonLabels bool) string {
 }
 
 func assembleRendering(prefix string, blocks []string, memObs string) string {
-	var out strings.Builder
-	out.WriteString(prefix)
-	for i, blk := range blocks {
-		fmt.Fprintf(&out, "T%d:%s", i, blk)
+	n := len(prefix) + len(memObs)
+	for _, blk := range blocks {
+		n += len(blk) + 4
 	}
-	out.WriteString(memObs)
-	return out.String()
+	out := make([]byte, 0, n)
+	out = append(out, prefix...)
+	for i, blk := range blocks {
+		out = append(out, 'T')
+		out = strconv.AppendInt(out, int64(i), 10)
+		out = append(out, ':')
+		out = append(out, blk...)
+	}
+	out = append(out, memObs...)
+	return string(out)
 }
 
-// renderBlocks renders each thread's operations and observers.
+// renderBlocks renders each thread's operations and observers. The
+// rendering is hot — a cold sweep fingerprints every job's test, and the
+// canonical form re-renders per location permutation — so each block is
+// assembled by direct byte appends instead of fmt.
 func renderBlocks(p *c11.Program, sigma []int, anonLabels bool) []string {
 	mp := p.Mem()
 	blocks := make([]string, 0, len(p.Ops))
+	var b []byte
+	var depsBuf []int
+	// Registers renumber per thread in definition order, so the
+	// builder's global numbering and a parser's local numbering
+	// fingerprint identically. The map is reused (cleared) per thread —
+	// canonicalization re-renders per location permutation, and a fresh
+	// map per thread per permutation dominated fingerprint allocations.
+	canon := make(map[int]int, 8)
 	for th, ops := range p.Ops {
-		var b strings.Builder
-		// Registers renumber per thread in definition order, so the
-		// builder's global numbering and a parser's local numbering
-		// fingerprint identically.
-		canon := map[int]int{}
+		b = b[:0]
+		clear(canon)
 		reg := func(r int) int {
 			c, ok := canon[r]
 			if !ok {
@@ -213,38 +227,73 @@ func renderBlocks(p *c11.Program, sigma []int, anonLabels bool) []string {
 			}
 			return c
 		}
-		operand := func(o mem.Operand, isLoc bool) string {
+		operand := func(o mem.Operand, isLoc bool) {
 			if o.Kind == mem.OpReg {
-				return fmt.Sprintf("r%d", reg(o.Reg))
+				b = append(b, 'r')
+				b = strconv.AppendInt(b, int64(reg(o.Reg)), 10)
+				return
 			}
 			if isLoc {
-				if o.Const >= 0 && int(o.Const) < len(sigma) {
-					return fmt.Sprintf("#%d", sigma[o.Const])
+				c := o.Const
+				if c >= 0 && int(c) < len(sigma) {
+					c = int64(sigma[c])
 				}
-				return fmt.Sprintf("#%d", o.Const)
+				b = append(b, '#')
+				b = strconv.AppendInt(b, c, 10)
+				return
 			}
 			// Data constants use a distinct marker so the structural
 			// canonicalization can renumber them without touching
 			// location ids.
-			return fmt.Sprintf("$%d", o.Const)
+			b = append(b, '$')
+			b = strconv.AppendInt(b, o.Const, 10)
 		}
 		for _, op := range ops {
 			switch op.Kind {
 			case c11.OpLoad:
-				fmt.Fprintf(&b, "ld,%s,%s,r%d", op.Ord, operand(op.Addr, true), reg(op.Dst))
+				b = append(b, "ld,"...)
+				b = append(b, op.Ord.String()...)
+				b = append(b, ',')
+				operand(op.Addr, true)
+				b = append(b, ",r"...)
+				b = strconv.AppendInt(b, int64(reg(op.Dst)), 10)
 			case c11.OpStore:
-				fmt.Fprintf(&b, "st,%s,%s,%s", op.Ord, operand(op.Addr, true), operand(op.Data, false))
+				b = append(b, "st,"...)
+				b = append(b, op.Ord.String()...)
+				b = append(b, ',')
+				operand(op.Addr, true)
+				b = append(b, ',')
+				operand(op.Data, false)
 			case c11.OpRMW:
-				fmt.Fprintf(&b, "rmw%d,%s,%s,%s,r%d", op.RMWOp, op.Ord, operand(op.Addr, true), operand(op.Data, false), reg(op.Dst))
+				b = append(b, "rmw"...)
+				b = strconv.AppendInt(b, int64(op.RMWOp), 10)
+				b = append(b, ',')
+				b = append(b, op.Ord.String()...)
+				b = append(b, ',')
+				operand(op.Addr, true)
+				b = append(b, ',')
+				operand(op.Data, false)
+				b = append(b, ",r"...)
+				b = strconv.AppendInt(b, int64(reg(op.Dst)), 10)
 			case c11.OpFence:
-				fmt.Fprintf(&b, "f,%s", op.Ord)
+				b = append(b, "f,"...)
+				b = append(b, op.Ord.String()...)
 			}
 			if len(op.CtrlDepOn) > 0 {
-				deps := append([]int(nil), op.CtrlDepOn...)
+				deps := append(depsBuf[:0], op.CtrlDepOn...)
+				depsBuf = deps
 				sort.Ints(deps)
-				fmt.Fprintf(&b, ",ctrl%v", deps)
+				// fmt's %v rendering of []int: "[a b c]".
+				b = append(b, ",ctrl["...)
+				for i, d := range deps {
+					if i > 0 {
+						b = append(b, ' ')
+					}
+					b = strconv.AppendInt(b, int64(d), 10)
+				}
+				b = append(b, ']')
 			}
-			b.WriteByte(';')
+			b = append(b, ';')
 		}
 		// Observers for this thread, in (register, label) order. The
 		// canonical register map is thread-local, so they are rendered
@@ -263,11 +312,11 @@ func renderBlocks(p *c11.Program, sigma []int, anonLabels bool) []string {
 				label = "*"
 			}
 			if c, ok := canon[o.Reg]; ok {
-				obs = append(obs, canonObs{fmt.Sprintf("r%d", c), label})
+				obs = append(obs, canonObs{"r" + strconv.Itoa(c), label})
 			} else {
 				// An observer of a never-written register: keep the raw
 				// number, prefixed so it cannot collide with canon ids.
-				obs = append(obs, canonObs{fmt.Sprintf("?%d", o.Reg), label})
+				obs = append(obs, canonObs{"?" + strconv.Itoa(o.Reg), label})
 			}
 		}
 		sort.Slice(obs, func(i, j int) bool {
@@ -277,9 +326,13 @@ func renderBlocks(p *c11.Program, sigma []int, anonLabels bool) []string {
 			return obs[i].label < obs[j].label
 		})
 		for _, o := range obs {
-			fmt.Fprintf(&b, "obs:%s=%s;", o.rendered, o.label)
+			b = append(b, "obs:"...)
+			b = append(b, o.rendered...)
+			b = append(b, '=')
+			b = append(b, o.label...)
+			b = append(b, ';')
 		}
-		blocks = append(blocks, b.String())
+		blocks = append(blocks, string(b))
 	}
 	return blocks
 }
@@ -287,7 +340,9 @@ func renderBlocks(p *c11.Program, sigma []int, anonLabels bool) []string {
 // renderMemObs renders the program-wide memory observers.
 func renderMemObs(p *c11.Program, sigma []int, anonLabels bool) string {
 	mp := p.Mem()
-	var out strings.Builder
+	if len(mp.MemObservers) == 0 {
+		return ""
+	}
 	memObs := make([]mem.MemObserver, len(mp.MemObservers))
 	for i, o := range mp.MemObservers {
 		loc := o.Loc
@@ -302,14 +357,19 @@ func renderMemObs(p *c11.Program, sigma []int, anonLabels bool) string {
 		}
 		return memObs[i].Label < memObs[j].Label
 	})
+	var out []byte
 	for _, o := range memObs {
 		label := o.Label
 		if anonLabels {
 			label = "*"
 		}
-		fmt.Fprintf(&out, "memobs:%d=%s;", o.Loc, label)
+		out = append(out, "memobs:"...)
+		out = strconv.AppendInt(out, int64(o.Loc), 10)
+		out = append(out, '=')
+		out = append(out, label...)
+		out = append(out, ';')
 	}
-	return out.String()
+	return string(out)
 }
 
 // canonValues renumbers the data constants of a rendered program ($N
@@ -317,12 +377,11 @@ func renderMemObs(p *c11.Program, sigma []int, anonLabels bool) string {
 // independent of which concrete integers a test writes. The map is
 // injective, so distinct values stay distinct.
 func canonValues(s string) string {
-	var out strings.Builder
-	out.Grow(len(s))
+	out := make([]byte, 0, len(s)+8)
 	canon := map[string]int{}
 	for i := 0; i < len(s); i++ {
 		if s[i] != '$' {
-			out.WriteByte(s[i])
+			out = append(out, s[i])
 			continue
 		}
 		j := i + 1
@@ -338,8 +397,9 @@ func canonValues(s string) string {
 			c = len(canon)
 			canon[tok] = c
 		}
-		fmt.Fprintf(&out, "$v%d", c)
+		out = append(out, "$v"...)
+		out = strconv.AppendInt(out, int64(c), 10)
 		i = j - 1
 	}
-	return out.String()
+	return string(out)
 }

@@ -3,6 +3,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrStopped is returned by Enumerate when the visitor requested an early
@@ -29,20 +30,47 @@ var ErrUnresolvable = errors.New("mem: unresolvable register-carried address")
 // (AppendFRSuccessors) with their own scratch buffers instead of the
 // slice-returning convenience forms.
 func Enumerate(p *Program, visit func(*Execution) bool) error {
+	return enumerate(p, visit, false)
+}
+
+// EnumerateDelta is Enumerate in minimal-change order: every choice
+// point (rf source per read, coherence-order branch per depth) scans
+// its alternatives in a reflected, mixed-radix-Gray-code order, so
+// consecutive candidates differ in as few rf/mo decisions as possible.
+// That keeps the edge delta between consecutive overlays small, which
+// is what the incremental acyclicity tier (uhb.Incr) amortizes best.
+//
+// The visited candidate multiset is exactly Enumerate's — only the
+// order differs. Callers that derive order-sensitive statistics from
+// the stream (e.g. "graphs checked before an outcome was known
+// observable") will see those statistics change, which is why the
+// default verdict path keeps Enumerate's natural backtracking order.
+func EnumerateDelta(p *Program, visit func(*Execution) bool) error {
+	return enumerate(p, visit, true)
+}
+
+// enumeratorPool recycles enumerator scratch across evaluations: a cold
+// sweep runs two short enumerations per job (C11 and µspec), so the
+// per-run buffer setup is a measurable slice of its allocation profile.
+var enumeratorPool = sync.Pool{New: func() any { return new(enumerator) }}
+
+func enumerate(p *Program, visit func(*Execution) bool, delta bool) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	p.frozen.Store(true)
-	en := &enumerator{p: p, visit: visit}
-	en.init()
+	en := enumeratorPool.Get().(*enumerator)
+	en.init(p, visit, delta)
 	en.assignReads()
+	err := en.err
 	if en.stopped {
-		return ErrStopped
+		err = ErrStopped
+	} else if err == nil && !en.yielded && en.deadEnd {
+		err = fmt.Errorf("%w (thread values feed addresses cyclically)", ErrUnresolvable)
 	}
-	if en.err == nil && !en.yielded && en.deadEnd {
-		return fmt.Errorf("%w (thread values feed addresses cyclically)", ErrUnresolvable)
-	}
-	return en.err
+	en.p, en.visit, en.x.P = nil, nil, nil
+	enumeratorPool.Put(en)
+	return err
 }
 
 // Executions collects all candidate executions of p. Each returned
@@ -93,41 +121,130 @@ type enumerator struct {
 	err     error
 	yielded bool // at least one execution reached the visitor
 	deadEnd bool // some branch was pruned as value-unresolvable
+	delta   bool // EnumerateDelta: reflected (minimal-change) choice order
 
 	reads  []*Event // reading events, (thread, index) order
 	writes []*Event // writing events, gid order
 	rf     []int    // by gid; rfUnassigned until chosen
 	done   []bool   // by position in reads
 
+	// Reused scratch. The enumeration inner loops are allocation-free in
+	// steady state: value resolution marks visiting (entries are always
+	// cleared on exit, so the slice is all-false between top-level
+	// calls), finishReads groups writes into byLoc rows and stamps RMW
+	// sources with seenEpoch instead of filling fresh maps, and each
+	// location's permutation state lives in permBuf/usedBuf.
+	visiting   []bool
+	constLoc   []Loc   // by gid: constant-address location (or fence LocNone)
+	constLocOK []bool  // by gid: constLoc is valid, skip operand resolution
+	constWVal  []int64 // by gid: constant plain-write value
+	constWOK   []bool  // by gid: constWVal is valid
+	byLoc      [][]int
+	seenEp     []int32 // by write gid: seenEpoch when seen as an RMW source
+	seenInitEp []int32 // by location: seenEpoch when an init-reading RMW was seen
+	seenEpoch  int32
+	permBuf    [][]int
+	usedBuf    [][]bool
+	rfDir      []bool   // delta mode: per-read reflected iteration direction
+	moDir      []uint64 // delta mode: per-location, per-depth direction bits
+
 	x Execution // scratch execution handed to the visitor
 }
 
-func (en *enumerator) init() {
-	p := en.p
-	en.reads = p.sortedByPO(func(e *Event) bool { return e.IsRead() })
+// sized returns buf resized to n elements, zeroed — reusing its backing
+// array when the capacity allows.
+func sized[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// sizedRows resizes a slice-of-rows to n, preserving the backing arrays
+// of surviving rows (callers reslice rows to [:0] before use).
+func sizedRows[T any](rows [][]T, n int) [][]T {
+	if cap(rows) < n {
+		return make([][]T, n)
+	}
+	return rows[:n]
+}
+
+// init (re)binds pooled enumerator scratch to a program, reusing every
+// buffer whose capacity still fits.
+func (en *enumerator) init(p *Program, visit func(*Execution) bool, delta bool) {
+	en.p, en.visit, en.delta = p, visit, delta
+	en.stopped, en.err, en.yielded, en.deadEnd = false, nil, false, false
+	en.seenEpoch = 0
+	en.reads = en.reads[:0]
+	en.writes = en.writes[:0]
 	for _, e := range p.events {
+		if e.IsRead() {
+			en.reads = append(en.reads, e)
+		}
 		if e.IsWrite() {
 			en.writes = append(en.writes, e)
 		}
 	}
-	en.rf = make([]int, len(p.events))
+	// (thread, index) order; the key is unique per event, so any sort
+	// yields the order sortedByPO produced. Insertion sort: litmus-scale
+	// event counts, no closure/swapper allocation.
+	for i := 1; i < len(en.reads); i++ {
+		for j := i; j > 0; j-- {
+			a, b := en.reads[j-1], en.reads[j]
+			if a.Thread < b.Thread || (a.Thread == b.Thread && a.Index < b.Index) {
+				break
+			}
+			en.reads[j-1], en.reads[j] = b, a
+		}
+	}
+	en.rf = sized(en.rf, len(p.events))
 	for i := range en.rf {
 		en.rf[i] = rfUnassigned
 	}
-	en.done = make([]bool, len(en.reads))
-	en.x = Execution{
-		P:       p,
-		MOIndex: make([]int, len(p.events)),
-		LocOf:   make([]Loc, len(p.events)),
-		RVal:    make([]int64, len(p.events)),
-		WVal:    make([]int64, len(p.events)),
+	en.done = sized(en.done, len(en.reads))
+	en.visiting = sized(en.visiting, len(p.events))
+	// Constant-operand precomputation: litmus-scale programs address
+	// memory almost exclusively through constants, so location and plain-
+	// write value resolution — the innermost per-candidate queries — are
+	// answered from these tables instead of re-walking operand chains.
+	en.constLoc = sized(en.constLoc, len(p.events))
+	en.constLocOK = sized(en.constLocOK, len(p.events))
+	en.constWVal = sized(en.constWVal, len(p.events))
+	en.constWOK = sized(en.constWOK, len(p.events))
+	for _, e := range p.events {
+		if e.Kind == Fence {
+			en.constLoc[e.GID], en.constLocOK[e.GID] = LocNone, true
+		} else if e.Addr.Kind == OpConst {
+			en.constLoc[e.GID], en.constLocOK[e.GID] = Loc(e.Addr.Const), true
+		}
+		if e.Kind == Write && e.Data.Kind == OpConst {
+			en.constWVal[e.GID], en.constWOK[e.GID] = e.Data.Const, true
+		}
 	}
+	en.byLoc = sizedRows(en.byLoc, p.NumLocs)
+	en.seenEp = sized(en.seenEp, len(p.events))
+	en.seenInitEp = sized(en.seenInitEp, p.NumLocs)
+	en.permBuf = sizedRows(en.permBuf, p.NumLocs)
+	en.usedBuf = sizedRows(en.usedBuf, p.NumLocs)
+	if delta {
+		en.rfDir = sized(en.rfDir, len(en.reads))
+		en.moDir = sized(en.moDir, p.NumLocs)
+	}
+	en.x.P = p
+	en.x.MO = sizedRows(en.x.MO, p.NumLocs)
+	en.x.RF = nil
+	en.x.MOIndex = sized(en.x.MOIndex, len(p.events))
+	en.x.LocOf = sized(en.x.LocOf, len(p.events))
+	en.x.RVal = sized(en.x.RVal, len(p.events))
+	en.x.WVal = sized(en.x.WVal, len(p.events))
 }
 
 // operandValue resolves an operand evaluated by thread t at program-order
 // position idx under the current partial rf assignment. The second result
 // is false while the value still depends on an unassigned read.
-func (en *enumerator) operandValue(t, idx int, op Operand, visiting map[int]bool) (int64, bool) {
+func (en *enumerator) operandValue(t, idx int, op Operand) (int64, bool) {
 	if op.Kind == OpConst {
 		return op.Const, true
 	}
@@ -136,15 +253,17 @@ func (en *enumerator) operandValue(t, idx int, op Operand, visiting map[int]bool
 	for i := idx - 1; i >= 0; i-- {
 		e := th[i]
 		if e.IsRead() && e.Dst == op.Reg {
-			return en.readValue(e.GID, visiting)
+			return en.readValue(e.GID)
 		}
 	}
 	return 0, false // unreachable after Validate
 }
 
-// readValue resolves the value read by event gid, if determined.
-func (en *enumerator) readValue(gid int, visiting map[int]bool) (int64, bool) {
-	if visiting[gid] {
+// readValue resolves the value read by event gid, if determined. The
+// visiting marks are always cleared on exit, so en.visiting is all-false
+// between top-level resolutions.
+func (en *enumerator) readValue(gid int) (int64, bool) {
+	if en.visiting[gid] {
 		return 0, false // value-dependency cycle (out of thin air)
 	}
 	src := en.rf[gid]
@@ -154,16 +273,19 @@ func (en *enumerator) readValue(gid int, visiting map[int]bool) (int64, bool) {
 	case InitWrite:
 		return 0, true
 	}
-	visiting[gid] = true
-	v, ok := en.writeValue(src, visiting)
-	delete(visiting, gid)
+	en.visiting[gid] = true
+	v, ok := en.writeValue(src)
+	en.visiting[gid] = false
 	return v, ok
 }
 
 // writeValue resolves the value written by event gid, if determined.
-func (en *enumerator) writeValue(gid int, visiting map[int]bool) (int64, bool) {
+func (en *enumerator) writeValue(gid int) (int64, bool) {
+	if en.constWOK[gid] {
+		return en.constWVal[gid], true
+	}
 	e := en.p.events[gid]
-	data, ok := en.operandValue(e.Thread, e.Index, e.Data, visiting)
+	data, ok := en.operandValue(e.Thread, e.Index, e.Data)
 	if !ok {
 		return 0, false
 	}
@@ -171,7 +293,7 @@ func (en *enumerator) writeValue(gid int, visiting map[int]bool) (int64, bool) {
 		return data, true
 	}
 	// RMW
-	old, ok := en.readValue(gid, visiting)
+	old, ok := en.readValue(gid)
 	if !ok {
 		return 0, false
 	}
@@ -186,11 +308,11 @@ func (en *enumerator) writeValue(gid int, visiting map[int]bool) (int64, bool) {
 
 // eventLoc resolves the location accessed by event gid, if determined.
 func (en *enumerator) eventLoc(gid int) (Loc, bool) {
-	e := en.p.events[gid]
-	if e.Kind == Fence {
-		return LocNone, true
+	if en.constLocOK[gid] {
+		return en.constLoc[gid], true
 	}
-	v, ok := en.operandValue(e.Thread, e.Index, e.Addr, map[int]bool{})
+	e := en.p.events[gid]
+	v, ok := en.operandValue(e.Thread, e.Index, e.Addr)
 	if !ok {
 		return LocNone, false
 	}
@@ -236,6 +358,12 @@ func (en *enumerator) assignReads() {
 	}
 	r := en.reads[pick]
 	en.done[pick] = true
+	if en.delta {
+		en.assignReadDelta(pick, r, pickLoc)
+		en.rf[r.GID] = rfUnassigned
+		en.done[pick] = false
+		return
+	}
 	// Candidate sources: the initial value plus every write whose location
 	// is (or may turn out to be) pickLoc.
 	en.rf[r.GID] = InitWrite
@@ -258,6 +386,46 @@ func (en *enumerator) assignReads() {
 	en.done[pick] = false
 }
 
+// assignReadDelta is the EnumerateDelta branch body for one read: the
+// candidate sources are collected up front and scanned in a reflected
+// (mixed-radix Gray code) order — forward on one visit of this choice
+// point, backward on the next — so consecutive candidate executions
+// differ in as few rf choices as possible and the incremental
+// acyclicity tier's delta stays small. Early location pruning is
+// per-candidate-list rather than interleaved with the recursion, which
+// can only defer a rejection to finishReads, never change the visited
+// candidate set.
+func (en *enumerator) assignReadDelta(pick int, r *Event, pickLoc Loc) {
+	// One small allocation per choice point: the list must survive the
+	// recursion below, which visits other choice points. Delta order is
+	// opt-in, so this stays off the default verdict path.
+	cands := make([]int, 0, len(en.writes)+1)
+	cands = append(cands, InitWrite)
+	for _, w := range en.writes {
+		if w.GID == r.GID {
+			continue
+		}
+		wloc, ok := en.eventLoc(w.GID)
+		if ok && wloc != pickLoc {
+			continue
+		}
+		cands = append(cands, w.GID)
+	}
+	reverse := en.rfDir[pick]
+	en.rfDir[pick] = !reverse
+	for i := range cands {
+		if en.stopped || en.err != nil {
+			break
+		}
+		src := cands[i]
+		if reverse {
+			src = cands[len(cands)-1-i]
+		}
+		en.rf[r.GID] = src
+		en.assignReads()
+	}
+}
+
 // finishReads validates the completed rf assignment (deferred location
 // checks) and proceeds to coherence-order enumeration.
 func (en *enumerator) finishReads() {
@@ -276,35 +444,39 @@ func (en *enumerator) finishReads() {
 			}
 		}
 	}
-	// Group writes by resolved location.
-	byLoc := make([][]int, p.NumLocs)
+	// Group writes by resolved location (rows reuse their backing arrays
+	// across candidates).
+	byLoc := en.byLoc
+	for l := range byLoc {
+		byLoc[l] = byLoc[l][:0]
+	}
 	for _, w := range en.writes {
 		l := en.x.LocOf[w.GID]
 		byLoc[l] = append(byLoc[l], w.GID)
 	}
 	// Reject if two RMWs read from the same source: atomicity would force
-	// both to immediately follow it in mo.
-	seenSrc := map[int]bool{}
+	// both to immediately follow it in mo. Epoch stamps replace the
+	// per-call seen-source map.
+	en.seenEpoch++
 	for _, w := range en.writes {
 		if w.Kind != RMW {
 			continue
 		}
 		src := en.rf[w.GID]
-		if seenSrc[src] && src != InitWrite {
-			return
-		}
 		if src == InitWrite {
 			// Two init-reading RMWs on the same location also conflict.
-			key := -1000 - int(en.x.LocOf[w.GID])
-			if seenSrc[key] {
+			l := en.x.LocOf[w.GID]
+			if en.seenInitEp[l] == en.seenEpoch {
 				return
 			}
-			seenSrc[key] = true
+			en.seenInitEp[l] = en.seenEpoch
 			continue
 		}
-		seenSrc[src] = true
+		if en.seenEp[src] == en.seenEpoch {
+			return
+		}
+		en.seenEp[src] = en.seenEpoch
 	}
-	en.x.MO = make([][]int, p.NumLocs)
 	en.enumerateMO(byLoc, 0)
 }
 
@@ -324,8 +496,14 @@ func (en *enumerator) enumerateMO(byLoc [][]int, l int) {
 		en.enumerateMO(byLoc, l+1)
 		return
 	}
-	perm := make([]int, 0, len(ws))
-	used := make([]bool, len(ws))
+	// Permutation state reuses per-location buffers; the backtracking
+	// discipline leaves used all-false and perm empty on exit.
+	if cap(en.permBuf[l]) < len(ws) {
+		en.permBuf[l] = make([]int, 0, len(ws))
+		en.usedBuf[l] = make([]bool, len(ws))
+	}
+	perm := en.permBuf[l][:0]
+	used := en.usedBuf[l][:len(ws)]
 	var rec func()
 	rec = func() {
 		if en.stopped || en.err != nil {
@@ -362,7 +540,21 @@ func (en *enumerator) enumerateMO(byLoc [][]int, l int) {
 				}
 			}
 		}
-		for i, w := range ws {
+		// Delta mode reflects the branch scan per depth (flipping on each
+		// re-entry), so consecutive coherence orders differ by a small
+		// suffix — the MO half of the Gray-code walk.
+		reverse := false
+		if en.delta {
+			d := len(perm)
+			reverse = en.moDir[l]&(1<<uint(d)) != 0
+			en.moDir[l] ^= 1 << uint(d)
+		}
+		for k := 0; k < len(ws); k++ {
+			i := k
+			if reverse {
+				i = len(ws) - 1 - k
+			}
+			w := ws[i]
 			if used[i] {
 				continue
 			}
@@ -427,14 +619,14 @@ func (en *enumerator) finishExecution() {
 	// Resolve all values; reject executions with undetermined values
 	// (out-of-thin-air cycles).
 	for _, r := range en.reads {
-		v, ok := en.readValue(r.GID, map[int]bool{})
+		v, ok := en.readValue(r.GID)
 		if !ok {
 			return
 		}
 		x.RVal[r.GID] = v
 	}
 	for _, w := range en.writes {
-		v, ok := en.writeValue(w.GID, map[int]bool{})
+		v, ok := en.writeValue(w.GID)
 		if !ok {
 			return
 		}

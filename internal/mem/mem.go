@@ -30,7 +30,7 @@ package mem
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 )
@@ -181,6 +181,13 @@ type Program struct {
 	MemObservers []MemObserver
 
 	events []*Event // dense by GID
+	// chunks batches Event storage: Add hands out pointers into the
+	// chunk at cur and opens a fresh one when it fills, so pointers stay
+	// stable and event construction costs one allocation per chunk
+	// instead of one per event. Reset rewinds cur so a recycled program
+	// refills the same chunks.
+	chunks [][]Event
+	cur    int
 	// frozen flips (atomically: concurrent evaluators may Enumerate one
 	// program at the same time) once enumeration begins, rejecting
 	// further mutation.
@@ -190,7 +197,30 @@ type Program struct {
 // NewProgram returns an empty program with nlocs locations named by names
 // (padded with "v<i>" if names is short).
 func NewProgram(nlocs int, names ...string) *Program {
-	p := &Program{NumLocs: nlocs}
+	p := &Program{}
+	p.Reset(nlocs, names...)
+	return p
+}
+
+// Reset empties the program for reuse with a new location set, keeping
+// the event chunks and per-thread slices so a recycled program builds
+// without reallocating. The caller must not retain events or thread
+// slices from the previous generation.
+func (p *Program) Reset(nlocs int, names ...string) {
+	p.frozen.Store(false)
+	for i := range p.Threads {
+		p.Threads[i] = p.Threads[i][:0]
+	}
+	p.Threads = p.Threads[:0]
+	p.events = p.events[:0]
+	p.Observers = p.Observers[:0]
+	p.MemObservers = p.MemObservers[:0]
+	for i := range p.chunks {
+		p.chunks[i] = p.chunks[i][:0]
+	}
+	p.cur = 0
+	p.NumLocs = nlocs
+	p.LocNames = p.LocNames[:0]
 	for i := 0; i < nlocs; i++ {
 		if i < len(names) {
 			p.LocNames = append(p.LocNames, names[i])
@@ -198,7 +228,6 @@ func NewProgram(nlocs int, names ...string) *Program {
 			p.LocNames = append(p.LocNames, fmt.Sprintf("v%d", i))
 		}
 	}
-	return p
 }
 
 // LocName returns the display name of location l.
@@ -224,9 +253,29 @@ func (p *Program) Add(t int, ev Event) *Event {
 		panic("mem: Add after enumeration began")
 	}
 	for len(p.Threads) <= t {
-		p.Threads = append(p.Threads, nil)
+		if len(p.Threads) < cap(p.Threads) {
+			// Re-expose a row truncated by Reset, keeping its capacity.
+			p.Threads = p.Threads[:len(p.Threads)+1]
+		} else {
+			p.Threads = append(p.Threads, nil)
+		}
 	}
-	e := &ev
+	// Fixed-size chunks: litmus-scale programs hold around a dozen
+	// events, so 8 amortizes allocation count without stranding the
+	// tail of a larger chunk.
+	var ch *[]Event
+	for {
+		if p.cur == len(p.chunks) {
+			p.chunks = append(p.chunks, make([]Event, 0, 8))
+		}
+		ch = &p.chunks[p.cur]
+		if len(*ch) < cap(*ch) {
+			break
+		}
+		p.cur++
+	}
+	*ch = append(*ch, ev)
+	e := &(*ch)[len(*ch)-1]
 	e.GID = len(p.events)
 	e.Thread = t
 	e.Index = len(p.Threads[t])
@@ -390,29 +439,40 @@ type Outcome string
 
 // OutcomeOf computes the observer outcome of the execution.
 func (x *Execution) OutcomeOf() Outcome {
-	o := OutcomeFromValues(x.P.Observers, func(o Observer) int64 { return x.RegValue(o.Thread, o.Reg) })
-	if len(x.P.MemObservers) == 0 {
-		return o
+	b := make([]byte, 0, 16*(len(x.P.Observers)+len(x.P.MemObservers)))
+	for _, o := range x.P.Observers {
+		b = appendOutcomePart(b, o.Label, x.RegValue(o.Thread, o.Reg))
 	}
-	final := x.FinalMem()
-	parts := make([]string, 0, len(x.P.MemObservers))
 	for _, m := range x.P.MemObservers {
-		parts = append(parts, fmt.Sprintf("%s=%d", m.Label, final[m.Loc]))
+		// Final memory value: the mo-maximal write, matching FinalMem
+		// without materializing the per-location slice.
+		var v int64
+		if ws := x.MO[m.Loc]; len(ws) > 0 {
+			v = x.WVal[ws[len(ws)-1]]
+		}
+		b = appendOutcomePart(b, m.Label, v)
 	}
-	memPart := Outcome(strings.Join(parts, "; "))
-	if o == "" {
-		return memPart
-	}
-	return o + "; " + memPart
+	return Outcome(b)
 }
 
 // OutcomeFromValues builds an Outcome from per-observer values.
 func OutcomeFromValues(obs []Observer, value func(Observer) int64) Outcome {
-	parts := make([]string, len(obs))
-	for i, o := range obs {
-		parts[i] = fmt.Sprintf("%s=%d", o.Label, value(o))
+	b := make([]byte, 0, 16*len(obs))
+	for _, o := range obs {
+		b = appendOutcomePart(b, o.Label, value(o))
 	}
-	return Outcome(strings.Join(parts, "; "))
+	return Outcome(b)
+}
+
+// appendOutcomePart appends one "label=value" pair, "; "-separated from
+// whatever precedes it.
+func appendOutcomePart(b []byte, label string, v int64) []byte {
+	if len(b) > 0 {
+		b = append(b, ';', ' ')
+	}
+	b = append(b, label...)
+	b = append(b, '=')
+	return strconv.AppendInt(b, v, 10)
 }
 
 // ParseOutcome splits an outcome back into label → value form.
@@ -476,20 +536,3 @@ func (x *Execution) String() string {
 	return b.String()
 }
 
-// sortedByPO returns the reading events ordered by (thread, index), the
-// order in which register-carried addresses become resolvable.
-func (p *Program) sortedByPO(filter func(*Event) bool) []*Event {
-	var out []*Event
-	for _, e := range p.events {
-		if filter(e) {
-			out = append(out, e)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Thread != out[j].Thread {
-			return out[i].Thread < out[j].Thread
-		}
-		return out[i].Index < out[j].Index
-	})
-	return out
-}

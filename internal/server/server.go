@@ -48,6 +48,7 @@ import (
 	"tricheck/internal/core"
 	"tricheck/internal/obs"
 	"tricheck/internal/report"
+	"tricheck/internal/uspec"
 )
 
 // maxRequestBytes bounds a /v1/verify body (inline litmus sources).
@@ -465,6 +466,13 @@ func (s *Server) Stats() StatsRecord {
 			m.HitRate = float64(ms.Hits) / float64(lookups)
 		}
 		st.Memo = m
+	}
+	if reuse, rebuild := uspec.IncrementalStats(); reuse+rebuild > 0 {
+		st.Incremental = &IncrementalStatsJSON{
+			Reuse:      reuse,
+			Rebuild:    rebuild,
+			ReuseRatio: float64(reuse) / float64(reuse+rebuild),
+		}
 	}
 	return st
 }

@@ -228,6 +228,16 @@ func TestStatsAndDebugVars(t *testing.T) {
 	if st.TestsPerSecond <= 0 {
 		t.Fatalf("tests/sec = %v, want > 0", st.TestsPerSecond)
 	}
+	// The sweep evaluated µhb candidates, so the incremental engine's
+	// reuse/rebuild counters (process-wide) must be populated and the
+	// precomputed ratio consistent with them.
+	if st.Incremental == nil || st.Incremental.Reuse+st.Incremental.Rebuild == 0 {
+		t.Fatalf("stats missing incremental engine counters: %+v", st)
+	}
+	inc := st.Incremental
+	if want := float64(inc.Reuse) / float64(inc.Reuse+inc.Rebuild); inc.ReuseRatio != want {
+		t.Fatalf("incremental reuse ratio %v, want %v", inc.ReuseRatio, want)
+	}
 
 	httpStats, err := http.Get(ts.URL + "/v1/stats")
 	if err != nil {
@@ -274,7 +284,11 @@ func TestClientDisconnectStopsScheduling(t *testing.T) {
 	}
 	s, ts := newTestServer(t, Config{Engine: eng, MaxWorkers: 1})
 
-	tests := litmus.MP.Generate()
+	// The widest builtin family: the cancellation window is the sweep's
+	// runtime, and on a single-core host the busy farm goroutine can
+	// starve this client goroutine for tens of milliseconds — a small
+	// family's sweep can finish before the disconnect propagates.
+	tests := litmus.IRIW.Generate()
 	stacks, err := core.SelectStacks(isa, "both")
 	if err != nil {
 		t.Fatal(err)
@@ -282,7 +296,7 @@ func TestClientDisconnectStopsScheduling(t *testing.T) {
 	total := len(tests) * len(stacks)
 
 	ctx, cancel := context.WithCancel(context.Background())
-	body, _ := json.Marshal(VerifyRequest{Family: "mp", ISA: isa, Variant: "both", Workers: 1})
+	body, _ := json.Marshal(VerifyRequest{Family: "iriw", ISA: isa, Variant: "both", Workers: 1})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/verify", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -321,7 +335,7 @@ func TestClientDisconnectStopsScheduling(t *testing.T) {
 
 	// A follow-up full request completes, reuses the aborted run's
 	// memos, and matches a fresh engine bit for bit.
-	resp2 := postVerify(t, ts.URL, VerifyRequest{Family: "mp", ISA: isa, Variant: "both"})
+	resp2 := postVerify(t, ts.URL, VerifyRequest{Family: "iriw", ISA: isa, Variant: "both"})
 	verdicts, summary := drainStream(t, resp2)
 	if len(verdicts) != total || summary == nil || summary.Done != total {
 		t.Fatalf("follow-up request: %d verdicts, summary %+v", len(verdicts), summary)

@@ -176,6 +176,18 @@ type StatsRecord struct {
 	// nor deduplicated) over the server's lifetime.
 	JobsExecuted uint64         `json:"jobs_executed"`
 	Memo         *MemoStatsJSON `json:"memo,omitempty"`
+	// Incremental reports the µhb incremental-acyclicity engine's
+	// effectiveness: how often the per-candidate verdict reused the
+	// maintained topological order vs. rebuilt it from scratch.
+	Incremental *IncrementalStatsJSON `json:"incremental,omitempty"`
+}
+
+// IncrementalStatsJSON mirrors the tricheck_uhb_incremental_*_total
+// counters in the stats payload, with the reuse ratio precomputed.
+type IncrementalStatsJSON struct {
+	Reuse      uint64  `json:"reuse"`
+	Rebuild    uint64  `json:"rebuild"`
+	ReuseRatio float64 `json:"reuse_ratio"`
 }
 
 // summarize builds the terminal summary record from the sweep's results,

@@ -1,0 +1,242 @@
+package uhb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// refOverlay rebuilds a fresh overlay holding exactly the live edge
+// multiset in edges and returns its full-DFS verdict — the reference
+// the incremental engine is checked against.
+func refVerdict(s *Skeleton, edges map[[2]int]int) bool {
+	o := AcquireOverlay(s)
+	defer ReleaseOverlay(o)
+	for e, n := range edges {
+		for i := 0; i < n; i++ {
+			o.AddEdge(e[0], e[1], 7)
+		}
+	}
+	return o.HasCycle()
+}
+
+// randomSkeleton builds a random (possibly cyclic) frozen skeleton.
+func randomSkeleton(rng *rand.Rand, n int) *Skeleton {
+	s := NewSkeleton(n)
+	for i := 0; i < 2*n; i++ {
+		s.AddEdge(rng.Intn(n), rng.Intn(n), uint32(i))
+	}
+	s.Freeze()
+	return s
+}
+
+// TestQuickIncrMatchesFullDFS: the incremental engine's verdict after
+// an arbitrary add/retract delta sequence always equals the retained
+// full-DFS cycle() on an overlay holding the same edge set — the
+// satellite-1 equivalence lock.
+func TestQuickIncrMatchesFullDFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		s := randomSkeleton(rng, n)
+		ic := AcquireIncr(s)
+		defer ReleaseIncr(ic)
+		live := map[[2]int]int{}
+		for step := 0; step < 6*n; step++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(3) == 0 && len(live) > 0 {
+				// Retract a random live edge (picked deterministically so
+				// a failing seed replays).
+				keys := make([][2]int, 0, len(live))
+				for e := range live {
+					keys = append(keys, e)
+				}
+				sort.Slice(keys, func(i, j int) bool {
+					if keys[i][0] != keys[j][0] {
+						return keys[i][0] < keys[j][0]
+					}
+					return keys[i][1] < keys[j][1]
+				})
+				e := keys[rng.Intn(len(keys))]
+				from, to = e[0], e[1]
+				live[[2]int{from, to}]--
+				if live[[2]int{from, to}] == 0 {
+					delete(live, [2]int{from, to})
+					ic.RetractEdge(from, to)
+				}
+			} else {
+				live[[2]int{from, to}]++
+				ic.AddEdge(from, to)
+			}
+			if ic.HasCycle() != refVerdict(s, live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIncrSyncMatchesOverlay: across a sequence of overlay Resets
+// with random edge sets over one skeleton — the per-candidate shape of
+// an enumeration sweep — Sync's verdict always equals both
+// Overlay.HasCycle and HasCycleReasons, and the provenance fallback on
+// cyclic verdicts reports a non-empty reason multiset, identical to
+// what the full DFS would have produced.
+func TestQuickIncrSyncMatchesOverlay(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		s := randomSkeleton(rng, n)
+		ic := AcquireIncr(s)
+		defer ReleaseIncr(ic)
+		ov := AcquireOverlay(s)
+		defer ReleaseOverlay(ov)
+		for cand := 0; cand < 12; cand++ {
+			ov.Reset(s)
+			for i := 0; i < rng.Intn(3*n); i++ {
+				ov.AddEdge(rng.Intn(n), rng.Intn(n), uint32(1000+i))
+			}
+			cyclic, fresh := ic.Sync(ov)
+			if fresh != (cand == 0) {
+				return false
+			}
+			reasons, want := ov.HasCycleReasons(nil)
+			if cyclic != want || cyclic != ov.HasCycle() {
+				return false
+			}
+			if cyclic && len(reasons) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOverlayRetractRestore: RetractEdge and Checkpoint/Restore
+// leave the overlay equivalent to one rebuilt from the surviving edge
+// multiset — verdict, HasEdge, and NumDynamicEdges all agree.
+func TestQuickOverlayRetractRestore(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		s := randomSkeleton(rng, n)
+		ov := AcquireOverlay(s)
+		defer ReleaseOverlay(ov)
+		live := map[[2]int]int{}
+		addRandom := func(k int) {
+			for i := 0; i < k; i++ {
+				from, to := rng.Intn(n), rng.Intn(n)
+				ov.AddEdge(from, to, 3)
+				live[[2]int{from, to}]++
+			}
+		}
+		addRandom(rng.Intn(2 * n))
+		// Checkpoint, push more edges (retracting some of the new ones),
+		// then restore: only pre-mark edges must survive.
+		mark := ov.Checkpoint()
+		before := map[[2]int]int{}
+		for e, c := range live {
+			before[e] = c
+		}
+		var added [][2]int
+		for i := 0; i < rng.Intn(2*n); i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			ov.AddEdge(from, to, 4)
+			added = append(added, [2]int{from, to})
+		}
+		for _, e := range added {
+			if rng.Intn(3) == 0 {
+				ov.RetractEdge(e[0], e[1])
+			}
+		}
+		ov.Restore(mark)
+		live = before
+		count := 0
+		for e, c := range live {
+			count += c
+			if !ov.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		if ov.NumDynamicEdges() != count {
+			return false
+		}
+		if ov.HasCycle() != refVerdict(s, live) {
+			return false
+		}
+		// And plain retraction of surviving edges keeps agreeing.
+		for e := range live {
+			ov.RetractEdge(e[0], e[1])
+			live[e]--
+			if live[e] == 0 {
+				delete(live, e)
+			}
+			if ov.HasCycle() != refVerdict(s, live) {
+				return false
+			}
+			break
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrSelfLoopAndCyclicSkeleton: degenerate inputs — a dynamic
+// self-loop is immediately cyclic and retractable; a cyclic skeleton
+// pins every verdict to cyclic.
+func TestIncrSelfLoopAndCyclicSkeleton(t *testing.T) {
+	s := NewSkeleton(3)
+	s.AddEdge(0, 1, 0)
+	s.Freeze()
+	ic := NewIncr(s)
+	if ic.HasCycle() {
+		t.Fatal("fresh engine on acyclic skeleton reports a cycle")
+	}
+	if !ic.AddEdge(2, 2) {
+		t.Fatal("self-loop not reported cyclic")
+	}
+	if ic.RetractEdge(2, 2) {
+		t.Fatal("retracting the self-loop did not clear the cycle")
+	}
+
+	cyc := NewSkeleton(2)
+	cyc.AddEdge(0, 1, 0)
+	cyc.AddEdge(1, 0, 0)
+	cyc.Freeze()
+	ic2 := NewIncr(cyc)
+	if !ic2.HasCycle() {
+		t.Fatal("cyclic skeleton not reported cyclic")
+	}
+	ov := AcquireOverlay(cyc)
+	defer ReleaseOverlay(ov)
+	cyclic, _ := ic2.Sync(ov)
+	if !cyclic {
+		t.Fatal("Sync on cyclic skeleton must stay cyclic with an empty overlay")
+	}
+}
+
+// TestOverlayUseAfterReleasePanics: the pool invalidates a released
+// overlay by dropping its skeleton binding; any further use must panic
+// rather than corrupt a pooled buffer another worker may now own.
+func TestOverlayUseAfterReleasePanics(t *testing.T) {
+	s := NewSkeleton(2)
+	s.AddEdge(0, 1, 0)
+	s.Freeze()
+	o := AcquireOverlay(s)
+	ReleaseOverlay(o)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge after ReleaseOverlay did not panic")
+		}
+	}()
+	o.AddEdge(0, 1, 1)
+}

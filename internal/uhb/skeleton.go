@@ -3,6 +3,7 @@ package uhb
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Skeleton is the static tier of a two-tier µhb graph: the node numbering
@@ -34,11 +35,47 @@ type Skeleton struct {
 	off    []int32
 	dst    []int32
 	reason []uint32
+
+	// Freeze scratch, kept across reuse via the skeleton pool.
+	idxBuf, nextBuf []int32
 }
 
 // NewSkeleton returns an empty skeleton over n nodes, ready for AddEdge.
 func NewSkeleton(n int) *Skeleton {
 	return &Skeleton{n: n}
+}
+
+// skeletonPool recycles skeletons between prepared evaluations: one
+// skeleton is built and frozen per verification job, and its edge and
+// CSR arrays otherwise dominate the static tier's allocation profile on
+// cold sweeps.
+var skeletonPool sync.Pool
+
+// AcquireSkeleton returns a pooled, empty skeleton over n nodes. Release
+// with ReleaseSkeleton once no reader can still hold it.
+func AcquireSkeleton(n int) *Skeleton {
+	v := skeletonPool.Get()
+	if v == nil {
+		return NewSkeleton(n)
+	}
+	s := v.(*Skeleton)
+	s.n = n
+	s.frozen = false
+	s.bFrom = s.bFrom[:0]
+	s.bTo = s.bTo[:0]
+	s.bReason = s.bReason[:0]
+	s.off = s.off[:0]
+	s.dst = s.dst[:0]
+	s.reason = s.reason[:0]
+	return s
+}
+
+// ReleaseSkeleton returns s to the pool. The caller must guarantee no
+// overlay or reader still references it.
+func ReleaseSkeleton(s *Skeleton) {
+	if s != nil {
+		skeletonPool.Put(s)
+	}
 }
 
 // NumNodes returns the number of nodes.
@@ -73,21 +110,59 @@ func (s *Skeleton) Freeze() {
 	s.frozen = true
 	m := len(s.bFrom)
 	// Sort edge indices by (from, to, insertion order) so duplicates are
-	// adjacent with the first-recorded one leading.
-	idx := make([]int32, m)
-	for i := range idx {
-		idx[i] = int32(i)
+	// adjacent with the first-recorded one leading: a stable counting
+	// sort on `from` (one bucket per node), then an insertion sort by
+	// `to` inside each bucket — out-degrees are small, and skeletons are
+	// frozen once per prepared test, where the generic sort's comparator
+	// overhead showed up in cold-sweep profiles.
+	if cap(s.off) < s.n+1 {
+		s.off = make([]int32, s.n+1)
+	} else {
+		s.off = s.off[:s.n+1]
+		clear(s.off)
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if s.bFrom[ia] != s.bFrom[ib] {
-			return s.bFrom[ia] < s.bFrom[ib]
+	for _, f := range s.bFrom {
+		s.off[f+1]++
+	}
+	for v := 0; v < s.n; v++ {
+		s.off[v+1] += s.off[v]
+	}
+	if cap(s.idxBuf) < m {
+		s.idxBuf = make([]int32, m)
+	}
+	idx := s.idxBuf[:m]
+	if cap(s.nextBuf) < s.n {
+		s.nextBuf = make([]int32, s.n)
+	}
+	next := s.nextBuf[:s.n]
+	copy(next, s.off[:s.n])
+	for i, f := range s.bFrom {
+		idx[next[f]] = int32(i)
+		next[f]++
+	}
+	for v := 0; v < s.n; v++ {
+		bucket := idx[s.off[v]:s.off[v+1]]
+		for i := 1; i < len(bucket); i++ {
+			e := bucket[i]
+			j := i
+			for j > 0 && s.bTo[bucket[j-1]] > s.bTo[e] {
+				bucket[j] = bucket[j-1]
+				j--
+			}
+			bucket[j] = e
 		}
-		return s.bTo[ia] < s.bTo[ib]
-	})
-	s.off = make([]int32, s.n+1)
-	s.dst = make([]int32, 0, m)
-	s.reason = make([]uint32, 0, m)
+	}
+	clear(s.off)
+	if cap(s.dst) < m {
+		s.dst = make([]int32, 0, m)
+	} else {
+		s.dst = s.dst[:0]
+	}
+	if cap(s.reason) < m {
+		s.reason = make([]uint32, 0, m)
+	} else {
+		s.reason = s.reason[:0]
+	}
 	prevFrom, prevTo := int32(-1), int32(-1)
 	for _, i := range idx {
 		f, t := s.bFrom[i], s.bTo[i]
@@ -102,7 +177,9 @@ func (s *Skeleton) Freeze() {
 	for v := 0; v < s.n; v++ {
 		s.off[v+1] += s.off[v]
 	}
-	s.bFrom, s.bTo, s.bReason = nil, nil, nil
+	// Truncate rather than drop the build arrays: a pooled skeleton
+	// refills them on its next use.
+	s.bFrom, s.bTo, s.bReason = s.bFrom[:0], s.bTo[:0], s.bReason[:0]
 }
 
 // HasEdge reports whether the static edge exists (valid after Freeze).

@@ -22,7 +22,22 @@ var (
 	phaseSkeleton  = obs.Default.Histogram("tricheck_verdict_phase_seconds", phaseHelp, nil, obs.L("phase", "skeleton"))
 	phaseEnumerate = obs.Default.Histogram("tricheck_verdict_phase_seconds", phaseHelp, nil, obs.L("phase", "enumerate"))
 	phaseCycle     = obs.Default.Histogram("tricheck_verdict_phase_seconds", phaseHelp, nil, obs.L("phase", "cycle_check"))
+
+	// Incremental-engine effectiveness: how many candidate verdicts
+	// reused the maintained topological order versus paid a from-scratch
+	// rebuild (first candidate of each prepared evaluation). Accumulated
+	// per Prepared and flushed on Close to keep the innermost loop free
+	// of atomics.
+	incrReuse   = obs.Default.Counter("tricheck_uhb_incremental_reuse_total", "Candidate acyclicity verdicts that reused the incremental topological order.")
+	incrRebuild = obs.Default.Counter("tricheck_uhb_incremental_rebuild_total", "Candidate acyclicity verdicts that rebuilt the topological order from scratch.")
 )
+
+// IncrementalStats returns the process-wide incremental-engine counters
+// (verdicts that reused the maintained order vs. rebuilt it), for the
+// /v1/stats endpoint and the `tricheck top` report.
+func IncrementalStats() (reuse, rebuild uint64) {
+	return incrReuse.Value(), incrRebuild.Value()
+}
 
 // Prepared is a model × program pair compiled for repeated evaluation: the
 // static µhb skeleton (node layout, pipeline/path order, execution-
@@ -45,11 +60,26 @@ type Prepared struct {
 	p    *isa.Program
 	skel *uhb.Skeleton
 	ov   *uhb.Overlay
-	dyn  builder // tierDynamic template; x/ov bound per execution
+	incr *uhb.Incr // incremental acyclicity tier, shared across candidates
+	dyn  builder   // tierDynamic template; x/ov bound per execution
 
 	cov    Coverage // axiom attribution, accumulated across the evaluation
 	cycBuf []uint32 // reused cycle-provenance buffer
+
+	// Local reuse/rebuild tallies, flushed to the obs counters on Close.
+	reuse, rebuild uint64
+
+	deltaOrder bool // Evaluate enumerates in minimal-change order
 }
+
+// SetDeltaOrder switches Evaluate to mem.EnumerateDelta's minimal-change
+// candidate order, which maximizes how much of the incremental tier's
+// topological order consecutive candidates reuse. Off by default: the
+// verdict and outcome sets are identical either way, but order-derived
+// statistics (the Graphs counter, which graphs feed coverage
+// accumulation) follow the enumeration order, and the committed golden
+// locks pin the natural backtracking order's values.
+func (pr *Prepared) SetDeltaOrder(on bool) { pr.deltaOrder = on }
 
 // Prepare builds the static skeleton of p under the model's axioms and
 // returns an evaluator that streams executions through it. Release the
@@ -61,7 +91,7 @@ func (m *Model) Prepare(p *isa.Program) *Prepared {
 	ev := p.Mem().Events()
 	pr := &Prepared{m: m, p: p}
 	sb := builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierStatic, cov: &pr.cov}
-	sb.skel = uhb.NewSkeleton(len(ev) * K)
+	sb.skel = uhb.AcquireSkeleton(len(ev) * K)
 	sb.run()
 	sb.skel.Freeze()
 	// Post-dedup static attribution: the reasons that survived Freeze own
@@ -72,6 +102,7 @@ func (m *Model) Prepare(p *isa.Program) *Prepared {
 	phaseSkeleton.Observe(time.Since(start))
 	pr.skel = sb.skel
 	pr.ov = uhb.AcquireOverlay(sb.skel)
+	pr.incr = uhb.AcquireIncr(sb.skel)
 	pr.dyn = builder{m: m, p: p, ev: ev, C: C, K: K, mode: tierDynamic, cov: &pr.cov}
 	return pr
 }
@@ -85,10 +116,15 @@ func (pr *Prepared) Coverage() Coverage { return pr.cov }
 func (pr *Prepared) Skeleton() *uhb.Skeleton { return pr.skel }
 
 // ExecutionObservable reports whether execution x is observable on the
-// model: whether skeleton + x's overlay is acyclic. A forbidding cycle
-// also records provenance: the axiom of every edge on the witnessing
-// cycle joins the coverage Cycle bitset (a reused buffer and three-OR
-// folds keep this on the zero-allocation path).
+// model: whether skeleton + x's overlay is acyclic. The verdict comes
+// from the incremental tier: the overlay is rebuilt per candidate as
+// before (coverage attribution happens at emission), but instead of a
+// full DFS the engine diffs the overlay's bitset rows against the edge
+// set it already holds and repairs its maintained topological order
+// edge by edge. A forbidding cycle still records provenance through the
+// retained full DFS — the witnessing cycle, and therefore the axiom
+// multiset OR-ed into the coverage Cycle bitset, is bit-identical to
+// the pre-incremental path.
 func (pr *Prepared) ExecutionObservable(x *mem.Execution) bool {
 	pr.ov.Reset(pr.skel)
 	b := &pr.dyn
@@ -96,19 +132,45 @@ func (pr *Prepared) ExecutionObservable(x *mem.Execution) bool {
 	b.ov = pr.ov
 	b.run()
 	b.x, b.ov = nil, nil
-	reasons, cyclic := pr.ov.HasCycleReasons(pr.cycBuf[:0])
-	for _, r := range reasons {
-		pr.cov.Cycle |= axiomBit(Reason(r))
+	cyclic, fresh := pr.incr.Sync(pr.ov)
+	if fresh {
+		pr.rebuild++
+	} else {
+		pr.reuse++
 	}
-	pr.cycBuf = reasons
-	return !cyclic
+	if cyclic {
+		reasons, _ := pr.ov.HasCycleReasons(pr.cycBuf[:0])
+		for _, r := range reasons {
+			pr.cov.Cycle |= axiomBit(Reason(r))
+		}
+		pr.cycBuf = reasons
+		return false
+	}
+	return true
 }
 
-// Close returns the pooled overlay. The Prepared must not be used after.
+// Close returns the pooled overlay and incremental engine, and flushes
+// the reuse tallies. The Prepared must not be used after.
 func (pr *Prepared) Close() {
 	if pr.ov != nil {
 		uhb.ReleaseOverlay(pr.ov)
 		pr.ov = nil
+	}
+	if pr.incr != nil {
+		uhb.ReleaseIncr(pr.incr)
+		pr.incr = nil
+	}
+	if pr.skel != nil {
+		uhb.ReleaseSkeleton(pr.skel)
+		pr.skel = nil
+	}
+	if pr.reuse > 0 {
+		incrReuse.Add(pr.reuse)
+		pr.reuse = 0
+	}
+	if pr.rebuild > 0 {
+		incrRebuild.Add(pr.rebuild)
+		pr.rebuild = 0
 	}
 }
 
@@ -117,19 +179,30 @@ func (pr *Prepared) Close() {
 // the whole candidate enumeration.
 func (pr *Prepared) Evaluate() (*Result, error) {
 	start := time.Now()
-	res := &Result{
-		Observable: map[mem.Outcome]bool{},
-		All:        map[mem.Outcome]bool{},
-	}
+	res := &Result{}
+	// Outcomes are interned: the per-candidate bookkeeping runs on dense
+	// ids against slices, and the outcome maps are built once at the end.
+	// Ids are assigned in first-seen order, so the skip-if-known-
+	// observable logic — and therefore the Graphs counter — is
+	// bit-identical to the map-based loop.
+	cache := mem.AcquireOutcomeCache(pr.p.Mem())
+	defer mem.ReleaseOutcomeCache(cache)
+	var obsv []bool
 	// The innermost loop stays untimed unless cycle sampling is on: a
 	// single atomic load per checked graph decides, and only every Nth
 	// check pays for two monotonic clock reads.
 	sampleN := uint64(obs.CycleSampling())
-	err := mem.Enumerate(pr.p.Mem(), func(x *mem.Execution) bool {
+	enum := mem.Enumerate
+	if pr.deltaOrder {
+		enum = mem.EnumerateDelta
+	}
+	err := enum(pr.p.Mem(), func(x *mem.Execution) bool {
 		res.Candidates++
-		o := x.OutcomeOf()
-		res.All[o] = true
-		if res.Observable[o] {
+		_, id := cache.Lookup(x)
+		if id == len(obsv) {
+			obsv = append(obsv, false)
+		}
+		if obsv[id] {
 			return true // this outcome is already known observable
 		}
 		res.Graphs++
@@ -138,17 +211,26 @@ func (pr *Prepared) Evaluate() (*Result, error) {
 			ok := pr.ExecutionObservable(x)
 			phaseCycle.Observe(time.Since(t0))
 			if ok {
-				res.Observable[o] = true
+				obsv[id] = true
 			}
 			return true
 		}
 		if pr.ExecutionObservable(x) {
-			res.Observable[o] = true
+			obsv[id] = true
 		}
 		return true
 	})
 	if err != nil {
 		return nil, err
+	}
+	outs := cache.Outcomes()
+	res.All = make(map[mem.Outcome]bool, len(outs))
+	res.Observable = make(map[mem.Outcome]bool, len(outs))
+	for id, o := range outs {
+		res.All[o] = true
+		if obsv[id] {
+			res.Observable[o] = true
+		}
 	}
 	phaseEnumerate.Observe(time.Since(start))
 	return res, nil
