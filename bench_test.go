@@ -22,6 +22,7 @@
 package tricheck_test
 
 import (
+	"context"
 	"testing"
 
 	"tricheck"
@@ -374,4 +375,70 @@ func BenchmarkSynthWarmSweep(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(tests)*b.N)/b.Elapsed().Seconds(), "tests/sec")
 	b.ReportMetric(float64(eng.Executions()-primed), "executions")
+}
+
+// Operational second-opinion backend (backend=opsim|both): the
+// enumeration driver's exhaustive-interleaving costs, and the full
+// cross-check sweep overhead on top of the axiomatic path. CI adds
+// these to the BENCH_8.json artifact; they have no BENCH_7 baseline, so
+// the perf gate ignores them (first capture becomes the baseline for
+// the next PR).
+func benchOpsimEnumerate(b *testing.B, shape *tricheck.Shape, m *tricheck.Model) {
+	b.Helper()
+	test := shape.Generate()[0]
+	prog, err := tricheck.CompileTest(tricheck.RISCVBaseIntuitive, test)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var states, outcomes int
+	for i := 0; i < b.N; i++ {
+		sim, err := tricheck.OperationalForConfig(m.Config, prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		outcomes = len(sim.Outcomes())
+		states = sim.StateCount()
+	}
+	b.ReportMetric(float64(states), "states")
+	b.ReportMetric(float64(outcomes), "outcomes")
+}
+
+// BenchmarkOpsimEnumerateSBTSO: the TSO machine (store buffers +
+// forwarding) on a store-buffering test — the canonical relaxed case.
+func BenchmarkOpsimEnumerateSBTSO(b *testing.B) {
+	benchOpsimEnumerate(b, tricheck.SB, tricheck.TSOModel())
+}
+
+// BenchmarkOpsimEnumerateIRIWNWR: the nMCA simulator on iriw, the
+// widest shipped shape — per-observer visibility orders blow up the
+// interleaving space, making this the driver's worst case.
+func BenchmarkOpsimEnumerateIRIWNWR(b *testing.B) {
+	benchOpsimEnumerate(b, tricheck.IRIW, tricheck.NWRModel(tricheck.Curr))
+}
+
+// BenchmarkOpsimBothSweepSB: a backend=both farm sweep of the sb family
+// over the opsim-supported curr machines — the axiomatic sweep plus the
+// operational second opinion and the observable-set diff.
+func BenchmarkOpsimBothSweepSB(b *testing.B) {
+	tests := tricheck.SB.Generate()
+	stacks := []tricheck.Stack{
+		{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.SCProofModel()},
+		{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.WRModel(tricheck.Curr)},
+		{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.TSOModel()},
+		{Mapping: tricheck.RISCVBaseIntuitive, Model: tricheck.NWRModel(tricheck.Curr)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := tricheck.NewEngine() // fresh: every job executes both backends
+		results, err := eng.SweepStreamBackend(context.Background(), tests, stacks, 0, tricheck.BackendBoth, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, sr := range results {
+			if sr.Tally.Divergent != 0 {
+				b.Fatalf("cross-check divergence on %s", sr.Stack.Name())
+			}
+		}
+	}
+	b.ReportMetric(float64(len(tests)*len(stacks)*b.N)/b.Elapsed().Seconds(), "jobs/sec")
 }

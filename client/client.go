@@ -3,8 +3,10 @@
 // /v1/verify — per-(test, stack) verdict records in farm completion
 // order, terminated by a summary record — and the /v1/stats counters.
 //
-// The wire types are shared with the server (internal/server), so the
-// client cannot drift from the service schema:
+// The wire types come from the versioned tricheck/api package, which the
+// server imports too, so the client cannot drift from the service
+// schema — and this package depends only on the public wire contract,
+// never on server internals:
 //
 //	c := client.New("http://127.0.0.1:8321")
 //	sum, err := c.Verify(ctx, client.Request{Family: "mp"}, func(v client.Verdict) error {
@@ -21,23 +23,27 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
-	"tricheck/internal/server"
+	"tricheck/api"
 )
 
-// Wire types, aliased from the server so both ends always agree.
+// Wire types, aliased from the versioned api package.
 type (
 	// Request is the /v1/verify request body.
-	Request = server.VerifyRequest
+	Request = api.VerifyRequest
 	// Verdict is one streamed (test, stack) verdict record.
-	Verdict = server.VerdictRecord
+	Verdict = api.VerdictRecord
+	// Divergence is the cross-check payload of a "Divergence" verdict
+	// (backend=both).
+	Divergence = api.Divergence
 	// Summary is the stream's terminal summary record.
-	Summary = server.SummaryRecord
+	Summary = api.SummaryRecord
 	// Stats is the /v1/stats response.
-	Stats = server.StatsRecord
+	Stats = api.StatsRecord
 	// Coverage is the /v1/coverage response: the engine's
 	// verification-coverage ledger snapshot.
-	Coverage = server.CoverageSnapshot
+	Coverage = api.CoverageSnapshot
 )
 
 // Client talks to one tricheckd instance.
@@ -81,6 +87,19 @@ func (c *Client) Verify(ctx context.Context, req Request, onVerdict func(Verdict
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		// 4xx bodies are structured (api.ErrorResponse); surface the
+		// offending fields when the server names them.
+		var er api.ErrorResponse
+		if json.Unmarshal(msg, &er) == nil && er.Error != "" {
+			if len(er.Fields) > 0 {
+				fields := make([]string, len(er.Fields))
+				for i, f := range er.Fields {
+					fields[i] = f.Field
+				}
+				return nil, fmt.Errorf("client: %s: %s (field %s)", resp.Status, er.Error, strings.Join(fields, ", "))
+			}
+			return nil, fmt.Errorf("client: %s: %s", resp.Status, er.Error)
+		}
 		return nil, fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(msg))
 	}
 
@@ -116,7 +135,7 @@ func (c *Client) Verify(ctx context.Context, req Request, onVerdict func(Verdict
 			}
 			return &sum, nil
 		case "error":
-			var rec server.ErrorRecord
+			var rec api.ErrorRecord
 			if err := json.Unmarshal(line, &rec); err != nil {
 				return nil, fmt.Errorf("client: bad error record: %w", err)
 			}

@@ -10,6 +10,7 @@
 //	         [-models] [-mappings] [-csv] [-diagnose] [-workers N]
 //	         [-cache file] [-corpus dir] [-export dir] [-progress]
 //	         [-profile prefix] [-metrics-out file] [-fail-on-bug]
+//	         [-backend uhb|opsim|both] [-fail-on-divergence]
 //	tricheck top [-family wrc] [-isa ...] [-variant ...] [-workers N]
 //	         [-k 10] [-cycle-sample 64] [-json]
 //	tricheck coverage [-family wrc] [-isa ...] [-variant ...] [-lattice]
@@ -52,6 +53,19 @@
 //	                      (herd C litmus format) and exit
 //	-progress             stream farm progress lines to stderr
 //
+// Verdict backend flags (the operational second opinion):
+//
+//	-backend uhb|opsim|both  verdict engine: the axiomatic µhb evaluator
+//	                      (default), the operational interleaving
+//	                      simulator, or both cross-checked — backend=both
+//	                      compares observable-outcome sets per (test,
+//	                      stack) and reports any disagreement as a
+//	                      Divergence verdict with a trace witness;
+//	                      configs without an operational machine are
+//	                      skipped (backend=opsim rejects them outright)
+//	-fail-on-divergence   exit non-zero (4) when a cross-check divergence
+//	                      appears — the self-check CI gate
+//
 // Observability flags:
 //
 //	-profile prefix       capture cpu+heap pprof profiles of the sweep to
@@ -77,6 +91,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -125,7 +140,15 @@ func main() {
 	profile := flag.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics registry (farm, memo, verdict phases) to this file as JSON")
 	failOnBug := flag.Bool("fail-on-bug", false, "exit non-zero (3) when any Bug verdict appears — lets CI gate on regressions")
+	backendFlag := flag.String("backend", "uhb", "verdict backend: uhb (axiomatic µhb), opsim (operational simulator) or both (cross-check)")
+	failOnDivergence := flag.Bool("fail-on-divergence", false, "exit non-zero (4) when backend=both finds a cross-check divergence")
 	flag.Parse()
+
+	backend, err := tricheck.ParseBackend(*backendFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *models {
 		tricheck.WriteTable7(os.Stdout, tricheck.Curr)
@@ -190,6 +213,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tricheck: %v\n", err)
 		os.Exit(2)
 	}
+	if err := tricheck.ValidateBackendStacks(backend, stacks); err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: %v (use -backend both to cross-check where possible)\n", err)
+		os.Exit(2)
+	}
 
 	eng := tricheck.NewEngine()
 	if *cache != "" {
@@ -216,7 +243,7 @@ func main() {
 	} else {
 		close(done)
 	}
-	results, err := eng.SweepStream(tests, stacks, *workers, events)
+	results, err := eng.SweepStreamBackend(context.Background(), tests, stacks, *workers, backend, events)
 	<-done
 	// Finalize profiles here, not in a defer: the -fail-on-bug path below
 	// exits via os.Exit(3), which would skip defers and truncate the CPU
@@ -287,6 +314,12 @@ func main() {
 		if bugs > 0 {
 			fmt.Fprintf(os.Stderr, "tricheck: -fail-on-bug: %d Bug verdicts\n", bugs)
 			os.Exit(3)
+		}
+	}
+	if divergent := eng.Divergences(); divergent > 0 {
+		fmt.Fprintf(os.Stderr, "tricheck: backend cross-check: %d divergence(s) between µhb and opsim\n", divergent)
+		if *failOnDivergence {
+			os.Exit(4)
 		}
 	}
 }

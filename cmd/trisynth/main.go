@@ -11,7 +11,8 @@
 //	                   [-variant curr|ours|both] [-model-file spec.uspec ...]
 //	                   [-workers N] [-cache file]
 //	                   [-progress] [-csv] [-bugs] [-profile PREFIX]
-//	                   [-fail-on-bug]
+//	                   [-fail-on-bug] [-backend uhb|opsim|both]
+//	                   [-fail-on-divergence]
 //
 // enumerate lists the synthesized shapes (cycle word, threads,
 // locations, variant count, novelty). export writes their memory-order
@@ -29,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -61,7 +63,8 @@ func usage() {
   trisynth export    -dir DIR [bounds] [-novel-only] [-orders first|all]
   trisynth sweep     [bounds] [-novel-only] [-isa base|base+a|both] [-variant curr|ours|both]
                      [-model-file spec.uspec ...] [-workers N] [-cache file] [-progress] [-csv]
-                     [-bugs] [-profile PREFIX] [-fail-on-bug]`)
+                     [-bugs] [-profile PREFIX] [-fail-on-bug] [-backend uhb|opsim|both]
+                     [-fail-on-divergence]`)
 	os.Exit(2)
 }
 
@@ -181,7 +184,14 @@ func cmdSweep(args []string) {
 	bugs := fs.Bool("bugs", false, "list buggy (test, stack) pairs on novel shapes")
 	profile := fs.String("profile", "", "write cpu/heap pprof profiles to PREFIX.{cpu,mem}.pprof")
 	failOnBug := fs.Bool("fail-on-bug", false, "exit non-zero (3) when any Bug verdict appears — lets CI gate on regressions")
+	backendFlag := fs.String("backend", "uhb", "verdict backend: uhb, opsim or both (cross-check)")
+	failOnDivergence := fs.Bool("fail-on-divergence", false, "exit non-zero (4) when backend=both finds a cross-check divergence")
 	fs.Parse(args)
+
+	backend, err := tricheck.ParseBackend(*backendFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	psess, err := prof.Begin(*profile)
 	if err != nil {
@@ -220,6 +230,9 @@ func cmdSweep(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	if err := tricheck.ValidateBackendStacks(backend, stacks); err != nil {
+		fatal(fmt.Errorf("%v (use -backend both to cross-check where possible)", err))
+	}
 
 	eng := tricheck.NewEngine()
 	if *cache != "" {
@@ -238,7 +251,7 @@ func cmdSweep(args []string) {
 	} else {
 		close(done)
 	}
-	results, err := eng.SweepStream(tests, stacks, *workers, events)
+	results, err := eng.SweepStreamBackend(context.Background(), tests, stacks, *workers, backend, events)
 	<-done
 	if err != nil {
 		fatal(err)
@@ -316,6 +329,12 @@ func cmdSweep(args []string) {
 		if totalBugs > 0 {
 			fmt.Fprintf(os.Stderr, "trisynth: -fail-on-bug: %d Bug verdicts\n", totalBugs)
 			os.Exit(3)
+		}
+	}
+	if divergent := eng.Divergences(); divergent > 0 {
+		fmt.Fprintf(os.Stderr, "trisynth: backend cross-check: %d divergence(s) between µhb and opsim\n", divergent)
+		if *failOnDivergence {
+			os.Exit(4)
 		}
 	}
 }

@@ -1,0 +1,255 @@
+// Backend selection: the engine can produce verdicts from the axiomatic
+// µhb models (uhb), from the operational simulators (opsim), or from both
+// with a per-(test, stack) cross-check that reports any disagreement
+// between the two semantics as a Divergence verdict.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+	"tricheck/internal/mem"
+	"tricheck/internal/obs"
+	"tricheck/internal/opsim"
+)
+
+// Backend selects which verdict engine(s) a run uses.
+type Backend uint8
+
+const (
+	// BackendUHB is the default axiomatic µhb engine.
+	BackendUHB Backend = iota
+	// BackendOpsim replaces the µhb evaluation with operational
+	// enumeration. Only opsim-supported configs are allowed (see
+	// ValidateBackendStacks).
+	BackendOpsim
+	// BackendBoth runs uhb as the verdict source and opsim as a second
+	// opinion, diffing the observable sets; a non-empty symmetric
+	// difference yields the Divergence verdict.
+	BackendBoth
+)
+
+// String returns the wire spelling ("uhb", "opsim", "both").
+func (b Backend) String() string {
+	switch b {
+	case BackendOpsim:
+		return "opsim"
+	case BackendBoth:
+		return "both"
+	default:
+		return "uhb"
+	}
+}
+
+// ParseBackend parses the wire spelling; the empty string selects the
+// default uhb backend.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "uhb":
+		return BackendUHB, nil
+	case "opsim":
+		return BackendOpsim, nil
+	case "both":
+		return BackendBoth, nil
+	default:
+		return BackendUHB, fmt.Errorf("unknown backend %q (want uhb, opsim or both)", s)
+	}
+}
+
+// keySuffix tags memo keys so cached results from one backend never
+// masquerade as another's. The uhb suffix is empty to keep existing
+// snapshots and keys valid.
+func (b Backend) keySuffix() string {
+	switch b {
+	case BackendOpsim:
+		return "+opsim"
+	case BackendBoth:
+		return "+both"
+	default:
+		return ""
+	}
+}
+
+// JobKeyBackend is JobKey tagged with the backend (identical to JobKey
+// for BackendUHB).
+func JobKeyBackend(t *litmus.Test, s Stack, b Backend) string {
+	return JobKey(t, s) + b.keySuffix()
+}
+
+// ValidateBackendStacks checks that every stack's model is within the
+// chosen backend's capabilities. Only BackendOpsim hard-fails on an
+// unsupported config — BackendBoth degrades per-job to a skip note, and
+// BackendUHB supports everything.
+func ValidateBackendStacks(b Backend, stacks []Stack) error {
+	if b != BackendOpsim {
+		return nil
+	}
+	for _, s := range stacks {
+		if err := opsim.Supports(s.Model.Config); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpsimMemo is the operational side-channel of a verdict: the enumerated
+// outcome set and, under BackendBoth, the cross-check diff against the
+// µhb observable set plus a trace witness for one divergent outcome.
+type OpsimMemo struct {
+	// Observable is the operationally reachable outcome set (sorted).
+	Observable []mem.Outcome `json:"observable,omitempty"`
+	// UhbOnly lists outcomes the µhb model observes that the simulator
+	// never reaches (sorted; BackendBoth only).
+	UhbOnly []mem.Outcome `json:"uhb_only,omitempty"`
+	// OpsimOnly lists outcomes the simulator reaches that the µhb model
+	// forbids (sorted; BackendBoth only).
+	OpsimOnly []mem.Outcome `json:"opsim_only,omitempty"`
+	// WitnessOutcome is the divergent outcome the witness below reaches.
+	WitnessOutcome mem.Outcome `json:"witness_outcome,omitempty"`
+	// Witness is an operational interleaving reaching WitnessOutcome —
+	// concrete evidence for one side of the divergence.
+	Witness []string `json:"witness,omitempty"`
+	// States counts distinct machine configurations the simulator
+	// explored (diagnostics).
+	States int `json:"states,omitempty"`
+	// Skipped carries the capability reason when BackendBoth could not
+	// run the operational side for this stack's config.
+	Skipped string `json:"skipped,omitempty"`
+}
+
+// Divergent reports whether the cross-check found a disagreement.
+func (o *OpsimMemo) Divergent() bool {
+	return o != nil && (len(o.UhbOnly) > 0 || len(o.OpsimOnly) > 0)
+}
+
+// evaluateBackend dispatches the farm job thunk on the backend axis.
+func (e *Engine) evaluateBackend(t *litmus.Test, s Stack, b Backend, stackName, modelName string, trace obs.TraceID, parent obs.SpanID) (*Memo, error) {
+	switch b {
+	case BackendOpsim:
+		return e.evaluateOpsim(t, s, stackName, modelName)
+	case BackendBoth:
+		return e.evaluateBoth(t, s, stackName, modelName, trace, parent)
+	default:
+		return e.evaluate(t, s, stackName, modelName, trace, parent)
+	}
+}
+
+// evaluateOpsim runs the toolflow with operational enumeration as step 3:
+// HLL evaluation and compilation as usual, then the config-matched
+// simulator explores every interleaving and its reachable set stands in
+// for the µhb observable set in the step-4 comparison.
+func (e *Engine) evaluateOpsim(t *litmus.Test, s Stack, stackName, modelName string) (*Memo, error) {
+	jobStart := time.Now()
+	hll, err := e.HLL(t) // step 1
+	dHLL := time.Since(jobStart)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	prog, err := compile.Compile(s.Mapping, t.Prog) // step 2
+	dCompile := time.Since(t1)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s with %s: %w", t.Name, s.Mapping.Name, err)
+	}
+	t2 := time.Now()
+	sim, err := opsim.ForConfig(s.Model.Config, prog)
+	if err != nil {
+		compile.ReleaseProgram(prog)
+		return nil, err
+	}
+	out := sim.Outcomes() // step 3, operationally
+	dEnumerate := time.Since(t2)
+	compile.ReleaseProgram(prog)
+	e.execs.Add(1)
+	phaseHLL.Observe(dHLL)
+	phaseCompile.Observe(dCompile)
+	phaseOpsim.Observe(dEnumerate)
+	m := compareSets(hll, out, out)
+	m.Opsim = &OpsimMemo{Observable: sortedOutcomeSet(out), States: sim.StateCount()}
+	verdictCounters[m.Verdict].Inc()
+	// No µhb axioms fire on the operational path; only the verdict column
+	// of the per-model coverage matrix moves.
+	e.ledger.Model(modelName).Record(int(m.Verdict), 0, 0, 0)
+	e.recordCost(JobCost{
+		Test: t.Name, Family: t.Shape.Name, Stack: stackName,
+		Count: 1, Total: time.Since(jobStart),
+		HLL: dHLL, Compile: dCompile, Enumerate: dEnumerate,
+		Candidates: sim.StateCount(),
+	})
+	return m, nil
+}
+
+// evaluateBoth runs the full axiomatic toolflow for the verdict, then the
+// operational backend as a second opinion: the two observable sets are
+// diffed, and any disagreement upgrades the verdict to Divergence with
+// both sets, the symmetric difference, and — when the simulator reaches
+// an outcome the µhb model forbids — an interleaving witness attached.
+// A config outside the simulators' capability degrades to a skip note on
+// the memo rather than an error: `both` means "cross-check where you
+// can", and the caller can see exactly which stacks were second-opinioned.
+func (e *Engine) evaluateBoth(t *litmus.Test, s Stack, stackName, modelName string, trace obs.TraceID, parent obs.SpanID) (*Memo, error) {
+	m, err := e.evaluate(t, s, stackName, modelName, trace, parent)
+	if err != nil {
+		return nil, err
+	}
+	var capErr *opsim.CapabilityError
+	if err := opsim.Supports(s.Model.Config); errors.As(err, &capErr) {
+		m.Opsim = &OpsimMemo{Skipped: capErr.Reason}
+		return m, nil
+	} else if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	prog, err := compile.Compile(s.Mapping, t.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling %s with %s: %w", t.Name, s.Mapping.Name, err)
+	}
+	sim, err := opsim.ForConfig(s.Model.Config, prog)
+	if err != nil {
+		compile.ReleaseProgram(prog)
+		return nil, err
+	}
+	out := sim.Outcomes()
+	op := &OpsimMemo{Observable: sortedOutcomeSet(out), States: sim.StateCount()}
+	for o := range m.Observable {
+		if !out[o] {
+			op.UhbOnly = append(op.UhbOnly, o)
+		}
+	}
+	for o := range out {
+		if !m.Observable[o] {
+			op.OpsimOnly = append(op.OpsimOnly, o)
+		}
+	}
+	sortOutcomes(op.UhbOnly)
+	sortOutcomes(op.OpsimOnly)
+	if op.Divergent() {
+		// Witness one operational-only outcome when there is one: a
+		// concrete interleaving the axiomatic side claims impossible.
+		// (A uhb-only outcome has no operational witness by definition.)
+		if len(op.OpsimOnly) > 0 {
+			op.WitnessOutcome = op.OpsimOnly[0]
+			op.Witness = sim.Trace(op.WitnessOutcome)
+		}
+		m.Verdict = Divergence
+		e.divergences.Add(1)
+		verdictCounters[Divergence].Inc()
+	}
+	compile.ReleaseProgram(prog)
+	phaseOpsim.Observe(time.Since(t0))
+	m.Opsim = op
+	return m, nil
+}
+
+// sortedOutcomeSet flattens an outcome set into a sorted slice.
+func sortedOutcomeSet(set map[mem.Outcome]bool) []mem.Outcome {
+	out := make([]mem.Outcome, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sortOutcomes(out)
+	return out
+}

@@ -58,11 +58,18 @@ const (
 	OverlyStrict
 	// Bug: some C11-forbidden outcome is observable on the implementation.
 	Bug
+	// Divergence: the axiomatic and operational backends disagree on the
+	// observable set (BackendBoth only) — the implementations of the two
+	// semantics contradict each other, which outranks any single-engine
+	// verdict.
+	Divergence
 )
 
 // String names the verdict like the paper's charts.
 func (v Verdict) String() string {
 	switch v {
+	case Divergence:
+		return "Divergence"
 	case Bug:
 		return "Bug"
 	case OverlyStrict:
@@ -94,6 +101,10 @@ type TestResult struct {
 	SpecifiedObservable bool
 	// Racy reports HLL undefined behaviour (every outcome then allowed).
 	Racy bool
+	// Opsim is the operational backend's side of the verdict: present for
+	// BackendOpsim (the enumerated set) and BackendBoth (the cross-check
+	// diff and witness); nil on the default uhb backend.
+	Opsim *OpsimMemo
 }
 
 // Engine runs the toolflow. It caches HLL evaluations across stacks
@@ -108,6 +119,9 @@ type Engine struct {
 	// execs counts actual verifier executions (toolflow steps 2–3), i.e.
 	// jobs that were neither deduplicated nor satisfied from the cache.
 	execs atomic.Uint64
+	// divergences counts executed BackendBoth jobs whose axiomatic and
+	// operational observable sets disagreed.
+	divergences atomic.Uint64
 	// lastFarm records the statistics of the most recent farm run.
 	lastFarm farm.Stats
 	// costs is the per-(test, stack) cost matrix, fed by every executed
@@ -172,7 +186,13 @@ func (e *Engine) HLL(t *litmus.Test) (*c11.Result, error) {
 // memo cache when one is enabled. Every result — executed or memoized —
 // records its (test, config) verdict vector in the coverage ledger.
 func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
-	m, err := e.run(t, s)
+	return e.RunBackend(t, s, BackendUHB)
+}
+
+// RunBackend is Run on an explicit backend; memo keys are backend-tagged
+// so the backends never share cache entries.
+func (e *Engine) RunBackend(t *litmus.Test, s Stack, b Backend) (*TestResult, error) {
+	m, err := e.run(t, s, b)
 	if err != nil {
 		return nil, err
 	}
@@ -180,20 +200,20 @@ func (e *Engine) Run(t *litmus.Test, s Stack) (*TestResult, error) {
 	return m.Bind(t, s), nil
 }
 
-func (e *Engine) run(t *litmus.Test, s Stack) (*Memo, error) {
+func (e *Engine) run(t *litmus.Test, s Stack, b Backend) (*Memo, error) {
 	if e.memo != nil {
-		key := JobKey(t, s)
+		key := JobKeyBackend(t, s, b)
 		if m, ok := e.memo.Get(key); ok {
 			return m, nil
 		}
-		m, err := e.evaluate(t, s, s.Name(), s.Model.FullName(), 0, 0)
+		m, err := e.evaluateBackend(t, s, b, s.Name(), s.Model.FullName(), 0, 0)
 		if err != nil {
 			return nil, err
 		}
 		e.memo.Put(key, m)
 		return m, nil
 	}
-	return e.evaluate(t, s, s.Name(), s.Model.FullName(), 0, 0)
+	return e.evaluateBackend(t, s, b, s.Name(), s.Model.FullName(), 0, 0)
 }
 
 // evaluate runs toolflow steps 1–4 unconditionally and returns the
@@ -282,11 +302,24 @@ func (e *Engine) evaluate(t *litmus.Test, s Stack, stackName, modelName string, 
 // and memo-cache hits do not execute.
 func (e *Engine) Executions() uint64 { return e.execs.Load() }
 
+// Divergences returns the number of executed BackendBoth jobs whose
+// axiomatic and operational observable sets disagreed.
+func (e *Engine) Divergences() uint64 { return e.divergences.Load() }
+
 // compare implements step 4, the equivalence check, in portable form.
 func compare(hll *c11.Result, isaRes *uspec.Result) *Memo {
+	return compareSets(hll, isaRes.Observable, isaRes.All)
+}
+
+// compareSets is step 4 against any ISA-side evaluation: observable is
+// the outcomes the backend deems reachable, all the full candidate set
+// it considered (for the axiomatic engine a superset of observable; for
+// the operational one the two coincide — the simulators enumerate only
+// reachable states, and the HLL remainder below covers the rest).
+func compareSets(hll *c11.Result, observable, all map[mem.Outcome]bool) *Memo {
 	m := &Memo{
 		Allowed:    hll.Allowed,
-		Observable: isaRes.Observable,
+		Observable: observable,
 		Racy:       hll.Racy,
 	}
 	// Classify the union of both outcome sets without materializing it:
@@ -294,17 +327,17 @@ func compare(hll *c11.Result, isaRes *uspec.Result) *Memo {
 	// per job, and the union map dominated its cost in cold sweeps.
 	classify := func(o mem.Outcome) {
 		switch {
-		case isaRes.Observable[o] && !hll.Allowed[o]:
+		case observable[o] && !hll.Allowed[o]:
 			m.BugOutcomes = append(m.BugOutcomes, o)
-		case hll.Allowed[o] && !isaRes.Observable[o]:
+		case hll.Allowed[o] && !observable[o]:
 			m.StrictOutcomes = append(m.StrictOutcomes, o)
 		}
 	}
-	for o := range isaRes.All {
+	for o := range all {
 		classify(o)
 	}
 	for o := range hll.All {
-		if !isaRes.All[o] {
+		if !all[o] {
 			classify(o)
 		}
 	}
@@ -334,6 +367,9 @@ func sortOutcomes(os []mem.Outcome) {
 // Tally counts verdicts.
 type Tally struct {
 	Total, Bugs, Strict, Equivalent int
+	// Divergent counts BackendBoth cross-check disagreements (zero on
+	// single-backend runs).
+	Divergent int
 	// SpecifiedBugs counts tests whose designated outcome was
 	// forbidden-yet-observable (the paper's headline counting).
 	SpecifiedBugs int
@@ -343,6 +379,8 @@ type Tally struct {
 func (t *Tally) Add(r *TestResult) {
 	t.Total++
 	switch r.Verdict {
+	case Divergence:
+		t.Divergent++
 	case Bug:
 		t.Bugs++
 	case OverlyStrict:

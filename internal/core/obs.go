@@ -22,12 +22,14 @@ var (
 
 	phaseHLL         = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "hll"))
 	phaseCompile     = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "compile"))
+	phaseOpsim       = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "opsim"))
 	phaseDiagnostics = obs.Default.Histogram("tricheck_verdict_phase_seconds", "Per-verdict toolflow phase durations.", nil, obs.L("phase", "diagnostics"))
 
 	verdictCounters = [...]*obs.Counter{
 		Equivalent:   obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "Equivalent")),
 		OverlyStrict: obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "OverlyStrict")),
 		Bug:          obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "Bug")),
+		Divergence:   obs.Default.Counter("tricheck_verdicts_total", "Executed verdicts by outcome.", obs.L("verdict", "Divergence")),
 	}
 
 	// coverMetrics mirrors every engine's coverage ledger into the shared
@@ -38,7 +40,7 @@ var (
 
 // verdictNames is the ledger's verdict catalogue, in ordinal order.
 func verdictNames() []string {
-	return []string{Equivalent.String(), OverlyStrict.String(), Bug.String()}
+	return []string{Equivalent.String(), OverlyStrict.String(), Bug.String(), Divergence.String()}
 }
 
 // costKey identifies one cost-matrix cell.

@@ -36,6 +36,10 @@ type Memo struct {
 	StrictOutcomes []mem.Outcome        `json:"strict,omitempty"`
 	Verdict        Verdict              `json:"verdict"`
 	Racy           bool                 `json:"racy,omitempty"`
+	// Opsim carries the operational backend's enumeration (BackendOpsim)
+	// or cross-check diff (BackendBoth); nil on uhb memos, so legacy
+	// snapshots round-trip unchanged.
+	Opsim *OpsimMemo `json:"opsim,omitempty"`
 }
 
 // Bind rebinds a portable verdict to a concrete test and stack,
@@ -51,6 +55,7 @@ func (m *Memo) Bind(t *litmus.Test, s Stack) *TestResult {
 		StrictOutcomes: m.StrictOutcomes,
 		Verdict:        m.Verdict,
 		Racy:           m.Racy,
+		Opsim:          m.Opsim,
 	}
 	r.SpecifiedAllowed = m.Allowed[t.Specified]
 	r.SpecifiedObservable = m.Observable[t.Specified]
@@ -193,6 +198,10 @@ type Progress struct {
 	// Cached reports that the result came from the memo cache or from
 	// deduplication rather than an execution.
 	Cached bool
+	// Opsim carries the operational backend's side of the result (nil on
+	// uhb sweeps): the cross-check diff and witness for a Divergence
+	// verdict, or the skip note for an out-of-capability config.
+	Opsim *OpsimMemo
 }
 
 // SweepStream runs tests × stacks as a single verification-farm run and
@@ -211,8 +220,18 @@ func (e *Engine) SweepStream(tests []*litmus.Test, stacks []Stack, workers int, 
 // never poisons it) and returns ctx's error. The events channel, when
 // non-nil, is closed before returning in every case.
 func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, stacks []Stack, workers int, events chan<- Progress) ([]*SuiteResult, error) {
+	return e.SweepStreamBackend(ctx, tests, stacks, workers, BackendUHB, events)
+}
+
+// SweepStreamBackend is SweepStreamContext on an explicit backend: jobs
+// carry backend-tagged memo keys (so a warm uhb cache never satisfies an
+// opsim or cross-check sweep) and run the backend's evaluation thunk.
+func (e *Engine) SweepStreamBackend(ctx context.Context, tests []*litmus.Test, stacks []Stack, workers int, backend Backend, events chan<- Progress) ([]*SuiteResult, error) {
 	if events != nil {
 		defer close(events)
+	}
+	if err := ValidateBackendStacks(backend, stacks); err != nil {
+		return nil, err
 	}
 	total := len(tests) * len(stacks)
 	testFPs := make([]string, len(tests))
@@ -234,8 +253,10 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 		for ti, t := range tests {
 			t := t
 			jobs = append(jobs, farm.Job[string, *Memo]{
-				Key: jobKeyFromFPs(testFPs[ti], sfp),
-				Run: func() (*Memo, error) { return e.evaluate(t, s, sname, mname, trace, parentSpan) },
+				Key: jobKeyFromFPs(testFPs[ti], sfp) + backend.keySuffix(),
+				Run: func() (*Memo, error) {
+					return e.evaluateBackend(t, s, backend, sname, mname, trace, parentSpan)
+				},
 			})
 		}
 	}
@@ -262,6 +283,7 @@ func (e *Engine) SweepStreamContext(ctx context.Context, tests []*litmus.Test, s
 				Verdict: m.Verdict,
 				Key:     jobs[i].Key,
 				Cached:  cached,
+				Opsim:   m.Opsim,
 			}
 		},
 	}

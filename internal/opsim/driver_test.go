@@ -1,0 +1,174 @@
+package opsim
+
+import (
+	"errors"
+	"testing"
+
+	"tricheck/internal/c11"
+	"tricheck/internal/compile"
+	"tricheck/internal/litmus"
+	"tricheck/internal/uspec"
+)
+
+// TestDriverCapabilityMatrix pins which builtin configurations the
+// operational backend accepts, and that rejections are typed capability
+// errors naming the model.
+func TestDriverCapabilityMatrix(t *testing.T) {
+	supported := map[string]bool{
+		"SC": true, "TSO": true, "WR": true, "rWR": true, "nWR": true,
+	}
+	for _, m := range uspec.Builtins().All() {
+		want := supported[m.Name] && !(m.Name == "nWR" && m.Variant != uspec.Curr)
+		err := Supports(m.Config)
+		if (err == nil) != want {
+			t.Errorf("Supports(%s) = %v, want supported=%v", m.FullName(), err, want)
+		}
+		if err != nil {
+			var capErr *CapabilityError
+			if !errors.As(err, &capErr) {
+				t.Errorf("Supports(%s) error %T is not a *CapabilityError", m.FullName(), err)
+			} else if capErr.Model != m.FullName() {
+				t.Errorf("capability error names %q, want %q", capErr.Model, m.FullName())
+			}
+		}
+	}
+}
+
+// TestDriverMachineSelection: each supported profile maps to the machine
+// with that profile's semantics, checked behaviourally on the SB litmus
+// shape (W→R relaxation is exactly what separates SC from WR/TSO).
+func TestDriverMachineSelection(t *testing.T) {
+	tst := litmus.SB.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		model     *uspec.Model
+		weakSB    bool // the r0=0; r1=0 store-buffering outcome reachable?
+		wantState string
+	}{
+		{uspec.SCProof(), false, "SC"},
+		{uspec.WR(uspec.Curr), true, "WR"},
+		{uspec.RWR(uspec.Curr), true, "rWR"},
+		{uspec.TSO(), true, "TSO"},
+		{uspec.NWR(uspec.Curr), true, "nWR"},
+	} {
+		sim, err := ForConfig(c.model.Config, prog)
+		if err != nil {
+			t.Fatalf("ForConfig(%s): %v", c.model.FullName(), err)
+		}
+		out := sim.Outcomes()
+		if out[tst.Specified] != c.weakSB {
+			t.Errorf("%s: SB outcome reachable=%v, want %v", c.model.FullName(), out[tst.Specified], c.weakSB)
+		}
+		if sim.StateCount() == 0 {
+			t.Errorf("%s: no states explored", c.model.FullName())
+		}
+	}
+	if _, err := ForConfig(uspec.RMM(uspec.Curr).Config, prog); err == nil {
+		t.Error("ForConfig(rMM) succeeded; want a capability error")
+	}
+}
+
+// TestDriverSCMatchesAxiomatic cross-checks the write-through machine
+// against the no-relaxations µspec baseline on the paper shapes.
+func TestDriverSCMatchesAxiomatic(t *testing.T) {
+	sc := uspec.SCProof()
+	for _, shapeName := range []string{"mp", "sb", "lb", "corr", "iriw"} {
+		shape := litmus.ShapeByName(shapeName)
+		orders := make([]c11.Order, len(shape.Slots))
+		for i := range orders {
+			orders[i] = c11.Rlx
+		}
+		tst := shape.Instantiate(orders)
+		prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := NewSC(prog).Outcomes()
+		ax, err := sc.Evaluate(prog)
+		if err != nil {
+			t.Fatalf("%s: axiomatic: %v", tst.Name, err)
+		}
+		for o := range op {
+			if !ax.Observable[o] {
+				t.Errorf("%s: outcome %q reachable on the SC machine but forbidden axiomatically", tst.Name, o)
+			}
+		}
+		for o := range ax.Observable {
+			if !op[o] {
+				t.Errorf("%s: outcome %q observable axiomatically on SC but unreachable operationally", tst.Name, o)
+			}
+		}
+	}
+}
+
+// TestDriverMiswireHook: with the deliberate miswiring enabled, the SC
+// profile is routed to the TSO machine — the store-buffering outcome
+// becomes operationally reachable on a config that forbids it, which is
+// the seeded divergence the backend=both e2e tests rely on.
+func TestDriverMiswireHook(t *testing.T) {
+	tst := litmus.SB.Instantiate([]c11.Order{c11.Rlx, c11.Rlx, c11.Rlx, c11.Rlx})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetMiswired(true)
+	defer SetMiswired(false)
+	sim, err := ForConfig(uspec.SCProof().Config, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Outcomes()[tst.Specified] {
+		t.Error("miswired SC profile does not reach the SB outcome; the seeded divergence is gone")
+	}
+	if wit := sim.Trace(tst.Specified); len(wit) == 0 {
+		t.Error("no trace witness for the miswired outcome")
+	}
+	SetMiswired(false)
+	sim, err = ForConfig(uspec.SCProof().Config, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Outcomes()[tst.Specified] {
+		t.Error("miswiring stuck: SC profile still reaches the SB outcome after SetMiswired(false)")
+	}
+}
+
+// TestOperationalIRIWFence exercises the drain-order enumeration at four
+// threads with fences in play: the SC-compiled IRIW program (full fence
+// insertion under the intuitive Base mapping) pinned against the
+// axiomatic verdict on the WR and TSO machines — the specified outcome
+// must stay unreachable on any MCA machine, fences or not, and the full
+// outcome sets must agree with the µhb models exactly.
+func TestOperationalIRIWFence(t *testing.T) {
+	tst := litmus.IRIW.Instantiate([]c11.Order{c11.SC, c11.SC, c11.SC, c11.SC, c11.SC, c11.SC})
+	prog, err := compile.Compile(compile.RISCVBaseIntuitive, tst.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossCheck(t, tst.Name+"/wr", prog)
+	if New(prog).Outcomes()[tst.Specified] {
+		t.Error("fenced IRIW outcome reachable on the operational WR machine")
+	}
+	tso := NewTSO(prog)
+	op := tso.Outcomes()
+	if op[tst.Specified] {
+		t.Error("fenced IRIW outcome reachable on the operational TSO machine")
+	}
+	ax, err := uspec.TSO().Evaluate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := range op {
+		if !ax.Observable[o] {
+			t.Errorf("tso: outcome %q reachable operationally but forbidden axiomatically", o)
+		}
+	}
+	for o := range ax.Observable {
+		if !op[o] {
+			t.Errorf("tso: outcome %q observable axiomatically but unreachable operationally", o)
+		}
+	}
+}

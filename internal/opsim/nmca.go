@@ -21,11 +21,23 @@ import (
 //   - coherence: a core applies same-location writes in the global order;
 //   - source FIFO: a core applies writes from one source thread in that
 //     thread's drain order (the FIFO buffer of nWR maintains W→W, and the
-//     non-cumulative fences' W→W ordering is per-core pointwise);
-//   - store atomicity annotations: an AMO carrying the current-spec
-//     aq.rl combination applies to every core at one instant.
+//     non-cumulative fences' and releases' W→W ordering is per-core
+//     pointwise — exactly the axiomatic model's pointwise-vis edges);
+//   - store atomicity: an aq.rl ("SC") AMO write is a single pending
+//     event that later *commits* — entering the coherence order and
+//     every core's view at one instant, mirroring the axiomatic model's
+//     single VisibleAll node. Crucially the instant is deferred, not
+//     tied to execution: the thread runs on past the AMO and until the
+//     commit fires no core, the writer included, observes the write.
+//     The commit in turn waits for the thread's earlier writes to be
+//     applied everywhere (pointwise W→W into a simultaneous event means
+//     global visibility). The backend=both cross-check against the
+//     axiomatic nWR model pinned this from both sides on the base+a
+//     intuitive mapping: committing at execute time hid sb's relaxed
+//     outcome, while dropping the single instant entirely let the
+//     cumulativity litmus tests (WRC/RWC/IRIW with SC writers) through.
 //
-// A W→R fence (or an rl-annotated AMO) additionally waits until the
+// A W→R fence (or an rl-annotated AMO load) additionally waits until the
 // thread's own drained writes have been applied by every core — the
 // operational reading of the axiomatic "flush" edges.
 type NMCASimulator struct {
@@ -52,6 +64,16 @@ type drained struct {
 	atomic bool
 }
 
+// pendingAtomic is an executed-but-uncommitted SC-AMO write: it sits
+// outside the coherence order until its commit instant. add marks a
+// fetch-add, whose write value reads memory at the commit itself so the
+// read-modify-write stays indivisible.
+type pendingAtomic struct {
+	loc  mem.Loc
+	data int64
+	add  bool
+}
+
 // nstate is a full nMCA machine configuration.
 type nstate struct {
 	pc       []int
@@ -61,6 +83,7 @@ type nstate struct {
 	writes   []drained
 	applied  [][]int // applied[c][loc]: prefix of order[loc] applied at c
 	drainSeq []int   // per thread: number of writes drained so far
+	pending  []*pendingAtomic
 }
 
 func (s *nstate) clone() *nstate {
@@ -68,6 +91,7 @@ func (s *nstate) clone() *nstate {
 		pc:       append([]int(nil), s.pc...),
 		writes:   append([]drained(nil), s.writes...),
 		drainSeq: append([]int(nil), s.drainSeq...),
+		pending:  append([]*pendingAtomic(nil), s.pending...),
 	}
 	c.regs = make([][]int64, len(s.regs))
 	for i := range s.regs {
@@ -93,6 +117,13 @@ func (s *nstate) key() string {
 	fmt.Fprintf(&b, "%v|%v|%v|%v|%v|%v|", s.pc, s.regs, s.order, s.applied, s.drainSeq, s.writes)
 	for _, q := range s.sb {
 		fmt.Fprintf(&b, "%v;", q)
+	}
+	for _, p := range s.pending {
+		if p == nil {
+			b.WriteString("-;")
+		} else {
+			fmt.Fprintf(&b, "%v;", *p)
+		}
 	}
 	return b.String()
 }
@@ -147,6 +178,43 @@ func (s *nstate) ownWritesGloballyApplied(t int) bool {
 	return true
 }
 
+// canCommit reports whether thread t's pending SC-AMO write may take its
+// single visibility instant now: every core caught up on the location
+// (the commit appends at the coherence tail and applies everywhere at
+// once, so skipping an unapplied predecessor would break per-core
+// coherence) and the thread's earlier writes applied at every core
+// (pointwise W→W into a simultaneous event). Apply actions are always
+// eventually enabled, so a pending commit can never deadlock.
+func (s *nstate) canCommit(t int) bool {
+	p := s.pending[t]
+	if p == nil {
+		return false
+	}
+	for c := range s.applied {
+		if !s.caughtUp(c, p.loc) {
+			return false
+		}
+	}
+	return s.ownWritesGloballyApplied(t)
+}
+
+// commitPending fires thread t's pending SC-AMO write: the value is
+// computed against the now-globally-agreed view (fetch-adds read here,
+// keeping the RMW indivisible), appended to the coherence order, and
+// applied at every core in the same instant.
+func (s *NMCASimulator) commitPending(st *nstate, t int) {
+	p := st.pending[t]
+	st.pending[t] = nil
+	val := p.data
+	if p.add {
+		val = st.view(t, p.loc) + p.data
+	}
+	s.appendWrite(st, t, p.loc, val, true)
+	for c := range st.applied {
+		st.applied[c][p.loc] = len(st.order[p.loc])
+	}
+}
+
 // Outcomes exhaustively explores the machine and returns the reachable
 // final states (cores quiesce: buffers empty, every write applied
 // everywhere — eventual visibility).
@@ -161,6 +229,7 @@ func (s *NMCASimulator) Outcomes() map[mem.Outcome]bool {
 		applied:  make([][]int, n),
 		drainSeq: make([]int, n),
 	}
+	init.pending = make([]*pendingAtomic, n)
 	for t := 0; t < n; t++ {
 		init.regs[t] = make([]int64, s.maxRegs[t])
 		init.applied[t] = make([]int, nlocs)
@@ -190,10 +259,20 @@ func (s *NMCASimulator) explore(st *nstate) {
 		}
 	}
 	for t := 0; t < n; t++ {
+		// Commit: a pending SC-AMO write takes its global instant.
+		if st.canCommit(t) {
+			progress = true
+			next := st.clone()
+			s.commitPending(next, t)
+			s.explore(next)
+		}
 		// Drain: move the SB head into the coherence order. The draining
 		// core must be caught up on the location (it acquires the line)
-		// and applies its own write immediately.
-		if len(st.sb[t]) > 0 && st.caughtUp(t, st.sb[t][0].loc) {
+		// and applies its own write immediately. A pending SC-AMO write
+		// holds drains back: anything buffered behind it is later in
+		// program order, and pointwise W→W says it may not become
+		// visible anywhere before the atomic's instant.
+		if len(st.sb[t]) > 0 && st.pending[t] == nil && st.caughtUp(t, st.sb[t][0].loc) {
 			progress = true
 			next := st.clone()
 			e := next.sb[t][0]
@@ -220,18 +299,16 @@ func (s *NMCASimulator) explore(st *nstate) {
 }
 
 // appendWrite adds a drained/executed write to the coherence order and
-// applies it at the writing core (and, for atomic writes, everywhere).
+// applies it at the writing core. Non-atomic writes reach the other
+// cores through their own apply actions; SC-AMO commits follow this
+// call with a simultaneous application at every core (the atomic flag
+// records which writes took such an instant).
 func (s *NMCASimulator) appendWrite(st *nstate, t int, loc mem.Loc, val int64, atomic bool) {
 	id := len(st.writes)
 	st.writes = append(st.writes, drained{loc: loc, val: val, src: t, srcSeq: st.drainSeq[t], atomic: atomic})
 	st.drainSeq[t]++
 	st.order[loc] = append(st.order[loc], id)
 	st.applied[t][loc] = len(st.order[loc])
-	if atomic {
-		for c := range st.applied {
-			st.applied[c][loc] = len(st.order[loc])
-		}
-	}
 }
 
 func (s *NMCASimulator) operand(st *nstate, t int, op mem.Operand) int64 {
@@ -252,46 +329,67 @@ func scAtomic(ins *isa.Instr) bool { return ins.Aq && ins.Rl }
 func (s *NMCASimulator) blocked(st *nstate, t int, ins *isa.Instr) bool {
 	switch {
 	case ins.Op == isa.OpLoad:
-		return false // forwarding store buffer, W→R relaxed
+		// Forwarding store buffer, W→R relaxed — except that an
+		// uncommitted same-location SC-AMO write lives at the memory
+		// system, not in the buffer, so the load must wait for its
+		// instant (it may not read an older write than the thread's own).
+		if p := st.pending[t]; p != nil && p.loc == s.loc(st, t, ins) {
+			return true
+		}
+		return false
 	case ins.Op == isa.OpAMOLoad:
 		// Reads at the memory system: no same-location entry may be
-		// buffered; rl additionally waits for the whole buffer and for
-		// global visibility of own writes.
+		// buffered or pending; rl additionally waits for the whole
+		// buffer and for global visibility of own writes — a pending
+		// atomic is an own write not yet visible anywhere.
 		l := s.loc(st, t, ins)
+		if p := st.pending[t]; p != nil && p.loc == l {
+			return true
+		}
 		for _, e := range st.sb[t] {
 			if e.loc == l {
 				return true
 			}
 		}
-		if ins.Rl && (len(st.sb[t]) > 0 || !st.ownWritesGloballyApplied(t)) {
+		if ins.Rl && (len(st.sb[t]) > 0 || st.pending[t] != nil || !st.ownWritesGloballyApplied(t)) {
 			return true
 		}
 		return false
 	case ins.Op.IsAMO():
-		// Writing AMOs flush the buffer (W→W + not-buffered), acquire the
-		// line (caught up on the location), and under rl wait for their
-		// earlier writes to be globally... only pointwise per-core — the
-		// source-FIFO application rule handles that; a *store-atomic* AMO
-		// instead needs every core caught up so its instant is well
-		// defined.
-		if len(st.sb[t]) > 0 || !st.caughtUp(t, s.loc(st, t, ins)) {
+		// Writing AMOs flush the buffer (W→W + not-buffered) and wait
+		// for any in-flight atomic (SC pairs order their visibility
+		// instants; plain writes may not overtake one pointwise).
+		if st.pending[t] != nil || len(st.sb[t]) > 0 {
 			return true
 		}
+		l := s.loc(st, t, ins)
 		if scAtomic(ins) {
-			l := s.loc(st, t, ins)
+			if ins.Dst == mem.NoDst {
+				// Pure SC write: executes into the pending slot and
+				// commits later — nothing more to wait for here.
+				return false
+			}
+			// SC read-modify-write with a destination: the read performs
+			// at the same instant the write becomes visible, so the
+			// commit conditions must already hold at execution.
 			for c := range st.applied {
 				if !st.caughtUp(c, l) {
 					return true
 				}
 			}
+			return !st.ownWritesGloballyApplied(t)
 		}
-		return false
+		// Release (and relaxed) AMOs acquire the line and write through,
+		// propagating per core under source FIFO — the pointwise-vis
+		// reading of the eager release edges.
+		return !st.caughtUp(t, l)
 	case ins.Op == isa.OpFence:
 		// W→R fences flush: own buffer empty and own writes applied
-		// everywhere. Other classes are covered by in-order execution and
-		// the source-FIFO application rule.
+		// everywhere (a pending atomic included). Other classes are
+		// covered by in-order execution and the source-FIFO application
+		// rule.
 		if ins.Pred.HasW() && ins.Succ.HasR() && ins.Cum != isa.CumLW {
-			return len(st.sb[t]) > 0 || !st.ownWritesGloballyApplied(t)
+			return len(st.sb[t]) > 0 || st.pending[t] != nil || !st.ownWritesGloballyApplied(t)
 		}
 	}
 	return false
@@ -314,23 +412,149 @@ func (s *NMCASimulator) execute(st *nstate, t int, ins *isa.Instr) {
 	case isa.OpAMOLoad:
 		st.regs[t][ins.Dst] = st.view(t, s.loc(st, t, ins))
 	case isa.OpAMOStore:
-		s.appendWrite(st, t, s.loc(st, t, ins), s.operand(st, t, ins.Data), scAtomic(ins))
+		l := s.loc(st, t, ins)
+		if scAtomic(ins) {
+			st.pending[t] = &pendingAtomic{loc: l, data: s.operand(st, t, ins.Data)}
+		} else {
+			s.appendWrite(st, t, l, s.operand(st, t, ins.Data), false)
+		}
 	case isa.OpAMOSwap:
 		l := s.loc(st, t, ins)
+		if scAtomic(ins) && ins.Dst == mem.NoDst {
+			st.pending[t] = &pendingAtomic{loc: l, data: s.operand(st, t, ins.Data)}
+			break
+		}
 		if ins.Dst != mem.NoDst {
 			st.regs[t][ins.Dst] = st.view(t, l)
 		}
 		s.appendWrite(st, t, l, s.operand(st, t, ins.Data), scAtomic(ins))
+		if scAtomic(ins) {
+			// blocked() held this back until the commit conditions were
+			// met, so the write's instant is now — apply it everywhere.
+			for c := range st.applied {
+				st.applied[c][l] = len(st.order[l])
+			}
+		}
 	case isa.OpAMOAdd:
 		l := s.loc(st, t, ins)
+		if scAtomic(ins) && ins.Dst == mem.NoDst {
+			st.pending[t] = &pendingAtomic{loc: l, data: s.operand(st, t, ins.Data), add: true}
+			break
+		}
 		old := st.view(t, l)
 		if ins.Dst != mem.NoDst {
 			st.regs[t][ins.Dst] = old
 		}
 		s.appendWrite(st, t, l, old+s.operand(st, t, ins.Data), scAtomic(ins))
+		if scAtomic(ins) {
+			for c := range st.applied {
+				st.applied[c][l] = len(st.order[l])
+			}
+		}
 	case isa.OpFence:
 		// Ordering handled in blocked().
 	}
+}
+
+// Trace searches for an interleaving (execute, drain and per-core apply
+// actions) reaching the target outcome and returns it as human-readable
+// actions, or nil if unreachable. Like Simulator.Trace it uses its own
+// visited set.
+func (s *NMCASimulator) Trace(target mem.Outcome) []string {
+	nlocs := s.p.Mem().NumLocs
+	n := s.p.NumThreads()
+	init := &nstate{
+		pc:       make([]int, n),
+		regs:     make([][]int64, n),
+		sb:       make([][]sbEntry, n),
+		order:    make([][]int, nlocs),
+		applied:  make([][]int, n),
+		drainSeq: make([]int, n),
+	}
+	init.pending = make([]*pendingAtomic, n)
+	for t := 0; t < n; t++ {
+		init.regs[t] = make([]int64, s.maxRegs[t])
+		init.applied[t] = make([]int, nlocs)
+	}
+	seen := map[string]bool{}
+	var path []string
+	var found []string
+	var dfs func(st *nstate) bool
+	dfs = func(st *nstate) bool {
+		k := st.key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		progress := false
+		for c := 0; c < n; c++ {
+			for l := range st.order {
+				if st.canApply(c, mem.Loc(l)) {
+					progress = true
+					next := st.clone()
+					w := next.writes[next.order[l][next.applied[c][l]]]
+					next.applied[c][l]++
+					path = append(path, fmt.Sprintf("T%d: apply %s=%d (written by T%d)",
+						c, s.p.Mem().LocName(mem.Loc(l)), w.val, w.src))
+					if dfs(next) {
+						return true
+					}
+					path = path[:len(path)-1]
+				}
+			}
+		}
+		for t := 0; t < n; t++ {
+			if st.canCommit(t) {
+				progress = true
+				next := st.clone()
+				p := *st.pending[t]
+				s.commitPending(next, t)
+				path = append(path, fmt.Sprintf("T%d: commit atomic %s=%d to every core",
+					t, s.p.Mem().LocName(p.loc), next.writes[len(next.writes)-1].val))
+				if dfs(next) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+			if len(st.sb[t]) > 0 && st.pending[t] == nil && st.caughtUp(t, st.sb[t][0].loc) {
+				progress = true
+				next := st.clone()
+				e := next.sb[t][0]
+				next.sb[t] = next.sb[t][1:]
+				s.appendWrite(next, t, e.loc, e.val, false)
+				path = append(path, fmt.Sprintf("T%d: drain %s=%d into the coherence order",
+					t, s.p.Mem().LocName(e.loc), e.val))
+				if dfs(next) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+			if st.pc[t] < len(s.p.Instrs[t]) {
+				ins := s.p.Instrs[t][st.pc[t]]
+				if s.blocked(st, t, ins) {
+					continue
+				}
+				progress = true
+				next := st.clone()
+				s.execute(next, t, ins)
+				next.pc[t]++
+				path = append(path, fmt.Sprintf("T%d: execute instruction %d", t, st.pc[t]))
+				if dfs(next) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+		}
+		if !progress && s.finalOutcome(st) == target {
+			found = append([]string(nil), path...)
+			return true
+		}
+		return false
+	}
+	if dfs(init) {
+		return found
+	}
+	return nil
 }
 
 func (s *NMCASimulator) finalOutcome(st *nstate) mem.Outcome {

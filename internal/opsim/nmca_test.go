@@ -170,3 +170,52 @@ func TestNMCAAtomicAMOInstantVisibility(t *testing.T) {
 	}
 	crossCheckNMCA(t, "iriw-atomic-writers", p)
 }
+
+// TestNMCAStoreAtomicAMOKeepsSourceFIFO pins the backend=both finding on
+// mp under the base+a intuitive mapping: an SC store compiles to a
+// store-atomic (aq.rl) AMO, and its single-instant application must not
+// leapfrog the thread's earlier writes at cores that have not applied
+// them yet. Before the fix the simulator reached the r0=1; r1=0 message-
+// passing violation that the axiomatic nWR model (and a release AMO on
+// real hardware) forbids.
+func TestNMCAStoreAtomicAMOKeepsSourceFIFO(t *testing.T) {
+	for _, orders := range [][]c11.Order{
+		{c11.Rlx, c11.SC, c11.Acq, c11.Rlx},
+		{c11.Rlx, c11.SC, c11.SC, c11.SC},
+		{c11.Rel, c11.SC, c11.Rlx, c11.Rlx},
+	} {
+		tst := litmus.MP.Instantiate(orders)
+		prog, err := compile.Compile(compile.RISCVAtomicsIntuitive, tst.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if NewNMCA(prog).Outcomes()[tst.Specified] {
+			t.Errorf("%s: store-atomic AMO leaked %q past the thread's earlier write", tst.Name, tst.Specified)
+		}
+		crossCheckNMCA(t, tst.Name, prog)
+	}
+}
+
+// TestNMCAStoreAtomicAMODeferredCommit pins the opposite direction of
+// the same backend=both finding, on sb: the SC AMO's single visibility
+// instant is deferred, not tied to execution. The thread runs past the
+// AMO, so the classic store-buffering outcome stays reachable even when
+// both stores are SC AMOs split across threads — exactly what the
+// axiomatic nWR model admits (its VisibleAll node may come arbitrarily
+// late). Committing at execute time wrongly hid this outcome.
+func TestNMCAStoreAtomicAMODeferredCommit(t *testing.T) {
+	for _, orders := range [][]c11.Order{
+		{c11.Rlx, c11.SC, c11.SC, c11.Rlx},
+		{c11.Rlx, c11.SC, c11.SC, c11.Acq},
+	} {
+		tst := litmus.SB.Instantiate(orders)
+		prog, err := compile.Compile(compile.RISCVAtomicsIntuitive, tst.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !NewNMCA(prog).Outcomes()[tst.Specified] {
+			t.Errorf("%s: deferred atomic commit should leave %q reachable", tst.Name, tst.Specified)
+		}
+		crossCheckNMCA(t, tst.Name, prog)
+	}
+}

@@ -72,6 +72,11 @@ type Simulator struct {
 	// the local store buffer instead of stalling — turning the WR machine
 	// into an x86-TSO-like one (cross-checked against uspec.TSO).
 	Forwarding bool
+	// WriteThrough retires stores directly to memory instead of the store
+	// buffer. With in-order cores and MCA memory the buffer was the only
+	// relaxation, so the machine becomes sequentially consistent
+	// (cross-checked against the no-relaxations uspec SC config).
+	WriteThrough bool
 	// States counts distinct explored configurations (diagnostics).
 	States int
 }
@@ -101,6 +106,14 @@ func New(p *isa.Program) *Simulator {
 func NewTSO(p *isa.Program) *Simulator {
 	s := New(p)
 	s.Forwarding = true
+	return s
+}
+
+// NewSC returns a write-through simulator: the sequentially consistent
+// machine of the no-relaxations µspec baseline.
+func NewSC(p *isa.Program) *Simulator {
+	s := New(p)
+	s.WriteThrough = true
 	return s
 }
 
@@ -235,6 +248,10 @@ func (s *Simulator) execute(st *state, t int, ins *isa.Instr) {
 	case isa.OpLoad:
 		st.regs[t][ins.Dst] = s.loadValue(st, t, s.loc(st, t, ins))
 	case isa.OpStore:
+		if s.WriteThrough {
+			st.mem[s.loc(st, t, ins)] = s.operand(st, t, ins.Data)
+			break
+		}
 		st.sb[t] = append(st.sb[t], sbEntry{loc: s.loc(st, t, ins), val: s.operand(st, t, ins.Data)})
 	case isa.OpAMOLoad:
 		// Atomic load: reads memory; the write-back of the same value is

@@ -17,6 +17,9 @@ type Tracker struct {
 	// Bugs/Strict/Equivalent count observed verdicts; Cached counts
 	// results served from the memo cache or by deduplication.
 	Bugs, Strict, Equivalent, Cached int
+	// Divergent counts backend=both cross-check disagreements (always
+	// zero on single-backend sweeps).
+	Divergent int
 	// Done is the last event's delivered-result count and Total the
 	// sweep size; Done < Total after draining means the sweep aborted.
 	Done, Total int
@@ -40,6 +43,8 @@ func (t *Tracker) Observe(ev core.Progress) {
 	}
 	t.Done, t.Total = ev.Done, ev.Total
 	switch ev.Verdict {
+	case core.Divergence:
+		t.Divergent++
 	case core.Bug:
 		t.Bugs++
 	case core.OverlyStrict:
@@ -50,6 +55,15 @@ func (t *Tracker) Observe(ev core.Progress) {
 	if ev.Cached {
 		t.Cached++
 	}
+}
+
+// divergentNote renders " divergent=N" only when cross-checking found
+// disagreements, keeping single-backend progress lines byte-stable.
+func (t *Tracker) divergentNote() string {
+	if t.Divergent == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" divergent=%d", t.Divergent)
 }
 
 // Elapsed is the wall time from Begin (or the first Observe) to the
@@ -98,14 +112,14 @@ func StreamProgress(w io.Writer, events <-chan core.Progress, every int) {
 			}
 		}
 		if ev.Done%step == 0 && ev.Done != ev.Total {
-			fmt.Fprintf(w, "farm: %d/%d (%d%%) bugs=%d strict=%d equiv=%d cached=%d  last=%s on %s\n",
-				ev.Done, ev.Total, 100*ev.Done/ev.Total, t.Bugs, t.Strict, t.Equivalent, t.Cached, ev.Test, ev.Stack)
+			fmt.Fprintf(w, "farm: %d/%d (%d%%) bugs=%d strict=%d equiv=%d%s cached=%d  last=%s on %s\n",
+				ev.Done, ev.Total, 100*ev.Done/ev.Total, t.Bugs, t.Strict, t.Equivalent, t.divergentNote(), t.Cached, ev.Test, ev.Stack)
 		}
 	}
 	// done < total happens when the sweep aborted on an error.
 	if t.Total > 0 {
-		fmt.Fprintf(w, "farm: %d/%d done in %s (%.0f tests/sec) — bugs=%d strict=%d equiv=%d cached=%d\n",
+		fmt.Fprintf(w, "farm: %d/%d done in %s (%.0f tests/sec) — bugs=%d strict=%d equiv=%d%s cached=%d\n",
 			t.Done, t.Total, t.Elapsed().Round(time.Millisecond), t.Rate(),
-			t.Bugs, t.Strict, t.Equivalent, t.Cached)
+			t.Bugs, t.Strict, t.Equivalent, t.divergentNote(), t.Cached)
 	}
 }

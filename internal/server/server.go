@@ -42,10 +42,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
+	"tricheck/api"
 	"tricheck/internal/core"
+	"tricheck/internal/mem"
 	"tricheck/internal/obs"
 	"tricheck/internal/report"
 	"tricheck/internal/uspec"
@@ -285,12 +288,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		writeBadRequest(w, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	tests, stacks, err := resolve(&req)
+	tests, stacks, backend, err := resolve(&req)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeBadRequest(w, err)
 		return
 	}
 	workers := req.Workers
@@ -356,7 +359,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	outc := make(chan sweepOut, 1)
 	go func() {
-		results, err := s.eng.SweepStreamContext(ctx, tests, stacks, workers, events)
+		results, err := s.eng.SweepStreamBackend(ctx, tests, stacks, workers, backend, events)
 		outc <- sweepOut{results, err}
 	}()
 
@@ -396,6 +399,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			Key:     ev.Key,
 			Cached:  ev.Cached,
 		}
+		if backend != core.BackendUHB {
+			rec.Backend = backend.String()
+		}
+		if ev.Verdict == core.Divergence && ev.Opsim != nil {
+			// The uhb observable set is reconstructible from the diff:
+			// (opsim ∖ opsim-only) ∪ uhb-only, already sorted inputs.
+			rec.Divergence = divergenceJSON(ev.Opsim, uhbObservableOf(ev.Opsim))
+		}
 		if err := enc.Encode(rec); err != nil {
 			clientOK = false
 			cancel()
@@ -432,10 +443,42 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rc.SetWriteDeadline(time.Now().Add(writeTimeout))
-	enc.Encode(summarize(out.results, &tr, traceHex, s.eng.Coverage().TotalsNow()))
+	enc.Encode(summarize(out.results, &tr, traceHex, backend, s.eng.Coverage().TotalsNow()))
 	flush()
-	s.log.Printf("verify[%s]: %d/%d done in %s (bugs=%d strict=%d equiv=%d cached=%d)",
-		traceHex, tr.Done, tr.Total, time.Since(begin).Round(time.Millisecond), tr.Bugs, tr.Strict, tr.Equivalent, tr.Cached)
+	s.log.Printf("verify[%s]: %d/%d done in %s (bugs=%d strict=%d equiv=%d divergent=%d cached=%d)",
+		traceHex, tr.Done, tr.Total, time.Since(begin).Round(time.Millisecond), tr.Bugs, tr.Strict, tr.Equivalent, tr.Divergent, tr.Cached)
+}
+
+// writeBadRequest writes a structured 400 body: the resolver's typed
+// field errors when available, else a bare error message in the same
+// shape.
+func writeBadRequest(w http.ResponseWriter, err error) {
+	var bad *BadRequestError
+	resp := api.ErrorResponse{Error: err.Error()}
+	if errors.As(err, &bad) {
+		resp = bad.Resp
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// uhbObservableOf reconstructs the axiomatic observable set from a
+// cross-check diff: (opsim observable ∖ opsim-only) ∪ uhb-only.
+func uhbObservableOf(op *core.OpsimMemo) []string {
+	only := make(map[mem.Outcome]bool, len(op.OpsimOnly))
+	for _, o := range op.OpsimOnly {
+		only[o] = true
+	}
+	out := make([]mem.Outcome, 0, len(op.Observable)+len(op.UhbOnly))
+	for _, o := range op.Observable {
+		if !only[o] {
+			out = append(out, o)
+		}
+	}
+	out = append(out, op.UhbOnly...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return outcomeStrings(out)
 }
 
 // Stats returns the service counter snapshot /v1/stats serves.
@@ -448,6 +491,7 @@ func (s *Server) Stats() StatsRecord {
 		RequestCancels:   s.cancels.Value(),
 		VerdictsStreamed: s.verdicts.Value(),
 		JobsExecuted:     s.eng.Executions(),
+		Divergences:      s.eng.Divergences(),
 	}
 	// Busy time includes in-flight sweeps' elapsed time so the rate is
 	// live during a long sweep instead of jumping on completion.

@@ -493,11 +493,14 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestResolveSuitePaper(t *testing.T) {
-	tests, stacks, err := resolve(&VerifyRequest{Suite: "paper", ISA: "base", Variant: "curr"})
+	tests, stacks, backend, err := resolve(&VerifyRequest{Suite: "paper", ISA: "base", Variant: "curr"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tests) != len(litmus.PaperSuite()) || len(stacks) != 7 {
 		t.Fatalf("paper suite resolved to %d tests × %d stacks", len(tests), len(stacks))
+	}
+	if backend != core.BackendUHB {
+		t.Fatalf("default backend = %v, want uhb", backend)
 	}
 }

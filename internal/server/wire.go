@@ -1,198 +1,91 @@
 package server
 
 import (
-	"fmt"
-
+	"tricheck/api"
 	"tricheck/internal/core"
-	"tricheck/internal/corpus"
 	"tricheck/internal/cover"
-	"tricheck/internal/litmus"
 	"tricheck/internal/obs"
 	"tricheck/internal/report"
-	"tricheck/internal/uspec"
 )
 
-// This file is the service's wire format: the /v1/verify request body,
-// the NDJSON records it streams back, and the /v1/stats snapshot. The
-// client package aliases these types, so the Go client and the server
-// can never disagree about the schema.
+// The service's wire format lives in the versioned tricheck/api package,
+// which both this server and the Go client import — the two sides can
+// never disagree about the schema, and external consumers depend on api
+// without touching server internals. The aliases below keep this
+// package's historical names working; this file owns only the
+// core→wire conversions.
 
-// VerifyRequest is the JSON body of POST /v1/verify. Exactly one of
-// Litmus, Suite or Family selects the tests; ISA and Variant select the
-// stacks (empty = "both").
-type VerifyRequest struct {
-	// Litmus holds inline herd C litmus sources to verify.
-	Litmus []string `json:"litmus,omitempty"`
-	// Suite selects a built-in suite: "paper" (the 1,701-test Figure 15
-	// suite) or "all" (every shipped shape, fully expanded).
-	Suite string `json:"suite,omitempty"`
-	// Family selects one built-in litmus family by shape name (mp, sb,
-	// wrc, ...), fully expanded over the memory orders.
-	Family string `json:"family,omitempty"`
-	// ISA is the stack selector's ISA flavour: base, base+a or both
-	// (default both).
-	ISA string `json:"isa,omitempty"`
-	// Variant is the MCM version: curr, ours or both (default both).
-	// Mutually exclusive with Models (an inline model spec carries its
-	// own variant).
-	Variant string `json:"variant,omitempty"`
-	// Models holds inline µspec model specs (the uspec spec text format)
-	// to verify instead of the builtin Table 7 matrix. Each spec is
-	// validated and paired with the Figure 15 mapping of its declared
-	// variant over the selected ISA flavours; memo-cache identity comes
-	// from the spec's config fingerprint, so a custom model never
-	// collides with a same-named builtin.
-	Models []string `json:"models,omitempty"`
-	// Workers requests a farm worker count; the server clamps it to its
-	// per-request budget (0 = the budget itself).
-	Workers int `json:"workers,omitempty"`
-}
+type (
+	VerifyRequest        = api.VerifyRequest
+	VerdictRecord        = api.VerdictRecord
+	TallyJSON            = api.TallyJSON
+	FamilyTally          = api.FamilyTally
+	StackSummary         = api.StackSummary
+	SummaryRecord        = api.SummaryRecord
+	ErrorRecord          = api.ErrorRecord
+	MemoStatsJSON        = api.MemoStatsJSON
+	StatsRecord          = api.StatsRecord
+	IncrementalStatsJSON = api.IncrementalStatsJSON
+	CoverageTotals       = api.CoverageTotals
+)
 
-// VerdictRecord is one streamed (test, stack) verdict, emitted in farm
-// completion order.
-type VerdictRecord struct {
-	Type string `json:"type"` // "verdict"
-	// Trace is the request's trace ID (hex): every record of one /v1/verify
-	// stream carries the same ID, correlating it with /v1/traces spans and
-	// server logs.
-	Trace string `json:"trace,omitempty"`
-	Done  int    `json:"done"`
-	Total int    `json:"total"`
-	Test  string `json:"test"`
-	Stack string `json:"stack"`
-	// Verdict is Bug, OverlyStrict or Equivalent.
-	Verdict string `json:"verdict"`
-	// Key is the job's memo fingerprint (core.JobKey): test content hash
-	// + stack content hash, comparable across processes.
-	Key string `json:"key"`
-	// Cached reports a memo-cache hit or deduplicated job (no verifier
-	// execution).
-	Cached bool `json:"cached"`
-}
+// CoverageSnapshot is the GET /v1/coverage response. The handler serves
+// the engine ledger's own snapshot (cover.Snapshot); its JSON encoding
+// is locked field-for-field to api.CoverageSnapshot by the wire tests.
+type CoverageSnapshot = cover.Snapshot
 
-// TallyJSON is a verdict tally in wire form.
-type TallyJSON struct {
-	Bugs          int `json:"bugs"`
-	Strict        int `json:"strict"`
-	Equivalent    int `json:"equivalent"`
-	Total         int `json:"total"`
-	SpecifiedBugs int `json:"specified_bugs"`
-}
+// TraceJSON is one retained slow span as GET /v1/traces serves it.
+type TraceJSON = obs.TraceRecord
 
 func tallyJSON(t core.Tally) TallyJSON {
 	return TallyJSON{
 		Bugs:          t.Bugs,
 		Strict:        t.Strict,
 		Equivalent:    t.Equivalent,
+		Divergent:     t.Divergent,
 		Total:         t.Total,
 		SpecifiedBugs: t.SpecifiedBugs,
 	}
 }
 
-// FamilyTally is one litmus family's tally within a stack.
-type FamilyTally struct {
-	Family string `json:"family"`
-	TallyJSON
+func coverageTotals(t cover.Totals) CoverageTotals {
+	return CoverageTotals{
+		Models:       t.Models,
+		Jobs:         t.Jobs,
+		AxiomsFired:  t.AxiomsFired,
+		AxiomsEdged:  t.AxiomsEdged,
+		AxiomsCycled: t.AxiomsCycled,
+		Vectors:      t.Vectors,
+	}
 }
 
-// StackSummary is one stack's aggregated result, mirroring
-// core.SuiteResult: the overall tally plus per-family tallies in sorted
-// family order (the same order the CSV reporter emits).
-type StackSummary struct {
-	Stack    string        `json:"stack"`
-	Tally    TallyJSON     `json:"tally"`
-	Families []FamilyTally `json:"families"`
+// divergenceJSON converts a cross-check diff into its wire payload.
+func divergenceJSON(op *core.OpsimMemo, uhbObservable []string) *api.Divergence {
+	d := &api.Divergence{
+		UhbObservable:   uhbObservable,
+		OpsimObservable: outcomeStrings(op.Observable),
+		UhbOnly:         outcomeStrings(op.UhbOnly),
+		OpsimOnly:       outcomeStrings(op.OpsimOnly),
+		WitnessOutcome:  string(op.WitnessOutcome),
+		Witness:         op.Witness,
+	}
+	return d
 }
 
-// SummaryRecord is the stream's terminal record: the running tallies of
-// report.StreamProgress (done/total/bugs/strict/equivalent/cached) plus
-// the per-stack aggregation. On an aborted sweep Done < Total and
-// Stacks is empty.
-type SummaryRecord struct {
-	Type string `json:"type"` // "summary"
-	// Trace is the request's trace ID (hex), matching every verdict
-	// record of the same stream.
-	Trace      string `json:"trace,omitempty"`
-	Done       int    `json:"done"`
-	Total      int    `json:"total"`
-	Bugs       int    `json:"bugs"`
-	Strict     int    `json:"strict"`
-	Equivalent int    `json:"equivalent"`
-	Cached     int    `json:"cached"`
-	// ElapsedSeconds is first-to-last result wall time;
-	// TestsPerSecond = Done / ElapsedSeconds (0 on a degenerate window).
-	ElapsedSeconds float64        `json:"elapsed_seconds"`
-	TestsPerSecond float64        `json:"tests_per_sec"`
-	Stacks         []StackSummary `json:"stacks"`
-	// Coverage is the engine ledger's totals at summary time — lifetime
-	// engine state, not per-request (the shared memoizing engine makes a
-	// per-request cut meaningless). The full per-(model, axiom) matrix
-	// and verdict vectors live at GET /v1/coverage.
-	Coverage CoverageTotals `json:"coverage"`
-}
-
-// CoverageSnapshot is the GET /v1/coverage response: the engine
-// coverage ledger's deterministic JSON snapshot (cover.Snapshot) — the
-// per-(model, axiom) fired/edges/cycles matrix, the (test, config)
-// verdict vectors, and the totals.
-type CoverageSnapshot = cover.Snapshot
-
-// CoverageTotals is a coverage ledger's summary line (cover.Totals).
-type CoverageTotals = cover.Totals
-
-// TraceJSON is one retained slow span as GET /v1/traces serves it.
-type TraceJSON = obs.TraceRecord
-
-// ErrorRecord is the stream's terminal record when the sweep failed.
-type ErrorRecord struct {
-	Type  string `json:"type"` // "error"
-	Error string `json:"error"`
-}
-
-// MemoStatsJSON is the engine memo cache's counter snapshot.
-type MemoStatsJSON struct {
-	Hits    uint64  `json:"hits"`
-	Misses  uint64  `json:"misses"`
-	Len     int     `json:"len"`
-	Cap     int     `json:"cap"`
-	HitRate float64 `json:"hit_rate"`
-}
-
-// StatsRecord is the GET /v1/stats response.
-type StatsRecord struct {
-	UptimeSeconds    float64 `json:"uptime_seconds"`
-	RequestsTotal    int64   `json:"requests_total"`
-	RequestsInFlight int64   `json:"requests_inflight"`
-	RequestErrors    int64   `json:"request_errors"`
-	// RequestCancels counts requests aborted by client disconnect or
-	// context cancellation — the supported abort flow, kept separate
-	// from RequestErrors so the error counter stays alertable.
-	RequestCancels   int64 `json:"requests_cancelled"`
-	VerdictsStreamed int64 `json:"verdicts_streamed"`
-	// TestsPerSecond is the cumulative streaming rate: verdicts streamed
-	// over the wall-clock seconds requests spent sweeping.
-	TestsPerSecond float64 `json:"tests_per_sec"`
-	// JobsExecuted counts actual verifier executions (neither memoized
-	// nor deduplicated) over the server's lifetime.
-	JobsExecuted uint64         `json:"jobs_executed"`
-	Memo         *MemoStatsJSON `json:"memo,omitempty"`
-	// Incremental reports the µhb incremental-acyclicity engine's
-	// effectiveness: how often the per-candidate verdict reused the
-	// maintained topological order vs. rebuilt it from scratch.
-	Incremental *IncrementalStatsJSON `json:"incremental,omitempty"`
-}
-
-// IncrementalStatsJSON mirrors the tricheck_uhb_incremental_*_total
-// counters in the stats payload, with the reuse ratio precomputed.
-type IncrementalStatsJSON struct {
-	Reuse      uint64  `json:"reuse"`
-	Rebuild    uint64  `json:"rebuild"`
-	ReuseRatio float64 `json:"reuse_ratio"`
+func outcomeStrings[T ~string](os []T) []string {
+	if os == nil {
+		return nil
+	}
+	out := make([]string, len(os))
+	for i, o := range os {
+		out[i] = string(o)
+	}
+	return out
 }
 
 // summarize builds the terminal summary record from the sweep's results,
 // the tracker that observed its stream, and the engine ledger's totals.
-func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string, cov CoverageTotals) *SummaryRecord {
+func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string, backend core.Backend, cov cover.Totals) *SummaryRecord {
 	sum := &SummaryRecord{
 		Type:           "summary",
 		Trace:          trace,
@@ -201,89 +94,25 @@ func summarize(results []*core.SuiteResult, tr *report.Tracker, trace string, co
 		Bugs:           tr.Bugs,
 		Strict:         tr.Strict,
 		Equivalent:     tr.Equivalent,
+		Divergent:      tr.Divergent,
 		Cached:         tr.Cached,
 		ElapsedSeconds: tr.Elapsed().Seconds(),
 		TestsPerSecond: tr.Rate(),
-		Coverage:       cov,
+		Coverage:       coverageTotals(cov),
+	}
+	if backend != core.BackendUHB {
+		sum.Backend = backend.String()
 	}
 	for _, sr := range results {
-		ss := StackSummary{Stack: sr.Stack.Name(), Tally: tallyJSON(sr.Tally)}
+		ss := StackSummary{
+			Stack:        sr.Stack.Name(),
+			Tally:        tallyJSON(sr.Tally),
+			OpsimSkipped: opsimSkipNote(sr),
+		}
 		for _, fam := range sr.FamilyNames() {
 			ss.Families = append(ss.Families, FamilyTally{Family: fam, TallyJSON: tallyJSON(*sr.ByFamily[fam])})
 		}
 		sum.Stacks = append(sum.Stacks, ss)
 	}
 	return sum
-}
-
-// resolve turns a request into the sweep's tests and stacks.
-func resolve(req *VerifyRequest) ([]*litmus.Test, []core.Stack, error) {
-	selectors := 0
-	if len(req.Litmus) > 0 {
-		selectors++
-	}
-	if req.Suite != "" {
-		selectors++
-	}
-	if req.Family != "" {
-		selectors++
-	}
-	if selectors != 1 {
-		return nil, nil, fmt.Errorf("exactly one of litmus, suite or family must be set")
-	}
-	var tests []*litmus.Test
-	switch {
-	case len(req.Litmus) > 0:
-		var err error
-		if tests, err = corpus.ParseStrings(req.Litmus); err != nil {
-			return nil, nil, err
-		}
-	case req.Suite != "":
-		switch req.Suite {
-		case "paper":
-			tests = litmus.PaperSuite()
-		case "all":
-			for _, shape := range litmus.AllShapes() {
-				tests = append(tests, shape.Generate()...)
-			}
-		default:
-			return nil, nil, fmt.Errorf("unknown suite %q (want paper or all)", req.Suite)
-		}
-	default:
-		shape := litmus.ShapeByName(req.Family)
-		if shape == nil {
-			return nil, nil, fmt.Errorf("unknown family %q", req.Family)
-		}
-		tests = shape.Generate()
-	}
-	isa := req.ISA
-	if isa == "" {
-		isa = "both"
-	}
-	var stacks []core.Stack
-	var err error
-	if len(req.Models) > 0 {
-		if req.Variant != "" {
-			return nil, nil, fmt.Errorf("variant selects builtin models; inline model specs carry their own variant — drop one of the two")
-		}
-		models := make([]*uspec.Model, 0, len(req.Models))
-		for i, src := range req.Models {
-			s, perr := uspec.ParseSpec(src)
-			if perr != nil {
-				return nil, nil, fmt.Errorf("model spec %d: %w", i, perr)
-			}
-			models = append(models, uspec.New(*s))
-		}
-		stacks, err = core.SelectStacksModels(isa, models)
-	} else {
-		variant := req.Variant
-		if variant == "" {
-			variant = "both"
-		}
-		stacks, err = core.SelectStacks(isa, variant)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return tests, stacks, nil
 }

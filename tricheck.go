@@ -65,7 +65,41 @@ const (
 	Equivalent   = core.Equivalent
 	OverlyStrict = core.OverlyStrict
 	Bug          = core.Bug
+	// Divergence reports a backend=both cross-check disagreement: the
+	// axiomatic µhb model and the operational simulator computed
+	// different observable-outcome sets for the same (test, stack).
+	Divergence = core.Divergence
 )
+
+// Verdict backends. The µhb axiomatic evaluator is the reference
+// backend; the operational simulators (internal/opsim) are the second
+// opinion. BackendBoth runs both and cross-checks their observable
+// sets, yielding Divergence verdicts on disagreement.
+type (
+	// Backend selects which verdict engine(s) a sweep runs.
+	Backend = core.Backend
+	// OpsimMemo is the operational half of a cross-checked result
+	// (TestResult.Opsim): observable set, symmetric difference and trace
+	// witness.
+	OpsimMemo = core.OpsimMemo
+)
+
+// Backend values.
+const (
+	BackendUHB   = core.BackendUHB
+	BackendOpsim = core.BackendOpsim
+	BackendBoth  = core.BackendBoth
+)
+
+// ParseBackend parses a backend selector ("", "uhb", "opsim", "both").
+func ParseBackend(s string) (Backend, error) { return core.ParseBackend(s) }
+
+// ValidateBackendStacks checks a backend against a stack selection:
+// backend=opsim hard-fails when any stack's µspec config has no
+// operational machine (backend=both skips those per-result instead).
+func ValidateBackendStacks(b Backend, stacks []Stack) error {
+	return core.ValidateBackendStacks(b, stacks)
+}
 
 // NewEngine returns a fresh verification engine.
 func NewEngine() *Engine { return core.NewEngine() }
@@ -217,8 +251,14 @@ func SelectStacksFiles(isa string, modelFiles []string, variantSet bool) ([]Stac
 // miss.
 func ResolveModel(name, variant string) (*Model, error) { return core.ResolveModel(name, variant) }
 
-// JobKey returns the farm/cache key of one (test, stack) job.
+// JobKey returns the farm/cache key of one (test, stack) job under the
+// default (uhb) backend.
 func JobKey(t *Test, s Stack) string { return core.JobKey(t, s) }
+
+// JobKeyBackend returns the backend-tagged farm/cache key of one
+// (test, stack, backend) job; the uhb key equals JobKey so existing
+// memo snapshots stay warm.
+func JobKeyBackend(t *Test, s Stack, b Backend) string { return core.JobKeyBackend(t, s, b) }
 
 // Corpus types (internal/corpus): an on-disk litmus corpus in the herd
 // C litmus format.
@@ -481,6 +521,18 @@ func StreamProgress(w io.Writer, events <-chan Progress, every int) {
 // OperationalWR returns an exhaustive interleaving simulator of the WR
 // machine for a compiled program.
 func OperationalWR(p *ISAProgram) *opsim.Simulator { return opsim.New(p) }
+
+// OperationalSC returns the write-through (no store buffering)
+// simulator — an operational SC machine.
+func OperationalSC(p *ISAProgram) *opsim.Simulator { return opsim.NewSC(p) }
+
+// OperationalForConfig maps a µspec model configuration to its
+// operational machine for a compiled program (the backend=opsim/both
+// enumeration driver), or a capability error when the config's
+// relaxation profile has no simulator.
+func OperationalForConfig(c ModelConfig, p *ISAProgram) (opsim.Enumerator, error) {
+	return opsim.ForConfig(c, p)
+}
 
 // OperationalTSO returns the WR simulator with store-buffer forwarding
 // (the x86-TSO machine).
