@@ -22,8 +22,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
+	"time"
 
 	"tricheck/api"
 )
@@ -46,12 +49,48 @@ type (
 	Coverage = api.CoverageSnapshot
 )
 
+// sharedTransport is the pooled transport every Client without an
+// explicit HTTPClient uses. Fleet coordinators issue one sub-request per
+// worker per sweep round; keeping idle connections per host means a
+// hedge or a retry reuses a warm TCP connection instead of paying a new
+// handshake on the latency-critical path.
+var sharedTransport = &http.Transport{
+	Proxy:               http.ProxyFromEnvironment,
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 16,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+// sharedHTTPClient wraps sharedTransport with no global timeout: verify
+// streams are long-lived by design, so deadlines belong to the caller's
+// context.
+var sharedHTTPClient = &http.Client{Transport: sharedTransport}
+
+// Retry defaults; see Client.
+const (
+	defaultMaxRetries = 3
+	defaultRetryBase  = 100 * time.Millisecond
+	defaultRetryCap   = 2 * time.Second
+)
+
 // Client talks to one tricheckd instance.
 type Client struct {
 	// BaseURL is the service root, e.g. "http://127.0.0.1:8321".
 	BaseURL string
-	// HTTPClient overrides http.DefaultClient when non-nil.
+	// HTTPClient overrides the shared pooled client when non-nil.
 	HTTPClient *http.Client
+
+	// MaxRetries bounds transparent retries of transient failures —
+	// connection errors and 5xx responses received before a stream
+	// starts. 0 means the default (3); negative disables retries.
+	// Requests that reached the server and began streaming are never
+	// retried (the fleet's hedging layer owns mid-stream recovery), and
+	// 4xx responses are terminal.
+	MaxRetries int
+	// RetryBase and RetryCap shape the capped exponential backoff: sleep
+	// k is a uniformly-jittered duration in (0, min(RetryCap,
+	// RetryBase<<k)]. Zero values take the defaults (100ms, 2s).
+	RetryBase, RetryCap time.Duration
 }
 
 // New returns a Client for the service at baseURL.
@@ -61,7 +100,81 @@ func (c *Client) http() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
+}
+
+// retries resolves the MaxRetries convention.
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return defaultMaxRetries
+	default:
+		return c.MaxRetries
+	}
+}
+
+// backoff returns the jittered sleep before retry attempt k (0-based).
+func (c *Client) backoff(k int) time.Duration {
+	base, cap := c.RetryBase, c.RetryCap
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	if cap <= 0 {
+		cap = defaultRetryCap
+	}
+	d := base << k
+	if d > cap || d <= 0 {
+		d = cap
+	}
+	// Full jitter: desynchronizes a fleet of clients retrying the same
+	// restarted worker.
+	return time.Duration(rand.Int63n(int64(d))) + 1
+}
+
+// do issues req, transparently retrying transient failures: transport
+// errors and 5xx statuses. Non-5xx responses are returned as-is (the
+// caller owns the body); retried 5xx bodies are drained and closed so
+// the pooled connection is reused. req must carry a rewindable body
+// (GetBody non-nil) or none.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, lastErr
+				}
+				req.Body = body
+			}
+			select {
+			case <-req.Context().Done():
+				return nil, lastErr
+			case <-time.After(c.backoff(attempt - 1)):
+			}
+		}
+		resp, err := c.http().Do(req)
+		switch {
+		case err != nil:
+			// A cancelled context is the caller giving up, not a flaky
+			// worker — propagate immediately.
+			if req.Context().Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+		case resp.StatusCode >= 500:
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("client: %s: %s", req.URL.Path, resp.Status)
+		default:
+			return resp, nil
+		}
+		if attempt >= c.retries() {
+			return nil, lastErr
+		}
+	}
 }
 
 // Verify streams a verification sweep. Every verdict record is passed
@@ -80,7 +193,7 @@ func (c *Client) Verify(ctx context.Context, req Request, onVerdict func(Verdict
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hreq)
+	resp, err := c.do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +275,7 @@ func (c *Client) CoverageSnapshot(ctx context.Context, withVectors bool) (*Cover
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Do(hreq)
+	resp, err := c.do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +296,7 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Do(hreq)
+	resp, err := c.do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -196,4 +309,78 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, fmt.Errorf("client: decoding stats: %w", err)
 	}
 	return &st, nil
+}
+
+// Healthz probes GET /healthz with a single attempt — no retries, so a
+// fleet coordinator's liveness verdict is prompt rather than masked by
+// backoff.
+func (c *Client) Healthz(ctx context.Context) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz: %s", resp.Status)
+	}
+	return nil
+}
+
+// MemoSnapshot fetches the worker's memo-cache snapshot (GET
+// /v1/memo/snapshot) in the farm snapshot envelope. When owner and ring
+// are given the worker returns only the slice consistent-hash-owned by
+// owner under that ring (vnodes — 0 for the server default — must match
+// the coordinator's ring for the slice to line up with dispatch
+// ownership); with owner empty the full cache is returned.
+func (c *Client) MemoSnapshot(ctx context.Context, owner string, ring []string, vnodes int) ([]byte, error) {
+	u := c.BaseURL + "/v1/memo/snapshot"
+	if owner != "" {
+		q := url.Values{}
+		q.Set("owner", owner)
+		q.Set("ring", strings.Join(ring, ","))
+		if vnodes > 0 {
+			q.Set("vnodes", fmt.Sprint(vnodes))
+		}
+		u += "?" + q.Encode()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("client: memo snapshot: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// MemoLoad merges snapshot bytes (from MemoSnapshot or a snapshot file)
+// into the worker's memo cache via POST /v1/memo/load — the push half
+// of the fleet's warm-start rebalance.
+func (c *Client) MemoLoad(ctx context.Context, snapshot []byte) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/memo/load", bytes.NewReader(snapshot))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("client: memo load: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
 }

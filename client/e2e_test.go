@@ -1,4 +1,4 @@
-package client
+package client_test
 
 import (
 	"context"
@@ -9,12 +9,13 @@ import (
 	"testing"
 
 	"tricheck"
+	"tricheck/client"
 	"tricheck/internal/server"
 )
 
 // newService boots a tricheckd handler on a loopback httptest port and
 // returns the server plus a client pointed at it.
-func newService(t *testing.T, cfg server.Config) (*server.Server, *Client) {
+func newService(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
 	t.Helper()
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -22,7 +23,7 @@ func newService(t *testing.T, cfg server.Config) (*server.Server, *Client) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return srv, New(ts.URL)
+	return srv, client.New(ts.URL)
 }
 
 // TestStreamedSweepMatchesInProcessSweep is the end-to-end acceptance
@@ -59,9 +60,9 @@ func TestStreamedSweepMatchesInProcessSweep(t *testing.T) {
 	cachePath := filepath.Join(t.TempDir(), "memo.json")
 	srv, c := newService(t, server.Config{CachePath: cachePath})
 
-	req := Request{Family: "mp", ISA: "base", Variant: "both"}
-	var verdicts []Verdict
-	sum, err := c.Verify(context.Background(), req, func(v Verdict) error {
+	req := client.Request{Family: "mp", ISA: "base", Variant: "both"}
+	var verdicts []client.Verdict
+	sum, err := c.Verify(context.Background(), req, func(v client.Verdict) error {
 		verdicts = append(verdicts, v)
 		return nil
 	})
@@ -114,7 +115,7 @@ func TestStreamedSweepMatchesInProcessSweep(t *testing.T) {
 	}
 	srv2, c2 := newService(t, server.Config{CachePath: cachePath})
 	var cached, uncached int
-	sum2, err := c2.Verify(context.Background(), req, func(v Verdict) error {
+	sum2, err := c2.Verify(context.Background(), req, func(v client.Verdict) error {
 		if v.Cached {
 			cached++
 		} else {
@@ -181,9 +182,9 @@ func TestInlineModelSpecMatchesInProcessSweep(t *testing.T) {
 	}
 
 	srv, c := newService(t, server.Config{})
-	req := Request{Family: "corr", ISA: "base", Models: []string{spec.EmitSpec()}}
+	req := client.Request{Family: "corr", ISA: "base", Models: []string{spec.EmitSpec()}}
 	got := 0
-	sum, err := c.Verify(context.Background(), req, func(v Verdict) error {
+	sum, err := c.Verify(context.Background(), req, func(v client.Verdict) error {
 		got++
 		k := v.Test + "|" + v.Stack
 		if want, ok := wantVerdict[k]; !ok || v.Verdict != want {
@@ -207,7 +208,7 @@ func TestInlineModelSpecMatchesInProcessSweep(t *testing.T) {
 	renamed.Name = "same-machine-other-name"
 	execs := srv.Engine().Executions()
 	cached := 0
-	if _, err := c.Verify(context.Background(), Request{Family: "corr", ISA: "base", Models: []string{renamed.EmitSpec()}}, func(v Verdict) error {
+	if _, err := c.Verify(context.Background(), client.Request{Family: "corr", ISA: "base", Models: []string{renamed.EmitSpec()}}, func(v client.Verdict) error {
 		if v.Cached {
 			cached++
 		}
@@ -256,7 +257,7 @@ func TestCoverageEndpointMatchesInProcessLedger(t *testing.T) {
 	}
 
 	srv, c := newService(t, server.Config{})
-	req := Request{Family: "mp", ISA: "base", Variant: "both"}
+	req := client.Request{Family: "mp", ISA: "base", Variant: "both"}
 	sum, err := c.Verify(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -316,7 +317,7 @@ func TestVerifyCallbackAbort(t *testing.T) {
 	_, c := newService(t, server.Config{})
 	boom := fmt.Errorf("enough")
 	n := 0
-	_, err := c.Verify(context.Background(), Request{Family: "corr", ISA: "base", Variant: "curr"}, func(Verdict) error {
+	_, err := c.Verify(context.Background(), client.Request{Family: "corr", ISA: "base", Variant: "curr"}, func(client.Verdict) error {
 		n++
 		if n == 2 {
 			return boom
@@ -331,7 +332,7 @@ func TestVerifyCallbackAbort(t *testing.T) {
 // TestVerifyServerError surfaces a 400 as a useful error.
 func TestVerifyServerError(t *testing.T) {
 	_, c := newService(t, server.Config{})
-	_, err := c.Verify(context.Background(), Request{Family: "nope"}, nil)
+	_, err := c.Verify(context.Background(), client.Request{Family: "nope"}, nil)
 	if err == nil {
 		t.Fatal("want error for unknown family")
 	}

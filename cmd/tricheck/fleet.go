@@ -1,0 +1,94 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"tricheck/client"
+	"tricheck/internal/report"
+)
+
+// fleetOpts carries the subset of the CLI's flags a remote sweep can
+// honor; everything engine-local (corpus dirs, model files, profiles,
+// caches) has no remote equivalent and is rejected up front.
+type fleetOpts struct {
+	family, isa, variant, backend string
+	workers                       int
+	csv                           bool
+	progress                      bool
+	failOnBug                     bool
+	failOnDivergence              bool
+}
+
+// runFleet drives the selected sweep through a remote tricheckd —
+// typically a fleet coordinator, but any single node works too — and
+// renders the merged summary in the CLI's usual CSV/table forms.
+func runFleet(url string, opts fleetOpts) {
+	req := client.Request{
+		ISA:     opts.isa,
+		Variant: opts.variant,
+		Workers: opts.workers,
+	}
+	if opts.backend != "" && opts.backend != "uhb" {
+		req.Backend = opts.backend
+	}
+	if opts.family == "" {
+		req.Suite = "paper"
+	} else {
+		req.Family = opts.family
+	}
+
+	c := client.New(url)
+	seen := 0
+	sum, err := c.Verify(context.Background(), req, func(v client.Verdict) error {
+		seen++
+		if opts.progress && (seen%500 == 0 || v.Done == v.Total) {
+			fmt.Fprintf(os.Stderr, "fleet: %d/%d\r", v.Done, v.Total)
+		}
+		return nil
+	})
+	if opts.progress && seen > 0 {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck: fleet sweep via %s: %v\n", url, err)
+		os.Exit(1)
+	}
+
+	if opts.csv {
+		report.SummaryCSV(os.Stdout, sum)
+	} else {
+		fmt.Printf("TriCheck fleet sweep via %s\n\n", url)
+		report.SummaryTable(os.Stdout, sum)
+	}
+
+	if opts.failOnBug && sum.Bugs > 0 {
+		fmt.Fprintf(os.Stderr, "tricheck: -fail-on-bug: %d Bug verdicts\n", sum.Bugs)
+		os.Exit(3)
+	}
+	if sum.Divergent > 0 {
+		fmt.Fprintf(os.Stderr, "tricheck: backend cross-check: %d divergence(s) between µhb and opsim\n", sum.Divergent)
+		if opts.failOnDivergence {
+			os.Exit(4)
+		}
+	}
+}
+
+// runFleetTop renders a coordinator's fleet stats block — the remote
+// counterpart of `tricheck top`'s local hot-spot report.
+func runFleetTop(url string) {
+	c := client.New(url)
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tricheck top: fleet stats via %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tricheckd %s: %d requests, %d verdicts streamed, %.0f tests/sec lifetime\n",
+		url, st.RequestsTotal, st.VerdictsStreamed, st.TestsPerSecond)
+	if st.Fleet == nil {
+		fmt.Println("not a coordinator (no fleet block) — point -fleet at a tricheckd started with -coordinator")
+		return
+	}
+	report.FleetStats(os.Stdout, st.Fleet)
+}

@@ -127,12 +127,50 @@ const snapshotVersion = 2
 // cache.
 var ErrSnapshotVersion = errors.New("incompatible snapshot version")
 
+// EncodeSnapshot marshals a string-keyed cache in the snapshot envelope.
+// A non-nil keep filters the entries — the fleet's memo-replication path
+// uses it to slice a worker's cache by consistent-hash ownership — while
+// keep == nil takes everything (the on-disk snapshot).
+func EncodeSnapshot[V any](c *Cache[string, V], keep func(key string) bool) ([]byte, error) {
+	entries := c.Entries()
+	if keep != nil {
+		for k := range entries {
+			if !keep(k) {
+				delete(entries, k)
+			}
+		}
+	}
+	data, err := json.Marshal(snapshot[V]{Version: snapshotVersion, Entries: entries})
+	if err != nil {
+		return nil, fmt.Errorf("farm: encoding snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSnapshot merges snapshot bytes (from EncodeSnapshot or a
+// SaveSnapshot file) into the cache. Merge semantics are Fill's:
+// last-write-wins per key, keys absent from the snapshot untouched — so
+// loading two overlapping snapshots keeps the union, with the second
+// load winning on the overlap. An incompatible envelope satisfies
+// errors.Is(err, ErrSnapshotVersion).
+func DecodeSnapshot[V any](data []byte, c *Cache[string, V]) error {
+	var snap snapshot[V]
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("farm: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("farm: snapshot has version %d, want %d: %w", snap.Version, snapshotVersion, ErrSnapshotVersion)
+	}
+	c.Fill(snap.Entries)
+	return nil
+}
+
 // SaveSnapshot writes a string-keyed cache to path as JSON, atomically
 // (write to a temp file in the same directory, then rename).
 func SaveSnapshot[V any](path string, c *Cache[string, V]) error {
-	data, err := json.Marshal(snapshot[V]{Version: snapshotVersion, Entries: c.Entries()})
+	data, err := EncodeSnapshot(c, nil)
 	if err != nil {
-		return fmt.Errorf("farm: encoding snapshot: %w", err)
+		return err
 	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".farm-snapshot-*")
@@ -163,13 +201,8 @@ func LoadSnapshot[V any](path string, c *Cache[string, V]) error {
 	if err != nil {
 		return err
 	}
-	var snap snapshot[V]
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("farm: decoding snapshot %s: %w", path, err)
+	if err := DecodeSnapshot(data, c); err != nil {
+		return fmt.Errorf("%w (%s)", err, path)
 	}
-	if snap.Version != snapshotVersion {
-		return fmt.Errorf("farm: snapshot %s has version %d, want %d: %w", path, snap.Version, snapshotVersion, ErrSnapshotVersion)
-	}
-	c.Fill(snap.Entries)
 	return nil
 }

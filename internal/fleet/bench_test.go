@@ -1,0 +1,120 @@
+package fleet_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"tricheck/api"
+	"tricheck/internal/server"
+)
+
+// The capstone measurements: the coordinator's merge/dispatch overhead
+// in steady state (benchmarks), and the near-linear cold-sweep scaling
+// claim, 1 worker vs 4 in-process workers each pinned to one farm
+// worker (load test, gated by TRICHECK_FLEET_LOADTEST=1 since it pins
+// four cores for seconds).
+
+// sweepOnce drives one /v1/verify through base and counts the records.
+func sweepOnce(t testing.TB, baseURL string, req api.VerifyRequest) int {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(baseURL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: HTTP %d", resp.StatusCode)
+	}
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	last := ""
+	for sc.Scan() {
+		last = sc.Text()
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		Type  string `json:"type"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &probe); err != nil || probe.Type != "summary" {
+		t.Fatalf("sweep did not end in a summary: %q (%s)", last, probe.Error)
+	}
+	return n - 1
+}
+
+// bootFleet stands up n one-core workers under a coordinator and
+// returns the coordinator's base URL.
+func bootFleet(t testing.TB, n int) string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < n; i++ {
+		_, ts := bootWorker(t, server.Config{MaxWorkers: 1})
+		urls = append(urls, ts.URL)
+	}
+	_, coord := bootCoordinator(t, urls, 30*time.Second)
+	return coord.URL
+}
+
+// benchmarkFleetMerge measures warm-sweep throughput through the
+// coordinator: with every job memoized on the workers, the measured
+// cost is dispatch, stream transport and merge — the fleet overhead a
+// single node doesn't pay.
+func benchmarkFleetMerge(b *testing.B, workers int) {
+	coordURL := bootFleet(b, workers)
+	records := sweepOnce(b, coordURL, fleetReq) // warm the worker memos
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweepOnce(b, coordURL, fleetReq)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkFleetMergeWorkers1(b *testing.B) { benchmarkFleetMerge(b, 1) }
+func BenchmarkFleetMergeWorkers4(b *testing.B) { benchmarkFleetMerge(b, 4) }
+
+// TestFleetLoadScalingColdSweep is the load test behind the tentpole's
+// headline: a cold paper-family sweep over 4 one-core workers must run
+// at least 3× the tests/sec of the same sweep over 1 one-core worker.
+// Every boot is fresh (cold memos), so the measured work is real
+// verification, sharded.
+func TestFleetLoadScalingColdSweep(t *testing.T) {
+	if os.Getenv("TRICHECK_FLEET_LOADTEST") == "" {
+		t.Skip("set TRICHECK_FLEET_LOADTEST=1 to run the fleet scaling load test")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need ≥4 CPUs for a meaningful scaling measurement, have %d", runtime.NumCPU())
+	}
+	// The paper suite over the base-ISA current-model stacks is enough
+	// work (~12k jobs) that per-shard dispatch overhead is noise.
+	req := api.VerifyRequest{Suite: "paper", ISA: "base", Variant: "curr"}
+
+	rate := func(workers int) (float64, int) {
+		url := bootFleet(t, workers)
+		start := time.Now()
+		n := sweepOnce(t, url, req)
+		return float64(n) / time.Since(start).Seconds(), n
+	}
+
+	r1, n1 := rate(1)
+	r4, n4 := rate(4)
+	if n1 != n4 {
+		t.Fatalf("record counts differ across fleet sizes: %d vs %d", n1, n4)
+	}
+	speedup := r4 / r1
+	t.Logf("cold sweep: 1 worker %.0f tests/s, 4 workers %.0f tests/s, speedup %.2fx (%d records)", r1, r4, speedup, n1)
+	if speedup < 3 {
+		t.Fatalf("4-worker fleet speedup %.2fx, want ≥3x (1w=%.0f/s, 4w=%.0f/s)", speedup, r1, r4)
+	}
+}

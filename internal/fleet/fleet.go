@@ -1,0 +1,299 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"tricheck/api"
+	"tricheck/client"
+	"tricheck/internal/obs"
+)
+
+// Job is one (test, stack) verification job as the coordinator sees it:
+// the content-addressed memo key it shards by, the display identity it
+// deduplicates merged records by, and the family its tally lands in.
+type Job struct {
+	Key, Test, Stack, Family string
+}
+
+// Config configures a Coordinator.
+type Config struct {
+	// Workers are the worker tricheckd base URLs (at least one).
+	Workers []string
+	// Vnodes is the ring's virtual-node count per worker
+	// (0 = DefaultVnodes).
+	Vnodes int
+	// HedgeAfter is how long a dispatched shard may go without
+	// delivering a record before its remaining jobs are hedged to the
+	// next ring node (0 = 10s). The original stream is not cancelled —
+	// whichever copy delivers first wins, and the merger drops the
+	// loser's duplicates.
+	HedgeAfter time.Duration
+	// ProbeInterval paces Run's /healthz sweep (0 = 3s).
+	ProbeInterval time.Duration
+	// Log, when non-nil, receives dispatch/hedge/rebalance notes.
+	Log *log.Logger
+	// NewClient overrides the worker client constructor (tests inject
+	// fast-retry clients); nil uses client.New.
+	NewClient func(baseURL string) *client.Client
+	// Metrics overrides the obs.Default-backed bundle (tests isolate).
+	Metrics *Metrics
+}
+
+// workerCounters are one worker's per-coordinator lifetime counters
+// (the obs metrics are process-global; these back /v1/stats).
+type workerCounters struct {
+	dispatched, completed, hedged, retried uint64
+}
+
+// Coordinator owns a fleet of worker tricheckds: it health-probes them,
+// shards sweeps across them by consistent-hashed memo key, hedges slow
+// or dead shards, merges the result streams, and rebalances memo-cache
+// slices to (re)joining workers.
+type Coordinator struct {
+	workers       []string
+	vnodes        int
+	hedgeAfter    time.Duration
+	probeInterval time.Duration
+	log           *log.Logger
+	clients       map[string]*client.Client
+	metrics       *Metrics
+
+	mu       sync.Mutex
+	healthy  map[string]bool
+	probed   bool
+	counters map[string]*workerCounters
+	sweeps   int64
+	hedges   uint64
+	deduped  uint64
+	rebal    uint64
+}
+
+// New builds a Coordinator over the given workers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	newClient := cfg.NewClient
+	if newClient == nil {
+		newClient = client.New
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = NewMetrics(obs.Default)
+	}
+	c := &Coordinator{
+		workers:       append([]string(nil), cfg.Workers...),
+		vnodes:        cfg.Vnodes,
+		hedgeAfter:    cfg.HedgeAfter,
+		probeInterval: cfg.ProbeInterval,
+		log:           logger,
+		clients:       map[string]*client.Client{},
+		metrics:       m,
+		healthy:       map[string]bool{},
+		counters:      map[string]*workerCounters{},
+	}
+	if c.hedgeAfter <= 0 {
+		c.hedgeAfter = 10 * time.Second
+	}
+	if c.probeInterval <= 0 {
+		c.probeInterval = 3 * time.Second
+	}
+	seen := map[string]bool{}
+	deduped := c.workers[:0]
+	for _, w := range c.workers {
+		if w == "" || seen[w] {
+			continue
+		}
+		seen[w] = true
+		deduped = append(deduped, w)
+		c.clients[w] = newClient(w)
+		c.counters[w] = &workerCounters{}
+		c.healthy[w] = true // optimistic until the first probe
+	}
+	c.workers = deduped
+	if len(c.workers) == 0 {
+		return nil, errors.New("fleet: no workers configured")
+	}
+	return c, nil
+}
+
+// Workers returns the configured worker URLs.
+func (c *Coordinator) Workers() []string { return c.workers }
+
+// Run probes worker health every ProbeInterval until ctx is cancelled,
+// rebalancing memo-cache slices to workers that transition back to
+// healthy. tricheckd runs it on a background goroutine in coordinator
+// mode.
+func (c *Coordinator) Run(ctx context.Context) {
+	c.CheckNow(ctx)
+	t := time.NewTicker(c.probeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.CheckNow(ctx)
+		}
+	}
+}
+
+// CheckNow probes every worker's /healthz once, concurrently. A worker
+// transitioning unhealthy→healthy gets a memo-slice rebalance so it
+// rejoins warm. The very first probe establishes the baseline without
+// rebalancing (freshly-booted fleets have nothing to replicate yet).
+func (c *Coordinator) CheckNow(ctx context.Context) {
+	results := make([]bool, len(c.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			results[i] = c.clients[w].Healthz(pctx) == nil
+		}(i, w)
+	}
+	wg.Wait()
+	var joiners []string
+	c.mu.Lock()
+	first := !c.probed
+	c.probed = true
+	for i, w := range c.workers {
+		was := c.healthy[w]
+		c.healthy[w] = results[i]
+		if !first && !was && results[i] {
+			joiners = append(joiners, w)
+		}
+	}
+	c.mu.Unlock()
+	for _, w := range joiners {
+		c.log.Printf("fleet: worker %s back, rebalancing its cache slice", w)
+		if err := c.Rebalance(ctx, w); err != nil {
+			c.log.Printf("fleet: rebalance to %s: %v", w, err)
+		}
+	}
+}
+
+// ensureProbed runs the first health sweep lazily for coordinators used
+// without Run (tests, one-shot embedding).
+func (c *Coordinator) ensureProbed(ctx context.Context) {
+	c.mu.Lock()
+	probed := c.probed
+	c.mu.Unlock()
+	if !probed {
+		c.CheckNow(ctx)
+	}
+}
+
+// setHealthy records a mid-sweep health observation (a failed
+// sub-request is better evidence than the last probe).
+func (c *Coordinator) setHealthy(worker string, ok bool) {
+	c.mu.Lock()
+	c.healthy[worker] = ok
+	c.mu.Unlock()
+}
+
+// healthyList snapshots the healthy workers, minus exclude.
+func (c *Coordinator) healthyList(exclude map[string]bool) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, w := range c.workers {
+		if c.healthy[w] && !exclude[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Healthy returns the currently-healthy worker URLs.
+func (c *Coordinator) Healthy() []string { return c.healthyList(nil) }
+
+// Rebalance pushes joiner's consistent-hash slice of every other
+// healthy worker's memo cache to joiner — the warm-(re)start path. Slice
+// fetch failures skip that donor; an error is returned only when no
+// donor could be read at all (with one worker there is nothing to do).
+func (c *Coordinator) Rebalance(ctx context.Context, joiner string) error {
+	if c.clients[joiner] == nil {
+		return fmt.Errorf("fleet: unknown worker %q", joiner)
+	}
+	ring := c.healthyList(nil)
+	if !contains(ring, joiner) {
+		ring = append(ring, joiner)
+		sort.Strings(ring)
+	}
+	donors := 0
+	var lastErr error
+	for _, w := range ring {
+		if w == joiner {
+			continue
+		}
+		data, err := c.clients[w].MemoSnapshot(ctx, joiner, ring, c.vnodes)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.clients[joiner].MemoLoad(ctx, data); err != nil {
+			lastErr = err
+			continue
+		}
+		donors++
+	}
+	if donors == 0 && lastErr != nil {
+		return lastErr
+	}
+	c.metrics.Rebalances.Inc()
+	c.mu.Lock()
+	c.rebal++
+	c.mu.Unlock()
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// StatsJSON snapshots the coordinator's /v1/stats fleet block.
+func (c *Coordinator) StatsJSON() *api.FleetStatsJSON {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &api.FleetStatsJSON{
+		Workers:    len(c.workers),
+		Sweeps:     c.sweeps,
+		Hedges:     c.hedges,
+		Deduped:    c.deduped,
+		Rebalances: c.rebal,
+	}
+	for _, w := range c.workers {
+		if c.healthy[w] {
+			st.Healthy++
+		}
+		wc := c.counters[w]
+		st.PerWorker = append(st.PerWorker, api.WorkerStatsJSON{
+			URL:        w,
+			Healthy:    c.healthy[w],
+			Dispatched: wc.dispatched,
+			Completed:  wc.completed,
+			Hedged:     wc.hedged,
+			Retried:    wc.retried,
+		})
+	}
+	return st
+}

@@ -1,0 +1,455 @@
+package fleet_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"tricheck/api"
+	"tricheck/client"
+	"tricheck/internal/fleet"
+	"tricheck/internal/obs"
+	"tricheck/internal/server"
+)
+
+// These are the tentpole's acceptance tests: a coordinator over N
+// in-process worker tricheckds must stream exactly the records a single
+// node streams (modulo completion order and trace IDs), survive a
+// worker dying mid-sweep without losing or duplicating a verdict, and
+// warm-start a joining worker from its peers' memo caches.
+
+// bootWorker starts one in-process worker tricheckd.
+func bootWorker(t testing.TB, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// fastClient builds fleet worker clients with millisecond retry pacing.
+func fastClient(u string) *client.Client {
+	return &client.Client{BaseURL: u, MaxRetries: 2, RetryBase: time.Millisecond, RetryCap: 4 * time.Millisecond}
+}
+
+// bootCoordinator starts a coordinator tricheckd over the given worker
+// URLs, with test-friendly pacing and an isolated metrics registry.
+func bootCoordinator(t testing.TB, workers []string, hedgeAfter time.Duration) (*server.Server, *httptest.Server) {
+	t.Helper()
+	return bootWorker(t, server.Config{Fleet: &fleet.Config{
+		Workers:    workers,
+		HedgeAfter: hedgeAfter,
+		NewClient:  fastClient,
+		Metrics:    fleet.NewMetrics(obs.NewRegistry()),
+	}})
+}
+
+// rawStream POSTs a verify request and returns the raw NDJSON lines.
+func rawStream(t *testing.T, baseURL string, req api.VerifyRequest) []string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(baseURL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: HTTP %d", resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// rawStreamSabotage is rawStream with a mid-flight trigger: once `after`
+// lines have arrived the sabotage hook fires (exactly once), while the
+// stream keeps being consumed to the end. This pins failure injection to
+// sweep progress instead of wall-clock sleeps, which go wrong under
+// -race slowdowns.
+func rawStreamSabotage(t *testing.T, baseURL string, req api.VerifyRequest, after int, sabotage func()) []string {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(baseURL+"/v1/verify", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("verify: HTTP %d", resp.StatusCode)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fired := false
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+		if !fired && len(lines) >= after {
+			fired = true
+			sabotage()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatalf("stream ended after %d lines, before the sabotage trigger at %d", len(lines), after)
+	}
+	return lines
+}
+
+// normalize strips the stream-specific fields (trace ID, completion
+// ordinal, wall-clock timings) from an NDJSON line and re-marshals it
+// with sorted keys, so two streams can be compared as sets.
+func normalize(t *testing.T, line string) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(line), &m); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", line, err)
+	}
+	delete(m, "trace")
+	delete(m, "done")
+	delete(m, "elapsed_seconds")
+	delete(m, "tests_per_sec")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// lineType peeks at an NDJSON line's record type.
+func lineType(t *testing.T, line string) string {
+	t.Helper()
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal([]byte(line), &probe); err != nil {
+		t.Fatalf("bad NDJSON line %q: %v", line, err)
+	}
+	return probe.Type
+}
+
+func normalizedSet(t *testing.T, lines []string) []string {
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		out[i] = normalize(t, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var fleetReq = api.VerifyRequest{Family: "mp", ISA: "base", Variant: "curr"}
+
+func TestFleetSingleWorkerPassthroughMatchesDirect(t *testing.T) {
+	_, direct := bootWorker(t, server.Config{})
+	_, worker := bootWorker(t, server.Config{})
+	_, coord := bootCoordinator(t, []string{worker.URL}, 10*time.Second)
+
+	want := normalizedSet(t, rawStream(t, direct.URL, fleetReq))
+	got := normalizedSet(t, rawStream(t, coord.URL, fleetReq))
+	if len(got) != len(want) {
+		t.Fatalf("fleet stream has %d lines, direct %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fleet stream diverges from direct:\n fleet: %s\ndirect: %s", got[i], want[i])
+		}
+	}
+	// A single-worker fleet must not stamp worker URLs or a fleet block —
+	// the stream is indistinguishable from the worker's own.
+	for _, l := range got {
+		if strings.Contains(l, `"worker"`) || strings.Contains(l, `"fleet"`) {
+			t.Fatalf("single-worker fleet stream leaks fleet fields: %s", l)
+		}
+	}
+}
+
+func TestFleetThreeWorkersMatchesDirect(t *testing.T) {
+	_, direct := bootWorker(t, server.Config{})
+	var urls []string
+	for i := 0; i < 3; i++ {
+		_, ts := bootWorker(t, server.Config{})
+		urls = append(urls, ts.URL)
+	}
+	_, coord := bootCoordinator(t, urls, 10*time.Second)
+
+	directLines := rawStream(t, direct.URL, fleetReq)
+	fleetLines := rawStream(t, coord.URL, fleetReq)
+	if len(fleetLines) != len(directLines) {
+		t.Fatalf("fleet stream has %d lines, direct %d", len(fleetLines), len(directLines))
+	}
+
+	var directSum, fleetSum *api.SummaryRecord
+	wantVerdicts := map[string]int{}
+	for _, l := range directLines {
+		if lineType(t, l) == "summary" {
+			directSum = new(api.SummaryRecord)
+			if err := json.Unmarshal([]byte(l), directSum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var v api.VerdictRecord
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatal(err)
+		}
+		wantVerdicts[v.Key+"|"+v.Test+"|"+v.Stack+"|"+v.Verdict+"|"+fmt.Sprint(v.SpecifiedBug)]++
+	}
+	seenWorkers := map[string]bool{}
+	for _, l := range fleetLines {
+		if lineType(t, l) == "summary" {
+			fleetSum = new(api.SummaryRecord)
+			if err := json.Unmarshal([]byte(l), fleetSum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var v api.VerdictRecord
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Worker == "" {
+			t.Fatalf("multi-worker fleet record missing worker tag: %s", l)
+		}
+		seenWorkers[v.Worker] = true
+		k := v.Key + "|" + v.Test + "|" + v.Stack + "|" + v.Verdict + "|" + fmt.Sprint(v.SpecifiedBug)
+		if wantVerdicts[k] == 0 {
+			t.Fatalf("fleet stream has unexpected or duplicate record: %s", l)
+		}
+		wantVerdicts[k]--
+	}
+	for k, n := range wantVerdicts {
+		if n != 0 {
+			t.Fatalf("fleet stream missing %d records for %s", n, k)
+		}
+	}
+	if len(seenWorkers) < 2 {
+		t.Errorf("only %d of 3 workers produced records — sharding did not spread", len(seenWorkers))
+	}
+
+	// The merged summary's tallies must match the single node's.
+	if directSum == nil || fleetSum == nil {
+		t.Fatal("missing summary record")
+	}
+	if fleetSum.Done != directSum.Done || fleetSum.Total != directSum.Total ||
+		fleetSum.Bugs != directSum.Bugs || fleetSum.Strict != directSum.Strict ||
+		fleetSum.Equivalent != directSum.Equivalent || fleetSum.Divergent != directSum.Divergent {
+		t.Fatalf("fleet summary tallies diverge:\n fleet: %+v\ndirect: %+v", fleetSum, directSum)
+	}
+	if len(fleetSum.Stacks) != len(directSum.Stacks) {
+		t.Fatalf("fleet summary has %d stacks, direct %d", len(fleetSum.Stacks), len(directSum.Stacks))
+	}
+	for i := range directSum.Stacks {
+		d, f := directSum.Stacks[i], fleetSum.Stacks[i]
+		if f.Stack != d.Stack || f.Tally != d.Tally {
+			t.Fatalf("stack %d tally diverges:\n fleet: %+v\ndirect: %+v", i, f, d)
+		}
+		if len(f.Families) != len(d.Families) {
+			t.Fatalf("stack %s: fleet has %d families, direct %d", d.Stack, len(f.Families), len(d.Families))
+		}
+		for j := range d.Families {
+			if f.Families[j] != d.Families[j] {
+				t.Fatalf("stack %s family tally diverges:\n fleet: %+v\ndirect: %+v", d.Stack, f.Families[j], d.Families[j])
+			}
+		}
+	}
+	if fleetSum.Fleet == nil || len(fleetSum.Fleet.Workers) == 0 {
+		t.Fatal("multi-worker fleet summary missing fleet block")
+	}
+	disp, comp := 0, 0
+	for _, ws := range fleetSum.Fleet.Workers {
+		disp += ws.Dispatched
+		comp += ws.Completed
+	}
+	if comp != fleetSum.Done {
+		t.Fatalf("fleet block completed=%d, summary done=%d", comp, fleetSum.Done)
+	}
+	if disp < fleetSum.Total {
+		t.Fatalf("fleet block dispatched=%d < total=%d", disp, fleetSum.Total)
+	}
+}
+
+// hangingWorker is a fake tricheckd that accepts /v1/verify, flushes
+// headers, and never streams a record — the shape of a wedged worker.
+// Its /healthz answers so the coordinator considers it alive.
+func hangingWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			fmt.Fprintln(w, "ok")
+		case "/v1/verify":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			<-r.Context().Done()
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestFleetSurvivesStalledWorkerByHedging(t *testing.T) {
+	_, direct := bootWorker(t, server.Config{})
+	_, w1 := bootWorker(t, server.Config{})
+	_, w2 := bootWorker(t, server.Config{})
+	hang := hangingWorker(t)
+
+	csrv, coord := bootCoordinator(t, []string{w1.URL, w2.URL, hang.URL}, 300*time.Millisecond)
+
+	directLines := rawStream(t, direct.URL, fleetReq)
+	fleetLines := rawStream(t, coord.URL, fleetReq)
+	if len(fleetLines) != len(directLines) {
+		t.Fatalf("fleet stream has %d lines, direct %d — a hedged sweep must deliver exactly one record per job", len(fleetLines), len(directLines))
+	}
+	seen := map[string]bool{}
+	var sum *api.SummaryRecord
+	for _, l := range fleetLines {
+		if lineType(t, l) == "summary" {
+			sum = new(api.SummaryRecord)
+			if err := json.Unmarshal([]byte(l), sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var v api.VerdictRecord
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatal(err)
+		}
+		id := v.Key + "|" + v.Test + "|" + v.Stack
+		if seen[id] {
+			t.Fatalf("duplicate record after hedging: %s", id)
+		}
+		seen[id] = true
+		if v.Worker == hang.URL {
+			t.Fatalf("record attributed to the wedged worker: %s", l)
+		}
+	}
+	if sum == nil {
+		t.Fatal("hedged sweep did not terminate with a summary")
+	}
+	if sum.Done != sum.Total || sum.Done != len(directLines)-1 {
+		t.Fatalf("hedged sweep summary done=%d total=%d, want %d", sum.Done, sum.Total, len(directLines)-1)
+	}
+	if sum.Fleet == nil || sum.Fleet.Hedges == 0 {
+		t.Fatalf("hedged sweep summary reports no hedges: %+v", sum.Fleet)
+	}
+	if st := csrv.Fleet().StatsJSON(); st.Hedges == 0 {
+		t.Fatalf("coordinator stats report no hedges: %+v", st)
+	}
+}
+
+func TestFleetSurvivesWorkerDeathMidSweep(t *testing.T) {
+	_, direct := bootWorker(t, server.Config{})
+	_, w1 := bootWorker(t, server.Config{})
+	_, w2 := bootWorker(t, server.Config{})
+	// The dying worker hangs first (so the sweep is provably mid-flight
+	// when it goes away), then its listener is torn down, turning the
+	// coordinator's open stream into a hard error. The teardown fires
+	// once 50 records have streamed from the healthy shards — by then
+	// the hanging worker's shard is dispatched and stuck, so the kill
+	// always lands mid-sweep even under -race slowdowns.
+	hang := hangingWorker(t)
+
+	csrv, coord := bootCoordinator(t, []string{w1.URL, w2.URL, hang.URL}, 10*time.Second)
+
+	directLines := rawStream(t, direct.URL, fleetReq)
+	fleetLines := rawStreamSabotage(t, coord.URL, fleetReq, 50, func() {
+		hang.CloseClientConnections()
+		hang.Close()
+	})
+	if len(fleetLines) != len(directLines) {
+		t.Fatalf("fleet stream has %d lines, direct %d — worker death must not lose or duplicate records", len(fleetLines), len(directLines))
+	}
+	seen := map[string]bool{}
+	var sum *api.SummaryRecord
+	for _, l := range fleetLines {
+		if lineType(t, l) == "summary" {
+			sum = new(api.SummaryRecord)
+			if err := json.Unmarshal([]byte(l), sum); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		var v api.VerdictRecord
+		if err := json.Unmarshal([]byte(l), &v); err != nil {
+			t.Fatal(err)
+		}
+		id := v.Key + "|" + v.Test + "|" + v.Stack
+		if seen[id] {
+			t.Fatalf("duplicate record after worker death: %s", id)
+		}
+		seen[id] = true
+	}
+	if sum == nil || sum.Done != sum.Total {
+		t.Fatalf("sweep did not terminate cleanly after worker death: %+v", sum)
+	}
+	st := csrv.Fleet().StatsJSON()
+	if st.Hedges == 0 {
+		t.Fatalf("worker death produced no hedge re-dispatch: %+v", st)
+	}
+}
+
+func TestFleetRebalanceWarmStartsJoiner(t *testing.T) {
+	srvA, wA := bootWorker(t, server.Config{})
+	srvB, wB := bootWorker(t, server.Config{})
+
+	coordCfg := fleet.Config{
+		Workers:   []string{wA.URL, wB.URL},
+		NewClient: fastClient,
+		Metrics:   fleet.NewMetrics(obs.NewRegistry()),
+	}
+	coord, err := fleet.New(coordCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm worker A with a direct sweep; B stays cold.
+	rawStream(t, wA.URL, fleetReq)
+	if st, ok := srvA.Engine().MemoStats(); !ok || st.Len == 0 {
+		t.Fatal("worker A memo cache is cold after a sweep")
+	}
+	if st, ok := srvB.Engine().MemoStats(); ok && st.Len != 0 {
+		t.Fatalf("worker B memo cache unexpectedly warm: %d entries", st.Len)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	coord.CheckNow(ctx)
+	if err := coord.Rebalance(ctx, wB.URL); err != nil {
+		t.Fatal(err)
+	}
+	stB, ok := srvB.Engine().MemoStats()
+	if !ok || stB.Len == 0 {
+		t.Fatal("rebalance left worker B cold — no memo slice arrived")
+	}
+	// B received only its ring slice, not A's whole cache.
+	stA, _ := srvA.Engine().MemoStats()
+	if stB.Len >= stA.Len {
+		t.Errorf("worker B got %d entries, donor A has %d — expected a proper slice", stB.Len, stA.Len)
+	}
+	if st := coord.StatsJSON(); st.Rebalances == 0 {
+		t.Fatalf("rebalance not counted: %+v", st)
+	}
+}

@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"sync"
+
+	"tricheck/internal/obs"
+)
+
+// Metrics is the coordinator's telemetry: per-worker dispatch/merge
+// counters, a shard-size gauge, and a merge-latency histogram, all in
+// the process obs registry so the coordinator's /metrics endpoint and
+// `tricheck top` see them without extra wiring.
+type Metrics struct {
+	r *obs.Registry
+
+	// MergeLatency is the time one merged record spends in the
+	// coordinator — from the worker stream callback receiving it to the
+	// downstream write completing (dedup check, renumbering, merger lock
+	// wait and client write included).
+	MergeLatency *obs.Histogram
+	// Hedges counts shard re-dispatches (slow or dead worker);
+	// Rebalances counts memo-slice pushes to (re)joining workers;
+	// Deduped counts merged records dropped as hedged duplicates.
+	Hedges     *obs.Counter
+	Rebalances *obs.Counter
+	Deduped    *obs.Counter
+	// Sweeps counts merged fleet sweeps.
+	Sweeps *obs.Counter
+
+	mu      sync.Mutex
+	workers map[string]*workerMetrics
+}
+
+// workerMetrics is one worker's label set.
+type workerMetrics struct {
+	Dispatched *obs.Counter
+	Completed  *obs.Counter
+	Hedged     *obs.Counter
+	Retried    *obs.Counter
+	ShardJobs  *obs.Gauge
+}
+
+// NewMetrics registers (idempotently) the fleet metric family in r.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		r:            r,
+		MergeLatency: r.Histogram("tricheck_fleet_merge_latency_seconds", "Coordinator time to merge one worker record into the client stream.", nil),
+		Hedges:       r.Counter("tricheck_fleet_hedges_total", "Shard re-dispatches to a ring successor (slow or dead worker)."),
+		Rebalances:   r.Counter("tricheck_fleet_rebalances_total", "Memo-cache slice pushes to (re)joining workers."),
+		Deduped:      r.Counter("tricheck_fleet_deduped_records_total", "Merged records dropped as hedged duplicates of an already-delivered job."),
+		Sweeps:       r.Counter("tricheck_fleet_sweeps_total", "Fleet sweeps merged by the coordinator."),
+		workers:      map[string]*workerMetrics{},
+	}
+}
+
+// worker resolves (registering on first use) the per-worker label set.
+func (m *Metrics) worker(url string) *workerMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wm := m.workers[url]
+	if wm == nil {
+		l := obs.L("worker", url)
+		wm = &workerMetrics{
+			Dispatched: m.r.Counter("tricheck_fleet_jobs_dispatched_total", "Jobs dispatched to a worker (hedged duplicates included).", l),
+			Completed:  m.r.Counter("tricheck_fleet_records_completed_total", "Worker records accepted by the merger.", l),
+			Hedged:     m.r.Counter("tricheck_fleet_worker_hedged_total", "Shards hedged away from a worker.", l),
+			Retried:    m.r.Counter("tricheck_fleet_worker_retried_total", "Jobs re-assigned to a worker from a failed or slow peer.", l),
+			ShardJobs:  m.r.Gauge("tricheck_fleet_shard_jobs", "Jobs in the worker's most recent shard dispatch.", l),
+		}
+		m.workers[url] = wm
+	}
+	return wm
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("test-fp-%04d+stack-fp-%d", i, i%7)
+	}
+	return out
+}
+
+func TestRingIsDeterministicAndOrderInvariant(t *testing.T) {
+	a := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 0)
+	b := NewRing([]string{"http://w3", "http://w1", "http://w2", "http://w1"}, 0)
+	for _, k := range keys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q depends on construction order: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	workers := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	r := NewRing(workers, 0)
+	counts := map[string]int{}
+	n := 4000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for _, w := range workers {
+		got := counts[w]
+		// With 64 vnodes the per-worker share should be within a factor
+		// of ~2 of even — the property hedging and scaling rely on.
+		if got < n/8 || got > n/2 {
+			t.Errorf("worker %s owns %d of %d keys (want roughly %d)", w, got, n, n/4)
+		}
+	}
+}
+
+func TestRemovingNodeMovesOnlyItsKeys(t *testing.T) {
+	all := []string{"http://w1", "http://w2", "http://w3", "http://w4"}
+	full := NewRing(all, 0)
+	without := NewRing(all[:3], 0) // drop w4
+	for _, k := range keys(2000) {
+		before, after := full.Owner(k), without.Owner(k)
+		if before != "http://w4" && before != after {
+			t.Fatalf("key %q moved from %s to %s though its owner survived", k, before, after)
+		}
+		if before == "http://w4" && after == "http://w4" {
+			t.Fatalf("key %q still owned by removed worker", k)
+		}
+	}
+}
+
+func TestSuccessorIsDistinctAndRespectsExclusion(t *testing.T) {
+	r := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 0)
+	for _, k := range keys(200) {
+		owner := r.Owner(k)
+		succ := r.Successor(k, nil)
+		if succ == "" || succ == owner {
+			t.Fatalf("successor of %q is %q (owner %q)", k, succ, owner)
+		}
+		succ2 := r.Successor(k, map[string]bool{succ: true})
+		if succ2 == "" || succ2 == owner || succ2 == succ {
+			t.Fatalf("second successor of %q is %q (owner %q, first %q)", k, succ2, owner, succ)
+		}
+		if got := r.Successor(k, map[string]bool{succ: true, succ2: true}); got != "" {
+			t.Fatalf("successor with everyone excluded = %q, want empty", got)
+		}
+	}
+}
+
+func TestEmptyAndSingleRing(t *testing.T) {
+	if got := NewRing(nil, 0).Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	one := NewRing([]string{"http://solo"}, 0)
+	if got := one.Owner("k"); got != "http://solo" {
+		t.Fatalf("single ring owner = %q", got)
+	}
+	if got := one.Successor("k", nil); got != "" {
+		t.Fatalf("single ring successor = %q, want empty", got)
+	}
+}

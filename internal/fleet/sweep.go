@@ -1,0 +1,558 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tricheck/api"
+)
+
+// This file is the coordinator's sweep engine: partition the jobs over
+// the healthy ring, run one sub-request per shard, merge the worker
+// streams in completion order, hedge stalls, and re-partition whatever
+// a dead worker left behind until every job has exactly one delivered
+// record.
+
+// pairKey is the merger's dedup identity: a hedged duplicate of an
+// already-delivered job matches on all three coordinates. (The memo key
+// alone is not enough — structurally identical tests submitted twice
+// legitimately produce one record per name.)
+type pairKey struct {
+	key, test, stack string
+}
+
+// pendingJob tracks how many records a pair identity still owes the
+// merged stream (usually 1; >1 when a request contains duplicate
+// tests) plus the tally coordinates shared by all its copies.
+type pendingJob struct {
+	remaining int
+	family    string
+}
+
+// stackAgg accumulates one stack's summary tallies from merged records.
+type stackAgg struct {
+	tally    api.TallyJSON
+	families map[string]*api.TallyJSON
+}
+
+// sweepState is the shared merge state of one fleet sweep. The mutex
+// serializes the worker stream callbacks; emit runs under it, so the
+// downstream NDJSON writer needs no locking of its own.
+type sweepState struct {
+	metrics *Metrics
+
+	mu       sync.Mutex
+	pending  map[pairKey]*pendingJob
+	byStack  map[string]*stackAgg
+	stackOrd []string
+	total    int
+	done     int
+	bugs     int
+	strict   int
+	equiv    int
+	diverg   int
+	cached   int
+	dedup    int
+	start    time.Time
+	last     time.Time
+	emit     func(*api.VerdictRecord) error
+	emitErr  error
+	multi    bool
+	accepted map[string]int    // records accepted per worker
+	progress map[int]time.Time // last record per dispatch id
+}
+
+func newSweepState(jobs []Job, multi bool, m *Metrics, emit func(*api.VerdictRecord) error) *sweepState {
+	st := &sweepState{
+		metrics:  m,
+		pending:  make(map[pairKey]*pendingJob, len(jobs)),
+		byStack:  map[string]*stackAgg{},
+		total:    len(jobs),
+		emit:     emit,
+		multi:    multi,
+		accepted: map[string]int{},
+		progress: map[int]time.Time{},
+	}
+	for _, j := range jobs {
+		pk := pairKey{j.Key, j.Test, j.Stack}
+		p := st.pending[pk]
+		if p == nil {
+			p = &pendingJob{family: j.Family}
+			st.pending[pk] = p
+		}
+		p.remaining++
+		if _, ok := st.byStack[j.Stack]; !ok {
+			st.byStack[j.Stack] = &stackAgg{families: map[string]*api.TallyJSON{}}
+			st.stackOrd = append(st.stackOrd, j.Stack)
+		}
+	}
+	return st
+}
+
+// accept merges one worker record: drop hedged duplicates, renumber the
+// done/total counters to the merged stream's frame, tag the producing
+// worker on multi-worker fleets, fold the verdict into the summary
+// tallies, and write the record downstream. The returned error is the
+// downstream write error, which aborts the worker stream delivering it.
+func (st *sweepState) accept(worker string, dispatchID int, v api.VerdictRecord) error {
+	begin := time.Now()
+	st.mu.Lock()
+	st.progress[dispatchID] = begin
+	pk := pairKey{v.Key, v.Test, v.Stack}
+	p := st.pending[pk]
+	if p == nil || p.remaining == 0 {
+		st.dedup++
+		err := st.emitErr
+		st.mu.Unlock()
+		st.metrics.Deduped.Inc()
+		return err
+	}
+	p.remaining--
+	st.done++
+	st.last = begin
+	if st.start.IsZero() {
+		st.start = begin
+	}
+	v.Done, v.Total = st.done, st.total
+	if st.multi {
+		v.Worker = worker
+	} else {
+		v.Worker = ""
+	}
+	st.accepted[worker]++
+	agg := st.byStack[v.Stack]
+	fam := agg.families[p.family]
+	if fam == nil {
+		fam = &api.TallyJSON{}
+		agg.families[p.family] = fam
+	}
+	for _, t := range []*api.TallyJSON{&agg.tally, fam} {
+		t.Total++
+		switch v.Verdict {
+		case "Divergence":
+			t.Divergent++
+		case "Bug":
+			t.Bugs++
+		case "OverlyStrict":
+			t.Strict++
+		default:
+			t.Equivalent++
+		}
+		if v.SpecifiedBug {
+			t.SpecifiedBugs++
+		}
+	}
+	switch v.Verdict {
+	case "Divergence":
+		st.diverg++
+	case "Bug":
+		st.bugs++
+	case "OverlyStrict":
+		st.strict++
+	default:
+		st.equiv++
+	}
+	if v.Cached {
+		st.cached++
+	}
+	if st.emitErr == nil {
+		if err := st.emit(&v); err != nil {
+			st.emitErr = err
+		}
+	}
+	err := st.emitErr
+	st.mu.Unlock()
+	st.metrics.MergeLatency.Observe(time.Since(begin))
+	return err
+}
+
+// remainingJobs filters jobs to those still owing records, one entry
+// per pair identity (the worker streams every matching pair anyway).
+func (st *sweepState) remainingJobs(jobs []Job) []Job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	seen := map[pairKey]bool{}
+	var out []Job
+	for _, j := range jobs {
+		pk := pairKey{j.Key, j.Test, j.Stack}
+		if p := st.pending[pk]; p != nil && p.remaining > 0 && !seen[pk] {
+			seen[pk] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (st *sweepState) remainingCount() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, p := range st.pending {
+		n += p.remaining
+	}
+	return n
+}
+
+func (st *sweepState) emitError() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.emitErr
+}
+
+func (st *sweepState) lastProgress(dispatchID int) time.Time {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.progress[dispatchID]
+}
+
+func (st *sweepState) markDispatch(dispatchID int) {
+	st.mu.Lock()
+	st.progress[dispatchID] = time.Now()
+	st.mu.Unlock()
+}
+
+// dispatchResult is one sub-request's terminal outcome.
+type dispatchResult struct {
+	id      int
+	worker  string
+	summary *api.SummaryRecord
+	err     error
+}
+
+// shardInfo tracks an in-flight dispatch for the hedging watchdog.
+type shardInfo struct {
+	worker string
+	jobs   []Job
+	hedged bool
+}
+
+// uniqueKeys extracts a shard's key allowlist.
+func uniqueKeys(jobs []Job) []string {
+	seen := make(map[string]bool, len(jobs))
+	keys := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		if !seen[j.Key] {
+			seen[j.Key] = true
+			keys = append(keys, j.Key)
+		}
+	}
+	return keys
+}
+
+// maxSweepRounds bounds re-partition rounds: every round either
+// finishes the sweep or removes at least one failed worker from the
+// ring, so a few extra rounds of headroom is plenty.
+func (c *Coordinator) maxSweepRounds() int { return len(c.workers) + 3 }
+
+// Sweep fans base out over the fleet as per-shard sub-requests
+// restricted by key allowlists, merges the worker streams through emit
+// in completion order (done/total renumbered to the merged frame), and
+// returns the aggregated terminal summary. Worker failures and stalls
+// are survived by hedged re-dispatch as long as at least one worker
+// stays healthy; every job yields exactly one merged record. A non-nil
+// error from emit aborts the sweep (like a disconnected client).
+func (c *Coordinator) Sweep(ctx context.Context, base api.VerifyRequest, jobs []Job, emit func(*api.VerdictRecord) error) (*api.SummaryRecord, error) {
+	c.metrics.Sweeps.Inc()
+	c.mu.Lock()
+	c.sweeps++
+	c.mu.Unlock()
+	c.ensureProbed(ctx)
+
+	st := newSweepState(jobs, len(c.workers) > 1, c.metrics, emit)
+	subCtx, subCancel := context.WithCancel(ctx)
+	defer subCancel()
+
+	results := make(chan dispatchResult, 2*len(c.workers)+4)
+	shards := map[int]*shardInfo{}
+	subSummaries := map[string]*api.SummaryRecord{}
+	failed := map[string]bool{} // this sweep's failures
+	dispatched := map[string]int{}
+	failedEver := map[string]bool{}
+	var workerOrder []string
+	nextID := 0
+	outstanding := 0
+	singleClean := len(c.workers) == 1 // passthrough candidate
+
+	launch := func(worker string, shard []Job, retried bool) {
+		id := nextID
+		nextID++
+		shards[id] = &shardInfo{worker: worker, jobs: shard}
+		st.markDispatch(id)
+		if _, seen := dispatched[worker]; !seen {
+			workerOrder = append(workerOrder, worker)
+		}
+		dispatched[worker] += len(shard)
+		wm := c.metrics.worker(worker)
+		wm.Dispatched.Add(uint64(len(shard)))
+		wm.ShardJobs.Set(int64(len(shard)))
+		c.mu.Lock()
+		c.counters[worker].dispatched += uint64(len(shard))
+		if retried {
+			c.counters[worker].retried += uint64(len(shard))
+		}
+		c.mu.Unlock()
+		if retried {
+			wm.Retried.Add(uint64(len(shard)))
+		}
+		req := base
+		req.Keys = uniqueKeys(shard)
+		cl := c.clients[worker]
+		outstanding++
+		go func() {
+			sum, err := cl.Verify(subCtx, req, func(v api.VerdictRecord) error {
+				return st.accept(worker, id, v)
+			})
+			results <- dispatchResult{id: id, worker: worker, summary: sum, err: err}
+		}()
+	}
+
+	// hedge re-dispatches a stalled or failed shard's remaining jobs to
+	// ring successors (never back to the troubled worker).
+	sweepHedges := 0
+	hedge := func(ring *Ring, sh *shardInfo, reason string) {
+		rem := st.remainingJobs(sh.jobs)
+		if len(rem) == 0 {
+			return
+		}
+		targets := map[string][]Job{}
+		for _, j := range rem {
+			t := ring.Owner(j.Key)
+			if t == sh.worker || t == "" {
+				t = ring.Successor(j.Key, map[string]bool{sh.worker: true})
+			}
+			if t == "" {
+				continue
+			}
+			targets[t] = append(targets[t], j)
+		}
+		if len(targets) == 0 {
+			return
+		}
+		sweepHedges++
+		c.metrics.Hedges.Inc()
+		c.metrics.worker(sh.worker).Hedged.Inc()
+		c.mu.Lock()
+		c.hedges++
+		c.counters[sh.worker].hedged++
+		c.mu.Unlock()
+		for t, tjobs := range targets {
+			c.log.Printf("fleet: hedging %d jobs of %s (%s) to %s", len(tjobs), sh.worker, reason, t)
+			launch(t, tjobs, true)
+		}
+	}
+
+	round := 0
+	for {
+		rem := st.remainingJobs(jobs)
+		if len(rem) == 0 {
+			break
+		}
+		if round >= c.maxSweepRounds() {
+			return nil, fmt.Errorf("fleet: %d jobs undeliverable after %d dispatch rounds", st.remainingCount(), round)
+		}
+		healthy := c.healthyList(failed)
+		if len(healthy) == 0 {
+			// Everyone looks dead: reprobe from scratch — a restarted
+			// worker may be back — and clear this sweep's failure marks.
+			c.CheckNow(ctx)
+			failed = map[string]bool{}
+			if healthy = c.healthyList(nil); len(healthy) == 0 {
+				return nil, errors.New("fleet: no healthy workers")
+			}
+		}
+		ring := NewRing(healthy, c.vnodes)
+		byWorker := map[string][]Job{}
+		for _, j := range rem {
+			byWorker[ring.Owner(j.Key)] = append(byWorker[ring.Owner(j.Key)], j)
+		}
+		if round > 0 || len(byWorker) > 1 {
+			singleClean = false
+		}
+		for w, shard := range byWorker {
+			launch(w, shard, round > 0)
+		}
+
+		tick := c.hedgeAfter / 8
+		if tick < 25*time.Millisecond {
+			tick = 25 * time.Millisecond
+		}
+		ticker := time.NewTicker(tick)
+		for outstanding > 0 {
+			select {
+			case r := <-results:
+				outstanding--
+				sh := shards[r.id]
+				delete(shards, r.id)
+				if r.err != nil {
+					if subCtx.Err() == nil {
+						// A failed sub-request (after the client's own
+						// retries) marks the worker down for this sweep;
+						// its leftovers re-partition next round, but hedge
+						// immediately when the ring still has capacity.
+						singleClean = false
+						failed[r.worker] = true
+						failedEver[r.worker] = true
+						c.setHealthy(r.worker, false)
+						c.log.Printf("fleet: worker %s failed mid-sweep: %v", r.worker, r.err)
+						if alive := c.healthyList(failed); len(alive) > 0 {
+							hedge(NewRing(alive, c.vnodes), sh, "died")
+						}
+					}
+				} else if r.summary != nil {
+					subSummaries[r.worker] = r.summary
+				}
+			case <-ticker.C:
+				if st.remainingCount() == 0 {
+					// Everything delivered; lingering duplicate streams
+					// (hedge losers) can stop — workers keep their memos.
+					subCancel()
+					continue
+				}
+				now := time.Now()
+				for _, sh := range shards {
+					if sh.hedged || now.Sub(st.lastProgress(idOf(shards, sh))) < c.hedgeAfter {
+						continue
+					}
+					sh.hedged = true
+					if alive := c.healthyList(map[string]bool{sh.worker: true}); len(alive) > 0 {
+						singleClean = false
+						hedge(NewRing(alive, c.vnodes), sh, "stalled")
+					}
+				}
+			case <-ctx.Done():
+				subCancel()
+				for outstanding > 0 {
+					<-results
+					outstanding--
+				}
+				ticker.Stop()
+				return nil, ctx.Err()
+			}
+			if err := st.emitError(); err != nil {
+				subCancel()
+				for outstanding > 0 {
+					<-results
+					outstanding--
+				}
+				ticker.Stop()
+				return nil, err
+			}
+		}
+		ticker.Stop()
+		round++
+	}
+
+	st.mu.Lock()
+	dedup := st.dedup
+	st.mu.Unlock()
+	c.mu.Lock()
+	c.deduped += uint64(dedup)
+	for w, n := range st.accepted {
+		c.counters[w].completed += uint64(n)
+		c.metrics.worker(w).Completed.Add(uint64(n))
+	}
+	c.mu.Unlock()
+
+	// Single-worker fleets pass the worker's own summary through
+	// (byte-compatible with a direct request) when nothing went wrong;
+	// everything else gets the merged aggregate.
+	if singleClean && dedup == 0 {
+		if sum := subSummaries[c.workers[0]]; sum != nil {
+			return sum, nil
+		}
+	}
+	return st.summary(base, workerOrder, dispatched, failedEver, subSummaries, sweepHedges), nil
+}
+
+// idOf finds a shard's dispatch id (the watchdog iterates values).
+func idOf(shards map[int]*shardInfo, target *shardInfo) int {
+	for id, sh := range shards {
+		if sh == target {
+			return id
+		}
+	}
+	return -1
+}
+
+// summary builds the merged terminal record: per-record tallies in the
+// coordinator's frame, per-stack/family aggregation in job order,
+// capability skip notes and coverage totals harvested from the worker
+// sub-summaries, and the fleet dispatch block.
+func (st *sweepState) summary(base api.VerifyRequest, workerOrder []string, dispatched map[string]int, failed map[string]bool, subs map[string]*api.SummaryRecord, hedges int) *api.SummaryRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sum := &api.SummaryRecord{
+		Type:       "summary",
+		Done:       st.done,
+		Total:      st.total,
+		Bugs:       st.bugs,
+		Strict:     st.strict,
+		Equivalent: st.equiv,
+		Divergent:  st.diverg,
+		Cached:     st.cached,
+	}
+	if base.Backend != "" && base.Backend != "uhb" {
+		sum.Backend = base.Backend
+	}
+	if !st.start.IsZero() && !st.last.IsZero() {
+		sum.ElapsedSeconds = st.last.Sub(st.start).Seconds()
+		if sum.ElapsedSeconds > 0 {
+			sum.TestsPerSecond = float64(st.done) / sum.ElapsedSeconds
+		}
+	}
+	// Capability skip notes are config-level; any worker that swept part
+	// of a stack reported the same note.
+	skips := map[string]string{}
+	for _, sub := range subs {
+		for _, ss := range sub.Stacks {
+			if ss.OpsimSkipped != "" {
+				skips[ss.Stack] = ss.OpsimSkipped
+			}
+		}
+		// Coverage totals are per-worker-engine lifetime state: additive
+		// counters sum across disjoint engines, set-like counts take the
+		// max (every worker loads the same models and axioms).
+		sum.Coverage.Jobs += sub.Coverage.Jobs
+		sum.Coverage.Vectors += sub.Coverage.Vectors
+		if sub.Coverage.Models > sum.Coverage.Models {
+			sum.Coverage.Models = sub.Coverage.Models
+		}
+		if sub.Coverage.AxiomsFired > sum.Coverage.AxiomsFired {
+			sum.Coverage.AxiomsFired = sub.Coverage.AxiomsFired
+		}
+		if sub.Coverage.AxiomsEdged > sum.Coverage.AxiomsEdged {
+			sum.Coverage.AxiomsEdged = sub.Coverage.AxiomsEdged
+		}
+		if sub.Coverage.AxiomsCycled > sum.Coverage.AxiomsCycled {
+			sum.Coverage.AxiomsCycled = sub.Coverage.AxiomsCycled
+		}
+	}
+	for _, stack := range st.stackOrd {
+		agg := st.byStack[stack]
+		ss := api.StackSummary{Stack: stack, Tally: agg.tally, OpsimSkipped: skips[stack]}
+		fams := make([]string, 0, len(agg.families))
+		for f := range agg.families {
+			fams = append(fams, f)
+		}
+		sort.Strings(fams)
+		for _, f := range fams {
+			ss.Families = append(ss.Families, api.FamilyTally{Family: f, TallyJSON: *agg.families[f]})
+		}
+		sum.Stacks = append(sum.Stacks, ss)
+	}
+	fleet := &api.FleetSummary{Hedges: hedges, Deduped: st.dedup}
+	for _, w := range workerOrder {
+		fleet.Workers = append(fleet.Workers, api.WorkerSummary{
+			Worker:     w,
+			Dispatched: dispatched[w],
+			Completed:  st.accepted[w],
+			Failed:     failed[w],
+		})
+	}
+	sum.Fleet = fleet
+	return sum
+}

@@ -535,4 +535,3 @@ func (x *Execution) String() string {
 	b.WriteString("}")
 	return b.String()
 }
-

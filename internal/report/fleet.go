@@ -1,0 +1,75 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"tricheck/api"
+)
+
+// This file renders coordinator-merged sweep summaries — an
+// api.SummaryRecord is all a fleet client has (the per-result
+// core.SuiteResult matrix lives on the workers), so the renderers here
+// mirror CSV and the Figure 15 totals from the wire form.
+
+// SummaryCSV writes the merged summary in exactly the CSV schema of
+// report.CSV — one row per (stack, family) plus a per-stack ALL row —
+// so a fleet sweep's CSV diffs cleanly against a single node's.
+func SummaryCSV(w io.Writer, sum *api.SummaryRecord) {
+	fmt.Fprintln(w, "stack,family,bugs,strict,equivalent,total,specified_bugs")
+	for _, ss := range sum.Stacks {
+		for _, fam := range ss.Families {
+			fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d\n",
+				ss.Stack, fam.Family, fam.Bugs, fam.Strict, fam.Equivalent, fam.Total, fam.SpecifiedBugs)
+		}
+		t := ss.Tally
+		fmt.Fprintf(w, "%s,ALL,%d,%d,%d,%d,%d\n",
+			ss.Stack, t.Bugs, t.Strict, t.Equivalent, t.Total, t.SpecifiedBugs)
+	}
+}
+
+// SummaryTable renders the merged summary's per-stack totals plus the
+// fleet dispatch accounting as a human-readable report.
+func SummaryTable(w io.Writer, sum *api.SummaryRecord) {
+	fmt.Fprintf(w, "%-40s %8s %8s %8s %10s %8s\n", "STACK", "BUGS", "STRICT", "EQUIV", "DIVERGENT", "TOTAL")
+	for _, ss := range sum.Stacks {
+		t := ss.Tally
+		fmt.Fprintf(w, "%-40s %8d %8d %8d %10d %8d\n", ss.Stack, t.Bugs, t.Strict, t.Equivalent, t.Divergent, t.Total)
+		if ss.OpsimSkipped != "" {
+			fmt.Fprintf(w, "  (opsim skipped: %s)\n", ss.OpsimSkipped)
+		}
+	}
+	fmt.Fprintf(w, "%-40s %8d %8d %8d %10d %8d\n", "ALL", sum.Bugs, sum.Strict, sum.Equivalent, sum.Divergent, sum.Done)
+	if sum.ElapsedSeconds > 0 {
+		fmt.Fprintf(w, "\n%d/%d verdicts in %.2fs (%.0f tests/sec, %d cached)\n",
+			sum.Done, sum.Total, sum.ElapsedSeconds, sum.TestsPerSecond, sum.Cached)
+	}
+	if sum.Fleet != nil {
+		fmt.Fprintf(w, "\nfleet: %d workers, %d hedges, %d deduped\n", len(sum.Fleet.Workers), sum.Fleet.Hedges, sum.Fleet.Deduped)
+		for _, ws := range sum.Fleet.Workers {
+			note := ""
+			if ws.Failed {
+				note = "  FAILED mid-sweep"
+			}
+			fmt.Fprintf(w, "  %-32s dispatched %6d  completed %6d%s\n", ws.Worker, ws.Dispatched, ws.Completed, note)
+		}
+	}
+}
+
+// FleetStats renders a coordinator's /v1/stats fleet block — the
+// `tricheck top -fleet` view of a running fleet.
+func FleetStats(w io.Writer, st *api.FleetStatsJSON) {
+	fmt.Fprintf(w, "fleet: %d/%d workers healthy, %d sweeps, %d hedges, %d deduped, %d rebalances\n",
+		st.Healthy, st.Workers, st.Sweeps, st.Hedges, st.Deduped, st.Rebalances)
+	if len(st.PerWorker) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-32s %-9s %12s %12s %8s %8s\n", "WORKER", "HEALTH", "DISPATCHED", "COMPLETED", "HEDGED", "RETRIED")
+	for _, ws := range st.PerWorker {
+		health := "healthy"
+		if !ws.Healthy {
+			health = "DOWN"
+		}
+		fmt.Fprintf(w, "%-32s %-9s %12d %12d %8d %8d\n", ws.URL, health, ws.Dispatched, ws.Completed, ws.Hedged, ws.Retried)
+	}
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"tricheck/api"
+)
+
+// SummaryCSV must emit the same schema as CSV so fleet output diffs
+// byte-for-byte against a single node's for identical tallies.
+func TestSummaryCSVMatchesCSVSchema(t *testing.T) {
+	sum := &api.SummaryRecord{
+		Type: "summary",
+		Done: 4, Total: 4, Bugs: 1, Strict: 1, Equivalent: 2,
+		Stacks: []api.StackSummary{
+			{
+				Stack: "rMM/riscv-curr",
+				Tally: api.TallyJSON{Bugs: 1, Strict: 1, Equivalent: 2, Total: 4, SpecifiedBugs: 1},
+				Families: []api.FamilyTally{
+					{Family: "corr", TallyJSON: api.TallyJSON{Bugs: 1, Total: 2, Equivalent: 1, SpecifiedBugs: 1}},
+					{Family: "mp", TallyJSON: api.TallyJSON{Strict: 1, Equivalent: 1, Total: 2}},
+				},
+			},
+		},
+	}
+	var b strings.Builder
+	SummaryCSV(&b, sum)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "stack,family,bugs,strict,equivalent,total,specified_bugs" {
+		t.Errorf("bad CSV header: %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines, want 4:\n%s", len(lines), b.String())
+	}
+	if lines[1] != "rMM/riscv-curr,corr,1,0,1,2,1" {
+		t.Errorf("bad family row: %q", lines[1])
+	}
+	if lines[3] != "rMM/riscv-curr,ALL,1,1,2,4,1" {
+		t.Errorf("bad ALL row: %q", lines[3])
+	}
+}
+
+func TestSummaryTableAndFleetStatsRender(t *testing.T) {
+	sum := &api.SummaryRecord{
+		Done: 2, Total: 2, Bugs: 1, Equivalent: 1,
+		ElapsedSeconds: 0.5, TestsPerSecond: 4,
+		Stacks: []api.StackSummary{{Stack: "WR/riscv-curr", Tally: api.TallyJSON{Bugs: 1, Equivalent: 1, Total: 2}}},
+		Fleet: &api.FleetSummary{
+			Workers: []api.WorkerSummary{
+				{Worker: "http://w1", Dispatched: 2, Completed: 1},
+				{Worker: "http://w2", Dispatched: 1, Completed: 1, Failed: true},
+			},
+			Hedges: 1,
+		},
+	}
+	var b strings.Builder
+	SummaryTable(&b, sum)
+	out := b.String()
+	for _, want := range []string{"WR/riscv-curr", "ALL", "1 hedges", "http://w2", "FAILED mid-sweep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary table missing %q:\n%s", want, out)
+		}
+	}
+
+	var s strings.Builder
+	FleetStats(&s, &api.FleetStatsJSON{
+		Workers: 2, Healthy: 1, Sweeps: 3, Hedges: 1,
+		PerWorker: []api.WorkerStatsJSON{
+			{URL: "http://w1", Healthy: true, Dispatched: 10, Completed: 10},
+			{URL: "http://w2", Healthy: false, Hedged: 1},
+		},
+	})
+	out = s.String()
+	for _, want := range []string{"1/2 workers healthy", "http://w1", "healthy", "DOWN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet stats missing %q:\n%s", want, out)
+		}
+	}
+}

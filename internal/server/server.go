@@ -48,6 +48,7 @@ import (
 
 	"tricheck/api"
 	"tricheck/internal/core"
+	"tricheck/internal/fleet"
 	"tricheck/internal/mem"
 	"tricheck/internal/obs"
 	"tricheck/internal/report"
@@ -92,6 +93,11 @@ type Config struct {
 	// default: profiles expose process internals and a CPU profile
 	// perturbs in-flight sweeps, so the operator opts in per deployment.
 	EnablePprof bool
+	// Fleet, when non-nil, runs this server as a fleet coordinator:
+	// /v1/verify shards sweeps across the configured worker tricheckds
+	// instead of the local engine (which still serves memo endpoints and
+	// stays available to embedders).
+	Fleet *fleet.Config
 	// Log, when non-nil, receives request/shutdown notes.
 	Log *log.Logger
 }
@@ -106,6 +112,7 @@ type Server struct {
 	sem        chan struct{}
 	log        *log.Logger
 	start      time.Time
+	fleet      *fleet.Coordinator
 
 	// Counters are expvar values so /debug/vars exposes them; they are
 	// per-server (not globally registered), keeping tests and multiple
@@ -179,8 +186,23 @@ func New(cfg Config) (*Server, error) {
 			logger.Printf("cache %s: %d warm entries", s.cachePath, st.Len)
 		}
 	}
+	if cfg.Fleet != nil {
+		fcfg := *cfg.Fleet
+		if fcfg.Log == nil {
+			fcfg.Log = logger
+		}
+		coord, err := fleet.New(fcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.fleet = coord
+	}
 	return s, nil
 }
+
+// Fleet returns the coordinator when the server runs in fleet mode
+// (nil otherwise). tricheckd starts its health-probe loop.
+func (s *Server) Fleet() *fleet.Coordinator { return s.fleet }
 
 // Engine returns the server's (shared) verification engine.
 func (s *Server) Engine() *core.Engine { return s.eng }
@@ -208,6 +230,8 @@ func (s *Server) InFlight() int64 { return s.inflight.Value() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/verify", s.handleVerify)
+	mux.HandleFunc("/v1/memo/snapshot", s.handleMemoSnapshot)
+	mux.HandleFunc("/v1/memo/load", s.handleMemoLoad)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/traces", s.handleTraces)
 	mux.HandleFunc("/v1/coverage", s.handleCoverage)
@@ -284,6 +308,10 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.fleet != nil {
+		s.handleFleetVerify(w, r)
+		return
+	}
 	var req VerifyRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
@@ -296,6 +324,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
+	keep := keyFilter(req.Keys)
 	workers := req.Workers
 	if workers <= 0 || workers > s.maxWorkers {
 		workers = s.maxWorkers
@@ -359,7 +388,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	outc := make(chan sweepOut, 1)
 	go func() {
-		results, err := s.eng.SweepStreamBackend(ctx, tests, stacks, workers, backend, events)
+		results, err := s.eng.SweepStreamBackendKeys(ctx, tests, stacks, workers, backend, keep, events)
 		outc <- sweepOut{results, err}
 	}()
 
@@ -389,15 +418,16 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		}
 		arm()
 		rec := VerdictRecord{
-			Type:    "verdict",
-			Trace:   traceHex,
-			Done:    ev.Done,
-			Total:   ev.Total,
-			Test:    ev.Test,
-			Stack:   ev.Stack,
-			Verdict: ev.Verdict.String(),
-			Key:     ev.Key,
-			Cached:  ev.Cached,
+			Type:         "verdict",
+			Trace:        traceHex,
+			Done:         ev.Done,
+			Total:        ev.Total,
+			Test:         ev.Test,
+			Stack:        ev.Stack,
+			Verdict:      ev.Verdict.String(),
+			Key:          ev.Key,
+			Cached:       ev.Cached,
+			SpecifiedBug: ev.SpecifiedBug,
 		}
 		if backend != core.BackendUHB {
 			rec.Backend = backend.String()
@@ -494,16 +524,21 @@ func (s *Server) Stats() StatsRecord {
 		Divergences:      s.eng.Divergences(),
 	}
 	// Busy time includes in-flight sweeps' elapsed time so the rate is
-	// live during a long sweep instead of jumping on completion.
+	// live during a long sweep instead of jumping on completion. Sweep
+	// start times carry Go's monotonic clock reading, but clamp each
+	// contribution anyway: a start time that round-tripped through
+	// serialization (tests, future snapshots) loses the monotonic part,
+	// and a wall-clock step backwards would otherwise subtract from busy
+	// time and inflate — or NaN — the rate.
 	busy := time.Duration(s.busyNanos.Value())
 	s.mu.Lock()
 	for _, begin := range s.sweepStarts {
-		busy += time.Since(begin)
+		if d := time.Since(begin); d > 0 {
+			busy += d
+		}
 	}
 	s.mu.Unlock()
-	if sec := busy.Seconds(); sec > 0 {
-		st.TestsPerSecond = float64(st.VerdictsStreamed) / sec
-	}
+	st.TestsPerSecond = streamRate(st.VerdictsStreamed, busy)
 	if ms, ok := s.eng.MemoStats(); ok {
 		m := &MemoStatsJSON{Hits: ms.Hits, Misses: ms.Misses, Len: ms.Len, Cap: ms.Cap}
 		if lookups := ms.Hits + ms.Misses; lookups > 0 {
@@ -518,7 +553,22 @@ func (s *Server) Stats() StatsRecord {
 			ReuseRatio: float64(reuse) / float64(reuse+rebuild),
 		}
 	}
+	if s.fleet != nil {
+		st.Fleet = s.fleet.StatsJSON()
+	}
 	return st
+}
+
+// streamRate computes verdicts-per-second over the busy window, with
+// the degenerate cases pinned to 0: zero or negative busy time (no
+// sweep has run, or a clamped clock anomaly) must read as "no rate",
+// never as a division blow-up — /v1/stats is scraped by dashboards that
+// choke on NaN/Inf in JSON.
+func streamRate(verdicts int64, busy time.Duration) float64 {
+	if sec := busy.Seconds(); sec > 0 && verdicts >= 0 {
+		return float64(verdicts) / sec
+	}
+	return 0
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

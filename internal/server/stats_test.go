@@ -1,0 +1,75 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Regression tests for the /v1/stats throughput rate: the denominator
+// is accumulated busy time plus in-flight sweeps' elapsed time, and
+// both halves must survive degenerate clocks — a zero-elapsed window
+// must read 0, and a sweep start time without a monotonic reading (or
+// behind a stepped wall clock) must never subtract from the window.
+
+func TestStreamRateGuardsDegenerateWindows(t *testing.T) {
+	cases := []struct {
+		name     string
+		verdicts int64
+		busy     time.Duration
+		want     float64
+	}{
+		{"zero busy", 100, 0, 0},
+		{"negative busy", 100, -time.Second, 0},
+		{"no verdicts", 0, time.Second, 0},
+		{"steady", 100, 2 * time.Second, 50},
+	}
+	for _, c := range cases {
+		got := streamRate(c.verdicts, c.busy)
+		if got != c.want {
+			t.Errorf("%s: streamRate(%d, %v) = %v, want %v", c.name, c.verdicts, c.busy, got, c.want)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: streamRate(%d, %v) = %v, not finite", c.name, c.verdicts, c.busy, got)
+		}
+	}
+}
+
+func TestStatsRateNeverNegativeFromFutureSweepStart(t *testing.T) {
+	s, err := New(Config{MaxWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a sweep whose recorded start is ahead of the current wall
+	// clock — what a backwards clock step (or a start time that lost its
+	// monotonic reading in a round-trip) looks like to Stats. The bogus
+	// in-flight window must be clamped out, not subtracted from the
+	// accumulated busy time.
+	s.busyNanos.Add((2 * time.Second).Nanoseconds())
+	s.verdicts.Add(100)
+	s.mu.Lock()
+	s.sweepStarts[1] = time.Now().Add(time.Hour)
+	s.mu.Unlock()
+	st := s.Stats()
+	if st.TestsPerSecond <= 0 {
+		t.Fatalf("tests_per_sec = %v with 100 verdicts over ~2s busy, want > 0", st.TestsPerSecond)
+	}
+	// 100 verdicts / ~2s busy: anything near 50 is right; a negative or
+	// wildly inflated rate means the future start leaked into the window.
+	if st.TestsPerSecond > 51 {
+		t.Fatalf("tests_per_sec = %v, want ≈50 (future sweep start must not shrink the window)", st.TestsPerSecond)
+	}
+	if math.IsNaN(st.TestsPerSecond) || math.IsInf(st.TestsPerSecond, 0) {
+		t.Fatalf("tests_per_sec = %v, not finite", st.TestsPerSecond)
+	}
+}
+
+func TestStatsRateZeroBeforeFirstSweep(t *testing.T) {
+	s, err := New(Config{MaxWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().TestsPerSecond; got != 0 {
+		t.Fatalf("tests_per_sec = %v on a fresh server, want 0", got)
+	}
+}
